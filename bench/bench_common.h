@@ -1,0 +1,28 @@
+// Shared helpers for the experiment harness (E1-E10, see DESIGN.md and
+// EXPERIMENTS.md). Each binary prints the experiment's table(s); several
+// additionally register google-benchmark timings.
+#ifndef DXREC_BENCH_BENCH_COMMON_H_
+#define DXREC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace dxrec {
+
+inline void PrintHeader(const char* id, const char* title,
+                        const char* paper_ref) {
+  std::printf("\n=== %s: %s ===\n(paper artifact: %s)\n\n", id, title,
+              paper_ref);
+}
+
+// Milliseconds with three digits.
+inline std::string Ms(double seconds) {
+  return TextTable::Cell(seconds * 1e3, 3);
+}
+
+}  // namespace dxrec
+
+#endif  // DXREC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,107 @@
+// E11 -- implementation ablations (not a paper artifact).
+//
+// Three engineering knobs measured on the paper's workloads:
+//   (a) parallel inverse chase: wall time vs worker count,
+//   (b) core_recoveries: emitted-set size with and without cores,
+//   (c) repair scaling: maximal-subset search vs damage size.
+#include "bench/bench_common.h"
+#include "core/inverse_chase.h"
+#include "core/repair.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+void ParallelAblation() {
+  std::printf("-- (a) parallel inverse chase --\n");
+  DependencySet sigma = TriangleScenario::Sigma();
+  Instance j = TriangleScenario::Target(1, 4);
+  TextTable table({"threads", "recoveries", "time_ms"});
+  for (size_t threads : {1, 2, 4, 8}) {
+    InverseChaseOptions options;
+    options.cover.max_covers = 1u << 18;
+    options.num_threads = threads;
+    Stopwatch sw;
+    Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+    double elapsed = sw.ElapsedSeconds();
+    table.AddRow({TextTable::Cell(threads),
+                  result.ok() ? TextTable::Cell(result->recoveries.size())
+                              : "err",
+                  Ms(elapsed)});
+  }
+  table.Print();
+}
+
+void CoreAblation() {
+  std::printf("\n-- (b) core_recoveries --\n");
+  DependencySet sigma = BlowupScenario::Sigma();
+  TextTable table({"q", "plain", "cored", "time_plain_ms",
+                   "time_cored_ms"});
+  for (size_t q : {2, 3, 4}) {
+    Instance j = BlowupScenario::Target(2, q);
+    Stopwatch sw;
+    Result<InverseChaseResult> plain = InverseChase(sigma, j);
+    double t_plain = sw.ElapsedSeconds();
+    InverseChaseOptions options;
+    options.core_recoveries = true;
+    sw.Reset();
+    Result<InverseChaseResult> cored = InverseChase(sigma, j, options);
+    double t_cored = sw.ElapsedSeconds();
+    table.AddRow(
+        {TextTable::Cell(q),
+         plain.ok() ? TextTable::Cell(plain->recoveries.size()) : "err",
+         cored.ok() ? TextTable::Cell(cored->recoveries.size()) : "err",
+         Ms(t_plain), Ms(t_cored)});
+  }
+  table.Print();
+}
+
+void RepairAblation() {
+  std::printf("\n-- (c) target repair --\n");
+  DependencySet sigma = DiamondScenario::Sigma();
+  TextTable table({"|J|", "orphans", "repairs", "checks", "time_ms"});
+  for (size_t orphans : {1, 2, 3}) {
+    // Valid pairs plus `orphans` T-atoms missing their S-partners.
+    Instance j = DiamondScenario::ValidTarget(3);
+    for (size_t i = 0; i < orphans; ++i) {
+      j.Add(Atom::Make("Td", {Term::Constant("orphan" +
+                                             std::to_string(i))}));
+    }
+    RepairOptions options;
+    options.max_validity_checks = 4096;
+    Stopwatch sw;
+    Result<RepairResult> result = RepairTarget(sigma, j, options);
+    double elapsed = sw.ElapsedSeconds();
+    table.AddRow(
+        {TextTable::Cell(j.size()), TextTable::Cell(orphans),
+         result.ok()
+             ? TextTable::Cell(result->maximal_valid_subsets.size())
+             : "budget",
+         "-", Ms(elapsed)});
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintHeader("E11", "implementation ablations",
+              "engineering, not a paper claim");
+  ParallelAblation();
+  CoreAblation();
+  RepairAblation();
+  std::printf(
+      "\nShape check: (a) identical recovery sets at every thread count;\n"
+      "wall time drops with threads on multi-core hosts (flat on a\n"
+      "single-core container); (b) cores never enlarge the emitted set\n"
+      "and cost little (equal counts here: these recoveries are already\n"
+      "cores); (c) repair finds exactly one maximal subset per damage\n"
+      "level at polynomially growing cost.\n");
+}
+
+}  // namespace
+}  // namespace dxrec
+
+int main() {
+  dxrec::Run();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E13 -- recovery quality against ground truth (evaluation-style
+// experiment; generalizes the paper's qualitative comparisons).
+//
+// For each workload we KNOW the original source (we generated it),
+// exchange it forward, then ask each method how much of the source it
+// can certify back:
+//   exact    = CERT over Chase^{-1}         (UCQ-complete, exponential)
+//   I_{S,J}  = the PTIME sub-universal instance (sound CQ answers)
+//   baseline = CQ-maximum-recovery chase    (mapping-based)
+// Expected shape: recall(exact) >= recall(I_{S,J}) >= recall(baseline),
+// and the `viol` columns are 0 whenever the truth is a recovery
+// (soundness, end to end).
+#include "bench/bench_common.h"
+#include "core/metrics.h"
+#include "datagen/generators.h"
+#include "datagen/scenarios.h"
+
+namespace dxrec {
+namespace {
+
+void AddRow(TextTable* table, const char* name, const DependencySet& sigma,
+            const Instance& truth, const Instance& target) {
+  InverseChaseOptions options;
+  options.cover.max_covers = 1u << 14;
+  Stopwatch sw;
+  Result<RecoveryQuality> q =
+      EvaluateRecoveryQuality(sigma, truth, target, options);
+  double elapsed = sw.ElapsedSeconds();
+  if (!q.ok()) {
+    table->AddRow({name, "-", "-", "-", "-", "-", Ms(elapsed)});
+    return;
+  }
+  auto cell = [&](const MethodQuality& m) {
+    if (!m.computed) return std::string("-");
+    return TextTable::Cell(m.recall(q->truth_atoms), 2) + "/" +
+           TextTable::Cell(m.violations);
+  };
+  table->AddRow({name, TextTable::Cell(q->truth_atoms),
+                 q->truth_is_recovery ? "yes" : "no", cell(q->exact),
+                 cell(q->sub_universal), cell(q->baseline), Ms(elapsed)});
+}
+
+void Run() {
+  PrintHeader("E13", "recall of the true source (recall/violations)",
+              "evaluation-style; generalizes Thm. 10 and the intro");
+  TextTable table({"workload", "|I0|", "I0 rec?", "exact", "I_{S,J}",
+                   "baseline", "time_ms"});
+
+  // Paper scenarios with a natural ground truth.
+  {
+    DependencySet sigma = ProjectionScenario::Sigma();
+    Instance truth;
+    for (int i = 1; i <= 4; ++i) {
+      truth.Add(Atom::Make(
+          "Rp", {Term::Constant("a"),
+                 Term::Constant("b" + std::to_string(i))}));
+    }
+    AddRow(&table, "projection", sigma,
+           truth, ProjectionScenario::Target(4));
+  }
+  {
+    DependencySet sigma = EmployeeScenario::Sigma();
+    Instance truth;
+    for (const char* row : {"joe hr", "bill sales", "sue hr"}) {
+      std::string s(row);
+      size_t space = s.find(' ');
+      truth.Add(Atom::Make("Emp", {Term::Constant(s.substr(0, space)),
+                                   Term::Constant(s.substr(space + 1))}));
+    }
+    for (const char* row :
+         {"hr medical", "hr pension", "sales medical", "sales profit"}) {
+      std::string s(row);
+      size_t space = s.find(' ');
+      truth.Add(Atom::Make("Bnf", {Term::Constant(s.substr(0, space)),
+                                   Term::Constant(s.substr(space + 1))}));
+    }
+    Instance target = ChaseTarget(sigma, truth, /*ground=*/true);
+    AddRow(&table, "employee", sigma, truth, target);
+  }
+
+  // Random workloads, several seeds.
+  for (uint64_t seed : {3, 5, 9, 21}) {
+    Rng rng(seed);
+    MappingSpec spec;
+    spec.num_tgds = 2;
+    spec.max_body_atoms = 1;
+    spec.max_head_atoms = 2;
+    spec.max_arity = 2;
+    std::string tag = "e13s" + std::to_string(seed) + "_";
+    DependencySet sigma = RandomMapping(spec, tag, &rng);
+    SourceSpec source_spec;
+    source_spec.num_tuples = 5;
+    source_spec.num_constants = 4;
+    Instance truth = RandomSource(sigma, source_spec, tag, &rng);
+    Instance target = ChaseTarget(sigma, truth, /*ground=*/true);
+    if (target.empty()) continue;
+    std::string name = "random/" + std::to_string(seed);
+    AddRow(&table, name.c_str(), sigma, truth, target);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: per row, exact >= I_{S,J} >= baseline recall; the\n"
+      "violation count after '/' is 0 wherever 'I0 rec?' is yes.\n"
+      "Recall < 1 is expected: information genuinely lost in the\n"
+      "exchange (projected-away columns) cannot be certain again.\n");
+}
+
+}  // namespace
+}  // namespace dxrec
+
+int main() {
+  dxrec::Run();
+  return 0;
+}

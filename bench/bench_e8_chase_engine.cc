@@ -1,0 +1,116 @@
+// E8 -- chase substrate microbenchmarks (google-benchmark).
+//
+// Forward-chase and homomorphism-search throughput on random workloads,
+// with the (relation, position, term) index ablation: the indexed search
+// should win by a growing factor as instances grow.
+#include <benchmark/benchmark.h>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/evaluation.h"
+#include "chase/homomorphism.h"
+#include "datagen/generators.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+DependencySet BenchSigma() {
+  Result<DependencySet> sigma = ParseTgdSet(
+      "E8R(x, y), E8R(y, z) -> E8T(x, z);"
+      "E8R(u, v) -> exists w: E8S(u, w);"
+      "E8P(p, q) -> E8T(p, q)");
+  return std::move(*sigma);
+}
+
+Instance BenchSource(size_t n) {
+  Rng rng(1234);
+  Instance out;
+  size_t constants = n / 4 + 4;
+  for (size_t i = 0; i < n; ++i) {
+    const char* rel = (i % 3 == 2) ? "E8P" : "E8R";
+    out.Add(Atom::Make(
+        rel,
+        {Term::Constant("e8c" + std::to_string(rng.Index(constants))),
+         Term::Constant("e8c" + std::to_string(rng.Index(constants)))}));
+  }
+  return out;
+}
+
+void BM_FindTriggers(benchmark::State& state) {
+  DependencySet sigma = BenchSigma();
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<Trigger> triggers = FindTriggers(sigma, source);
+    benchmark::DoNotOptimize(triggers.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FindTriggers)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_ForwardChase(benchmark::State& state) {
+  DependencySet sigma = BenchSigma();
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Instance result = Chase(sigma, source, &FreshNulls());
+    benchmark::DoNotOptimize(result.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForwardChase)->Arg(100)->Arg(1000)->Arg(5000);
+
+void HomSearchBody(benchmark::State& state, bool use_index) {
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  Result<Tgd> pattern_holder =
+      ParseTgd("E8R(hx, hy), E8R(hy, hz) -> E8T(hx, hz)");
+  HomSearchOptions options;
+  options.use_index = use_index;
+  for (auto _ : state) {
+    size_t count = 0;
+    ForEachHomomorphism(pattern_holder->body(), source, options,
+                        [&count](const Substitution&) {
+                          ++count;
+                          return true;
+                        });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HomSearchIndexed(benchmark::State& state) {
+  HomSearchBody(state, /*use_index=*/true);
+}
+BENCHMARK(BM_HomSearchIndexed)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_HomSearchScan(benchmark::State& state) {
+  HomSearchBody(state, /*use_index=*/false);
+}
+BENCHMARK(BM_HomSearchScan)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Satisfies(benchmark::State& state) {
+  DependencySet sigma = BenchSigma();
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  Instance target = Chase(sigma, source, &FreshNulls());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Satisfies(sigma, source, target));
+  }
+}
+BENCHMARK(BM_Satisfies)->Arg(100)->Arg(1000);
+
+void BM_QueryEvaluation(benchmark::State& state) {
+  DependencySet sigma = BenchSigma();
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  Instance target = Chase(sigma, source, &FreshNulls());
+  Result<UnionQuery> q =
+      ParseUnionQuery("Q(x) :- E8T(x, y) | Q(x) :- E8S(x, w)");
+  for (auto _ : state) {
+    AnswerSet answers = EvaluateNullFree(*q, target);
+    benchmark::DoNotOptimize(answers.size());
+  }
+}
+BENCHMARK(BM_QueryEvaluation)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace dxrec
+
+BENCHMARK_MAIN();

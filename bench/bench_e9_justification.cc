@@ -1,0 +1,95 @@
+// E9 -- solution-semantics checks (Defs. 1-2, Prop. 1).
+//
+// Minimal-solution, justified-solution and universal-solution tests as
+// |J| grows, on the Emp/Bnf workload where all three are decidable fast
+// for ground targets. Expected shape: low-order polynomial.
+#include <benchmark/benchmark.h>
+
+#include "base/fresh.h"
+#include "bench/bench_common.h"
+#include "chase/chase.h"
+#include "core/recovery.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance EmployeeSource(size_t employees, size_t departments,
+                        size_t benefits) {
+  Instance out;
+  for (size_t d = 0; d < departments; ++d) {
+    std::string dept = "dept" + std::to_string(d);
+    for (size_t e = 0; e < employees; ++e) {
+      out.Add(Atom::Make(
+          "Emp", {Term::Constant("emp" + std::to_string(d) + "_" +
+                                 std::to_string(e)),
+                  Term::Constant(dept)}));
+    }
+    for (size_t b = 0; b < benefits; ++b) {
+      out.Add(Atom::Make(
+          "Bnf", {Term::Constant(dept),
+                  Term::Constant("bnf" + std::to_string(d) + "_" +
+                                 std::to_string(b))}));
+    }
+  }
+  return out;
+}
+
+void Run() {
+  PrintHeader("E9", "solution-semantics checks",
+              "Definitions 1-2 / Proposition 1");
+  DependencySet sigma = EmployeeScenario::Sigma();
+  TextTable table({"|I|", "|J|", "minimal_ms", "justified_ms",
+                   "universal_ms", "all_hold"});
+  struct Scale {
+    size_t e, d, b;
+  };
+  for (Scale s : {Scale{2, 2, 2}, Scale{4, 4, 2}, Scale{8, 4, 4},
+                  Scale{16, 8, 4}, Scale{32, 8, 4}}) {
+    Instance source = EmployeeSource(s.e, s.d, s.b);
+    Instance target = Chase(sigma, source, &FreshNulls());
+
+    Stopwatch sw;
+    bool minimal = IsMinimalSolution(sigma, source, target);
+    double t_min = sw.ElapsedSeconds();
+
+    sw.Reset();
+    Result<bool> justified = IsJustifiedSolution(sigma, source, target);
+    double t_just = sw.ElapsedSeconds();
+
+    sw.Reset();
+    bool universal = IsUniversalSolutionFor(sigma, source, target);
+    double t_univ = sw.ElapsedSeconds();
+
+    bool all = minimal && justified.ok() && *justified && universal;
+    table.AddRow({TextTable::Cell(source.size()),
+                  TextTable::Cell(target.size()), Ms(t_min), Ms(t_just),
+                  Ms(t_univ), all ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the chase result is minimal, justified and\n"
+      "universal for its source on every row; time stays polynomial.\n");
+}
+
+void BM_IsMinimalSolution(benchmark::State& state) {
+  DependencySet sigma = EmployeeScenario::Sigma();
+  size_t n = static_cast<size_t>(state.range(0));
+  Instance source = EmployeeSource(n, 4, 4);
+  Instance target = Chase(sigma, source, &FreshNulls());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsMinimalSolution(sigma, source, target));
+  }
+}
+BENCHMARK(BM_IsMinimalSolution)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace dxrec
+
+int main(int argc, char** argv) {
+  dxrec::Run();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Scenario example: recovering from a damaged exchange (target repair +
+// provenance).
+//
+// A warehouse system exchanged its order database into an analytics
+// schema. An operator then deleted rows from the analytics side, leaving
+// tuples that no source can justify. This example
+//   1. detects that the damaged target is no longer valid for recovery,
+//   2. repairs it (maximal valid subset -- the paper's conclusion poses
+//      exactly this "altered target" problem),
+//   3. recovers the source from the repaired target, and
+//   4. prints per-atom provenance: which target tuples each recovered
+//      source atom justifies.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+using namespace dxrec;  // NOLINT: example brevity
+
+int main() {
+  Result<DependencySet> sigma = ParseTgdSet(
+      // Orders feed both a per-customer ledger and a shipping queue.
+      "Order(id, cust, item) -> Ledger(cust, id), Shipment(id, item);"
+      // Stocked items appear in the availability feed.
+      "Stock(item, wh) -> Available(item)");
+  if (!sigma.ok()) return 1;
+
+  // The healthy exchange of two orders and one stocked item...
+  Result<Instance> healthy = ParseInstance(
+      "{Ledger(carol, o1), Shipment(o1, lamp),"
+      " Ledger(dave, o2), Shipment(o2, desk),"
+      " Available(lamp)}");
+  // ...after someone deleted Ledger(dave, o2) and Available(lamp)'s
+  // sibling rows:
+  Result<Instance> damaged = ParseInstance(
+      "{Ledger(carol, o1), Shipment(o1, lamp),"
+      " Shipment(o2, desk),"
+      " Available(lamp)}");
+  if (!healthy.ok() || !damaged.ok()) return 1;
+
+  EngineOptions options;
+  options.inverse.explain = true;
+  RecoveryEngine engine(std::move(*sigma), options);
+
+  std::printf("Damaged target (%zu tuples):\n  %s\n\n", damaged->size(),
+              damaged->ToString().c_str());
+  Result<bool> valid = engine.IsValid(*damaged);
+  if (!valid.ok()) return 1;
+  std::printf("valid for recovery: %s\n\n", *valid ? "yes" : "NO");
+
+  // Repair: the orphaned Shipment(o2, desk) cannot be justified without
+  // its Ledger partner.
+  Result<RepairResult> repair = engine.Repair(*damaged);
+  if (!repair.ok()) {
+    std::fprintf(stderr, "%s\n", repair.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < repair->maximal_valid_subsets.size(); ++i) {
+    std::printf("maximal recoverable subset %zu: %s\n", i,
+                repair->maximal_valid_subsets[i].ToString().c_str());
+  }
+  if (repair->maximal_valid_subsets.empty()) return 1;
+  Instance repaired = repair->maximal_valid_subsets[0];
+
+  // Recover the source from the repaired target, with provenance.
+  Result<InverseChaseResult> recovered = engine.Recover(repaired);
+  if (!recovered.ok()) return 1;
+  std::printf("\n%zu recover%s of the repaired target:\n",
+              recovered->recoveries.size(),
+              recovered->recoveries.size() == 1 ? "y" : "ies");
+  for (size_t i = 0; i < recovered->recoveries.size(); ++i) {
+    // Print with original null labels so they line up with the
+    // provenance below.
+    std::printf("\nI%zu = %s\n", i,
+                recovered->recoveries[i].ToString().c_str());
+    std::printf("%s",
+                recovered->explanations[i].ToString(engine.sigma()).c_str());
+  }
+
+  // What can analytics still answer about orders, with certainty?
+  Result<UnionQuery> q =
+      ParseUnionQuery("Q(c, i) :- Order(id, c, i)");
+  if (q.ok()) {
+    Result<AnswerSet> cert = engine.CertainAnswers(*q, repaired);
+    if (cert.ok()) {
+      std::printf("\ncertain Order(customer, item) pairs: %s\n",
+                  ToString(*cert).c_str());
+    }
+  }
+  return 0;
+}

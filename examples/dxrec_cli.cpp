@@ -1,0 +1,254 @@
+// Interactive shell over the recovery engine. Reads commands from stdin
+// (or a script piped in), one per line:
+//
+//   sigma <tgd>; <tgd>; ...     set the s-t mapping
+//   target <instance>           set the target instance J
+//   validate                    is J valid for recovery?
+//   analyze                     tractability report (Thms. 5-7)
+//   recover                     materialize Chase^{-1}(Sigma, J)
+//   cert <ucq>                  certain answers over the recoveries
+//   sound <ucq>                 sound UCQ answers (Thm. 7 path)
+//   soundcq <cq>                sound CQ answers via I_{Sigma,J}
+//   subuniversal                print I_{Sigma,J}
+//   mapping                     print the CQ-maximum recovery mapping
+//   baseline                    chase J with that mapping
+//   explain                     recoveries with per-atom provenance
+//   repair                      maximal valid subsets of an invalid J
+//   greedyrepair                single fast valid subset
+//   loadsigma <path>            load the mapping from a file
+//   loadtarget <path>           load the target from a file
+//   savetarget <path>           save the target to a file
+//   help | quit
+//
+// Example session:
+//   sigma R(x, y) -> S(x), P(y)
+//   target {S(a), P(b1), P(b2)}
+//   recover
+//   cert Q(x) :- R(x, 'b2')
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/repair.h"
+#include "logic/io.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "relational/instance_ops.h"
+
+namespace {
+
+using namespace dxrec;  // NOLINT: example brevity
+
+void PrintHelp() {
+  std::printf(
+      "commands: sigma <tgds> | target <instance> | validate | analyze |\n"
+      "          recover | explain | cert <ucq> | sound <ucq> |\n"
+      "          soundcq <cq> | subuniversal | mapping | baseline |\n"
+      "          repair | greedyrepair | loadsigma <path> |\n"
+      "          loadtarget <path> | savetarget <path> | help | quit\n");
+}
+
+class Shell {
+ public:
+  void Run() {
+    std::string line;
+    std::printf("dxrec shell -- 'help' for commands\n");
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') return true;
+    size_t space = line.find(' ', start);
+    std::string cmd = line.substr(start, space - start);
+    std::string rest =
+        space == std::string::npos ? "" : line.substr(space + 1);
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "loadsigma") {
+      Result<DependencySet> sigma = LoadTgdSetFile(rest);
+      if (!sigma.ok()) {
+        Report(sigma.status());
+        return true;
+      }
+      engine_ = std::make_unique<RecoveryEngine>(std::move(*sigma));
+      std::printf("mapping loaded (%zu tgds)\n", engine_->sigma().size());
+    } else if (cmd == "loadtarget") {
+      Result<Instance> target = LoadInstanceFile(rest);
+      if (!target.ok()) {
+        Report(target.status());
+        return true;
+      }
+      target_ = std::move(*target);
+      std::printf("target loaded (%zu tuples)\n", target_.size());
+    } else if (cmd == "savetarget") {
+      Status status = SaveInstanceFile(rest, target_);
+      std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+    } else if (cmd == "sigma") {
+      Result<DependencySet> sigma = ParseTgdSet(rest);
+      if (!sigma.ok()) {
+        Report(sigma.status());
+        return true;
+      }
+      engine_ = std::make_unique<RecoveryEngine>(std::move(*sigma));
+      std::printf("mapping set (%zu tgds)\n", engine_->sigma().size());
+    } else if (cmd == "target") {
+      Result<Instance> target = ParseInstance(rest);
+      if (!target.ok()) {
+        Report(target.status());
+        return true;
+      }
+      target_ = std::move(*target);
+      std::printf("target set (%zu tuples)\n", target_.size());
+    } else if (!engine_) {
+      std::printf("set a mapping first ('sigma ...')\n");
+    } else if (cmd == "validate") {
+      Result<bool> valid = engine_->IsValid(target_);
+      if (valid.ok()) {
+        std::printf("%s\n", *valid ? "valid for recovery"
+                                   : "NOT valid for recovery");
+      } else {
+        Report(valid.status());
+      }
+    } else if (cmd == "analyze") {
+      Result<TractabilityReport> report = engine_->Analyze(target_);
+      if (!report.ok()) {
+        Report(report.status());
+        return true;
+      }
+      std::printf("all tuples coverable: %s\nunique cover: %s\n"
+                  "quasi-guarded safe: %s\ncomplete UCQ recovery: %s\n",
+                  report->all_coverable ? "yes" : "no",
+                  report->unique_cover ? "yes" : "no",
+                  report->quasi_guarded_safe ? "yes" : "no",
+                  report->complete_ucq_recovery_exists() ? "yes" : "no");
+    } else if (cmd == "recover") {
+      Result<InverseChaseResult> result = engine_->Recover(target_);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      std::printf("%zu recoveries [%s]\n%s",
+                  result->recoveries.size(),
+                  result->stats.ToString().c_str(),
+                  ToString(result->recoveries).c_str());
+    } else if (cmd == "cert") {
+      Result<UnionQuery> q = ParseUnionQuery(rest);
+      if (!q.ok()) {
+        Report(q.status());
+        return true;
+      }
+      Result<AnswerSet> cert = engine_->CertainAnswers(*q, target_);
+      if (cert.ok()) {
+        std::printf("%s\n", ToString(*cert).c_str());
+      } else {
+        Report(cert.status());
+      }
+    } else if (cmd == "sound") {
+      Result<UnionQuery> q = ParseUnionQuery(rest);
+      if (!q.ok()) {
+        Report(q.status());
+        return true;
+      }
+      std::printf("%s\n",
+                  ToString(engine_->SoundUcqAnswers(*q, target_)).c_str());
+    } else if (cmd == "soundcq") {
+      Result<ConjunctiveQuery> q = ParseQuery(rest);
+      if (!q.ok()) {
+        Report(q.status());
+        return true;
+      }
+      Result<AnswerSet> answers = engine_->SoundCqAnswers(*q, target_);
+      if (answers.ok()) {
+        std::printf("%s\n", ToString(*answers).c_str());
+      } else {
+        Report(answers.status());
+      }
+    } else if (cmd == "subuniversal") {
+      Result<SubUniversalResult> sub = engine_->SubUniversal(target_);
+      if (sub.ok()) {
+        std::printf("%s\n", CanonicalString(sub->instance).c_str());
+      } else {
+        Report(sub.status());
+      }
+    } else if (cmd == "explain") {
+      EngineOptions explain_options;
+      explain_options.inverse.explain = true;
+      RecoveryEngine explainer(DependencySet(engine_->sigma()),
+                               explain_options);
+      Result<InverseChaseResult> result = explainer.Recover(target_);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      for (size_t i = 0; i < result->recoveries.size(); ++i) {
+        std::printf("I%zu = %s\n%s\n", i,
+                    CanonicalString(result->recoveries[i]).c_str(),
+                    result->explanations[i]
+                        .ToString(explainer.sigma())
+                        .c_str());
+      }
+    } else if (cmd == "repair") {
+      Result<RepairResult> result =
+          RepairTarget(engine_->sigma(), target_);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      if (!result->uncoverable.empty()) {
+        std::printf("unrecoverable tuples dropped: %s\n",
+                    result->uncoverable.ToString().c_str());
+      }
+      for (size_t i = 0; i < result->maximal_valid_subsets.size(); ++i) {
+        std::printf("repair %zu: %s\n", i,
+                    result->maximal_valid_subsets[i].ToString().c_str());
+      }
+    } else if (cmd == "greedyrepair") {
+      Result<Instance> repaired = GreedyRepair(engine_->sigma(), target_);
+      if (repaired.ok()) {
+        std::printf("%s\n", repaired->ToString().c_str());
+      } else {
+        Report(repaired.status());
+      }
+    } else if (cmd == "mapping") {
+      Result<DependencySet> mapping = engine_->MaximumRecoveryMapping();
+      if (mapping.ok()) {
+        std::printf("%s", mapping->ToString().c_str());
+      } else {
+        Report(mapping.status());
+      }
+    } else if (cmd == "baseline") {
+      Result<Instance> baseline =
+          engine_->BaselineRecoveredSource(target_);
+      if (baseline.ok()) {
+        std::printf("%s\n", CanonicalString(*baseline).c_str());
+      } else {
+        Report(baseline.status());
+      }
+    } else {
+      std::printf("unknown command '%s'; try 'help'\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  void Report(const Status& status) {
+    std::printf("error: %s\n", status.ToString().c_str());
+  }
+
+  std::unique_ptr<RecoveryEngine> engine_;
+  Instance target_;
+};
+
+}  // namespace
+
+int main() {
+  Shell().Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Scenario example: restoring a company database after a schema
+// evolution (the paper's Example 8).
+//
+// The company migrated Emp(Name, Dept), Bnf(Dept, Benefit) into
+// EmpDept(Name, Dept), EmpBnf(Name, Benefit), then decided to roll back.
+// The original source is gone; only the migrated target and the mapping
+// remain. Because the target has a unique covering and the mapping is
+// quasi-guarded safe (Thm. 5), a *complete* UCQ recovery exists: queries
+// on it return exactly the certain answers.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "relational/instance_ops.h"
+
+using namespace dxrec;  // NOLINT: example brevity
+
+int main() {
+  DependencySet sigma = EmployeeScenario::Sigma();
+  std::printf("Schema-evolution mapping:\n%s\n", sigma.ToString().c_str());
+
+  // The paper's exact instance: Joe and Sue in HR, Bill in Sales.
+  Result<Instance> target = ParseInstance(
+      "{EmpDept(joe, hr), EmpDept(bill, sales), EmpDept(sue, hr),"
+      " EmpBnf(joe, medical), EmpBnf(joe, pension),"
+      " EmpBnf(bill, medical), EmpBnf(bill, profit),"
+      " EmpBnf(sue, medical), EmpBnf(sue, pension)}");
+  if (!target.ok()) return 1;
+  std::printf("Migrated database J:\n  %s\n\n",
+              target->ToString().c_str());
+
+  RecoveryEngine engine(std::move(sigma));
+
+  Result<TractabilityReport> report = engine.Analyze(*target);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("unique covering:      %s\n",
+              report->unique_cover ? "yes" : "no");
+  std::printf("quasi-guarded safe:   %s\n",
+              report->quasi_guarded_safe ? "yes" : "no");
+  std::printf("complete UCQ recovery exists: %s\n\n",
+              report->complete_ucq_recovery_exists() ? "yes" : "no");
+
+  Result<Instance> restored = engine.CompleteUcqRecovery(*target);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Restored source database:\n  %s\n\n",
+              CanonicalString(*restored).c_str());
+
+  // "Which benefits does HR offer?" -- empty under the mapping-based
+  // inverse (Example 8 shows the maximum recovery chase loses the join),
+  // complete here.
+  Result<UnionQuery> q = ParseUnionQuery("Q(x) :- Bnf('hr', x)");
+  if (!q.ok()) return 1;
+  AnswerSet restored_answers = EvaluateNullFree(*q, *restored);
+  std::printf("Bnf(hr, x) on the restored source: %s\n",
+              ToString(restored_answers).c_str());
+
+  Result<Instance> baseline = engine.BaselineRecoveredSource(*target);
+  if (baseline.ok()) {
+    std::printf("Bnf(hr, x) via the maximum-recovery chase: %s\n",
+                ToString(EvaluateNullFree(*q, *baseline)).c_str());
+  }
+
+  // Who shares a department with Joe?
+  Result<UnionQuery> q2 = ParseUnionQuery(
+      "Q(n) :- Emp('joe', d), Emp(n, d)");
+  if (q2.ok()) {
+    std::printf("Joe's department colleagues: %s\n",
+                ToString(EvaluateNullFree(*q2, *restored)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Scenario example: sound answers at scale (Sec. 6.2 / Examples 12-13).
+//
+// When the exact recovery set is exponential, the PTIME sub-universal
+// instance I_{Sigma,J} still gives sound certain answers to every CQ --
+// and strictly more of them than chasing with the CQ-maximum recovery
+// mapping of Arenas et al. This example shows both, on the paper's
+// overlap mapping, at a scale where the exact engine would already be
+// uncomfortable.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "relational/instance_ops.h"
+#include "util/stopwatch.h"
+
+using namespace dxrec;  // NOLINT: example brevity
+
+int main() {
+  DependencySet sigma = OverlapScenario::Sigma();
+  std::printf("Mapping (Example 12/13):\n%s\n", sigma.ToString().c_str());
+
+  // 40 paired T/S tuples plus 40 S-only tuples: 120 target tuples.
+  Instance target = OverlapScenario::Target(40, 40);
+  std::printf("|J| = %zu target tuples\n\n", target.size());
+
+  RecoveryEngine engine(std::move(sigma));
+
+  Stopwatch sw;
+  Result<SubUniversalResult> sub = engine.SubUniversal(target);
+  if (!sub.ok()) {
+    std::fprintf(stderr, "%s\n", sub.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("I_{Sigma,J} computed in %.1f ms: %zu atoms "
+              "(%zu homs, %zu per-hom covers, %zu classes)\n",
+              sw.ElapsedMicros() / 1000.0, sub->instance.size(),
+              sub->num_homs, sub->num_covers, sub->num_classes);
+
+  sw.Reset();
+  Result<Instance> baseline = engine.BaselineRecoveredSource(target);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CQ-maximum-recovery chase in %.1f ms: %zu atoms\n\n",
+              sw.ElapsedMicros() / 1000.0, baseline->size());
+
+  // Compare sound answers on three source CQs.
+  const char* queries[] = {
+      "Q(x) :- Uo(x)",           // Example 13's probe
+      "Q(x) :- Ro(x, y)",        // first column of R
+      "Q(x) :- Ro(x, x)",        // the self-join
+  };
+  for (const char* text : queries) {
+    Result<UnionQuery> q = ParseUnionQuery(text);
+    if (!q.ok()) continue;
+    AnswerSet ours = EvaluateNullFree(*q, sub->instance);
+    AnswerSet theirs = EvaluateNullFree(*q, *baseline);
+    std::printf("%-22s  I_{Sigma,J}: %3zu answers   baseline: %3zu\n",
+                text, ours.size(), theirs.size());
+  }
+
+  std::printf(
+      "\nEvery answer above is sound (Thm. 9), and the baseline's\n"
+      "answers are always a subset of ours (Thm. 10).\n");
+  return 0;
+}

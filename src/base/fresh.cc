@@ -1,0 +1,16 @@
+#include "base/fresh.h"
+
+namespace dxrec {
+
+NullSource& FreshNulls() {
+  static NullSource& source = *new NullSource();
+  return source;
+}
+
+Term FreshVariable(const std::string& prefix) {
+  static std::atomic<uint64_t>& counter = *new std::atomic<uint64_t>(0);
+  uint64_t n = counter.fetch_add(1);
+  return Term::Variable("$" + prefix + std::to_string(n));
+}
+
+}  // namespace dxrec

@@ -1,0 +1,83 @@
+#include "base/substitution.h"
+
+#include <algorithm>
+
+namespace dxrec {
+
+Substitution::Substitution(
+    std::initializer_list<std::pair<Term, Term>> bindings) {
+  for (const auto& [from, to] : bindings) Set(from, to);
+}
+
+void Substitution::Set(Term from, Term to) { map_[from] = to; }
+
+Term Substitution::Apply(Term t) const {
+  auto it = map_.find(t);
+  return it == map_.end() ? t : it->second;
+}
+
+std::vector<Term> Substitution::Apply(const std::vector<Term>& terms) const {
+  std::vector<Term> out;
+  out.reserve(terms.size());
+  for (Term t : terms) out.push_back(Apply(t));
+  return out;
+}
+
+bool Substitution::Binds(Term t) const { return map_.count(t) > 0; }
+
+bool Substitution::Unify(Term from, Term to) {
+  auto it = map_.find(from);
+  if (it != map_.end()) return it->second == to;
+  map_.emplace(from, to);
+  return true;
+}
+
+Substitution Substitution::Compose(const Substitution& g) const {
+  Substitution out;
+  for (const auto& [from, to] : g.map_) out.Set(from, Apply(to));
+  for (const auto& [from, to] : map_) {
+    if (!out.Binds(from)) out.Set(from, to);
+  }
+  return out;
+}
+
+Substitution Substitution::Restrict(const std::vector<Term>& domain) const {
+  Substitution out;
+  for (Term t : domain) {
+    auto it = map_.find(t);
+    if (it != map_.end()) out.Set(t, it->second);
+  }
+  return out;
+}
+
+bool Substitution::Extends(const Substitution& other) const {
+  for (const auto& [from, to] : other.map_) {
+    auto it = map_.find(from);
+    if (it == map_.end() || it->second != to) return false;
+  }
+  return true;
+}
+
+bool Substitution::MergeFrom(const Substitution& other) {
+  for (const auto& [from, to] : other.map_) {
+    if (!Unify(from, to)) return false;
+  }
+  return true;
+}
+
+std::string Substitution::ToString() const {
+  std::vector<std::pair<Term, Term>> sorted(map_.begin(), map_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [from, to] : sorted) {
+    if (!first) out += ", ";
+    first = false;
+    out += from.ToString() + "/" + to.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,72 @@
+// Finite mappings on terms (Sec. 2 of the paper): homomorphisms, triggers,
+// and the theta-mappings of subsumption constraints are all represented as
+// Substitutions. A Substitution acts as the identity outside its domain, so
+// "identity on Cons" holds automatically as long as no constant is bound.
+#ifndef DXREC_BASE_SUBSTITUTION_H_
+#define DXREC_BASE_SUBSTITUTION_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/term.h"
+
+namespace dxrec {
+
+class Substitution {
+ public:
+  Substitution() = default;
+  Substitution(std::initializer_list<std::pair<Term, Term>> bindings);
+
+  // Binds `from` to `to`, overwriting any previous binding.
+  void Set(Term from, Term to);
+
+  // Applies the mapping: the bound image, or `t` itself if unbound.
+  Term Apply(Term t) const;
+  std::vector<Term> Apply(const std::vector<Term>& terms) const;
+
+  // True if `t` is in the explicit domain.
+  bool Binds(Term t) const;
+
+  // Binds `from`->`to` only if compatible with any existing binding.
+  // Returns false (and leaves the map unchanged) on conflict.
+  bool Unify(Term from, Term to);
+
+  // The composition f.Compose(g) maps x to f(g(x)) (paper notation: f o g).
+  // Its explicit domain is dom(g) united with dom(f).
+  Substitution Compose(const Substitution& g) const;
+
+  // Restriction to the given set of terms (paper notation: f|_S).
+  Substitution Restrict(const std::vector<Term>& domain) const;
+
+  // True if every binding of `other` is present and equal in *this.
+  bool Extends(const Substitution& other) const;
+
+  // Merges the bindings of `other` into *this. Returns false on any
+  // conflicting binding (in which case *this may be partially updated;
+  // callers that need atomicity should copy first).
+  bool MergeFrom(const Substitution& other);
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  const std::unordered_map<Term, Term, TermHash>& bindings() const {
+    return map_;
+  }
+
+  // Deterministic "{x/a, y/b}" rendering, sorted by domain term.
+  std::string ToString() const;
+
+  friend bool operator==(const Substitution& a, const Substitution& b) {
+    return a.map_ == b.map_;
+  }
+
+ private:
+  std::unordered_map<Term, Term, TermHash> map_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_BASE_SUBSTITUTION_H_

@@ -1,0 +1,77 @@
+#include "chase/chase.h"
+
+#include "chase/homomorphism.h"
+
+namespace dxrec {
+
+std::string Trigger::ToString(const DependencySet& sigma) const {
+  return "[tgd " + std::to_string(tgd) + " " +
+         sigma.at(tgd).ToString() + " via " + hom.ToString() + "]";
+}
+
+std::vector<Trigger> FindTriggers(const DependencySet& sigma,
+                                  const Instance& input) {
+  std::vector<Trigger> out;
+  for (TgdId id = 0; id < sigma.size(); ++id) {
+    for (Substitution& h :
+         FindHomomorphisms(sigma.at(id).body(), input)) {
+      out.push_back(Trigger{id, std::move(h)});
+    }
+  }
+  return out;
+}
+
+Substitution FireTrigger(const DependencySet& sigma, const Trigger& trigger,
+                         NullSource* nulls, Instance* out) {
+  const Tgd& tgd = sigma.at(trigger.tgd);
+  Substitution extended = trigger.hom;
+  for (Term z : tgd.head_existential_vars()) {
+    extended.Set(z, nulls->Fresh());
+  }
+  for (const Atom& a : tgd.head()) {
+    out->Add(a.Apply(extended));
+  }
+  return extended;
+}
+
+Instance Chase(const DependencySet& sigma, const Instance& input,
+               NullSource* nulls) {
+  return ChaseTriggers(sigma, input, FindTriggers(sigma, input), nulls);
+}
+
+Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
+                       const std::vector<Trigger>& triggers,
+                       NullSource* nulls) {
+  (void)input;  // triggers already reference the input's terms
+  Instance out;
+  for (const Trigger& trigger : triggers) {
+    FireTrigger(sigma, trigger, nulls, &out);
+  }
+  return out;
+}
+
+bool Satisfies(const DependencySet& sigma, const Instance& source,
+               const Instance& target) {
+  for (TgdId id = 0; id < sigma.size(); ++id) {
+    const Tgd& tgd = sigma.at(id);
+    bool all_extend = true;
+    ForEachHomomorphism(
+        tgd.body(), source, HomSearchOptions(),
+        [&](const Substitution& h) {
+          HomSearchOptions head_options;
+          // The frontier is pinned by the body match; head existentials
+          // are free.
+          head_options.fixed = h;
+          if (!FindHomomorphism(tgd.head(), target, head_options)
+                   .has_value()) {
+            all_extend = false;
+            return false;  // stop early
+          }
+          return true;
+        });
+    if (!all_extend) return false;
+  }
+  return true;
+}
+
+}  // namespace dxrec

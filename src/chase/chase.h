@@ -1,0 +1,59 @@
+// The chase for source-to-target tgds (paper, Sec. 2).
+//
+// For s-t tgds the chase is a single pass: every homomorphism (trigger)
+// from a tgd body into the input fires once, head-existential variables
+// receive fresh nulls, and the generated head atoms are collected. Chase_H
+// restricts firing to a chosen trigger subset H (Sec. 4).
+//
+// Convention: Chase() returns only the *generated* atoms (over the output
+// schema). The paper's examples use the same convention (source and target
+// schemas are disjoint); use Instance::Union with the input where the
+// model-theoretic I-union-J reading is needed.
+#ifndef DXREC_CHASE_CHASE_H_
+#define DXREC_CHASE_CHASE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/fresh.h"
+#include "base/substitution.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+// A trigger: a homomorphism from body(tgd) into the instance being chased.
+struct Trigger {
+  TgdId tgd = 0;
+  Substitution hom;  // binds body variables of the tgd
+
+  std::string ToString(const DependencySet& sigma) const;
+};
+
+// All triggers of `sigma` on `input`.
+std::vector<Trigger> FindTriggers(const DependencySet& sigma,
+                                  const Instance& input);
+
+// Fires one trigger: extends the hom with fresh nulls for the tgd's
+// head-existential variables and appends the instantiated head atoms to
+// `out`. Returns the extended homomorphism.
+Substitution FireTrigger(const DependencySet& sigma, const Trigger& trigger,
+                         NullSource* nulls, Instance* out);
+
+// Chase(Sigma, I): fires every trigger once. Generated atoms only.
+Instance Chase(const DependencySet& sigma, const Instance& input,
+               NullSource* nulls);
+
+// Chase_H(Sigma, I): fires exactly the given triggers.
+Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
+                       const std::vector<Trigger>& triggers,
+                       NullSource* nulls);
+
+// (I, J) |= Sigma: every trigger of every tgd on I extends to a match of
+// the head in J.
+bool Satisfies(const DependencySet& sigma, const Instance& source,
+               const Instance& target);
+
+}  // namespace dxrec
+
+#endif  // DXREC_CHASE_CHASE_H_

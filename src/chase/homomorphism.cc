@@ -1,0 +1,238 @@
+#include "chase/homomorphism.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace dxrec {
+
+namespace {
+
+// Backtracking matcher over a greedily chosen atom ordering with
+// index-driven candidate selection.
+class Matcher {
+ public:
+  Matcher(const std::vector<Atom>& pattern, const Instance& target,
+          const HomSearchOptions& options,
+          const std::function<bool(const Substitution&)>& callback)
+      : pattern_(pattern),
+        target_(target),
+        options_(options),
+        callback_(callback) {}
+
+  void Run() {
+    // Seed bindings from options.fixed for placeholders in the pattern.
+    for (const Atom& a : pattern_) {
+      for (Term t : a.args()) {
+        if (!IsPlaceholder(t) || binding_.count(t) > 0) continue;
+        if (options_.fixed.Binds(t)) {
+          if (!TryBind(t, options_.fixed.Apply(t))) return;
+        }
+      }
+    }
+    order_ = ChooseOrder();
+    Recurse(0);
+  }
+
+ private:
+  bool IsPlaceholder(Term t) const {
+    return t.is_variable() || (options_.map_nulls && t.is_null());
+  }
+
+  // Binds placeholder -> image if admissible; returns whether it bound.
+  bool TryBind(Term placeholder, Term image) {
+    if (options_.nulls_to_nulls && placeholder.is_null() &&
+        !image.is_null()) {
+      return false;
+    }
+    if (options_.injective && used_images_.count(image) > 0) return false;
+    if (options_.injective) used_images_.insert(image);
+    binding_.emplace(placeholder, image);
+    return true;
+  }
+
+  void Unbind(Term placeholder, Term image) {
+    if (options_.injective) used_images_.erase(image);
+    binding_.erase(placeholder);
+  }
+
+  // Greedy static order: repeatedly pick the atom with the most terms that
+  // are constants, fixed placeholders, or placeholders occurring in
+  // already-chosen atoms. The greedy selection is quadratic in the
+  // pattern size, so very large patterns (e.g. whole-instance
+  // containment checks) fall back to insertion order -- their atoms are
+  // mostly ground and candidate lists are index-driven anyway.
+  std::vector<size_t> ChooseOrder() const {
+    if (pattern_.size() > 192) {
+      std::vector<size_t> order(pattern_.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      return order;
+    }
+    std::vector<size_t> order;
+    std::vector<bool> chosen(pattern_.size(), false);
+    std::unordered_set<Term, TermHash> bound;
+    for (const auto& [from, to] : binding_) {
+      (void)to;
+      bound.insert(from);
+    }
+    for (size_t step = 0; step < pattern_.size(); ++step) {
+      size_t best = pattern_.size();
+      int best_score = -1;
+      for (size_t i = 0; i < pattern_.size(); ++i) {
+        if (chosen[i]) continue;
+        int score = 0;
+        for (Term t : pattern_[i].args()) {
+          if (!IsPlaceholder(t) || bound.count(t) > 0) ++score;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      chosen[best] = true;
+      order.push_back(best);
+      for (Term t : pattern_[best].args()) {
+        if (IsPlaceholder(t)) bound.insert(t);
+      }
+    }
+    return order;
+  }
+
+  // Current image of a pattern term; invalid term if unbound placeholder.
+  Term ImageOf(Term t) const {
+    if (!IsPlaceholder(t)) return t;
+    auto it = binding_.find(t);
+    return it == binding_.end() ? Term() : it->second;
+  }
+
+  void Recurse(size_t depth) {
+    if (stopped_) return;
+    if (depth == pattern_.size()) {
+      Substitution result;
+      for (const auto& [from, to] : binding_) result.Set(from, to);
+      ++results_;
+      if (!callback_(result) || results_ >= options_.max_results) {
+        stopped_ = true;
+      }
+      return;
+    }
+    const Atom& atom = pattern_[order_[depth]];
+
+    // Candidate tuples: the tightest index among bound positions, else the
+    // whole relation.
+    const std::vector<uint32_t>* candidates = nullptr;
+    if (options_.use_index) {
+      for (uint32_t pos = 0; pos < atom.arity(); ++pos) {
+        Term image = ImageOf(atom.arg(pos));
+        if (!image.is_valid()) continue;
+        const std::vector<uint32_t>& list =
+            target_.AtomsWith(atom.relation(), pos, image);
+        if (candidates == nullptr || list.size() < candidates->size()) {
+          candidates = &list;
+        }
+      }
+    }
+    if (candidates == nullptr) {
+      candidates = &target_.AtomsFor(atom.relation());
+    }
+
+    for (uint32_t idx : *candidates) {
+      const Atom& tuple = target_.atoms()[idx];
+      if (tuple.arity() != atom.arity()) continue;
+      std::vector<std::pair<Term, Term>> newly_bound;
+      bool ok = true;
+      for (uint32_t pos = 0; pos < atom.arity() && ok; ++pos) {
+        Term p = atom.arg(pos);
+        Term t = tuple.arg(pos);
+        Term image = ImageOf(p);
+        if (image.is_valid()) {
+          ok = (image == t);
+        } else if (TryBind(p, t)) {
+          newly_bound.emplace_back(p, t);
+        } else {
+          ok = false;
+        }
+      }
+      if (ok) Recurse(depth + 1);
+      for (auto it = newly_bound.rbegin(); it != newly_bound.rend(); ++it) {
+        Unbind(it->first, it->second);
+      }
+      if (stopped_) return;
+    }
+  }
+
+  const std::vector<Atom>& pattern_;
+  const Instance& target_;
+  const HomSearchOptions& options_;
+  const std::function<bool(const Substitution&)>& callback_;
+
+  std::vector<size_t> order_;
+  std::unordered_map<Term, Term, TermHash> binding_;
+  std::unordered_set<Term, TermHash> used_images_;
+  size_t results_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+void ForEachHomomorphism(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options,
+    const std::function<bool(const Substitution&)>& callback) {
+  Matcher(pattern, target, options, callback).Run();
+}
+
+std::vector<Substitution> FindHomomorphisms(const std::vector<Atom>& pattern,
+                                            const Instance& target,
+                                            const HomSearchOptions& options) {
+  std::vector<Substitution> out;
+  ForEachHomomorphism(pattern, target, options,
+                      [&out](const Substitution& h) {
+                        out.push_back(h);
+                        return true;
+                      });
+  return out;
+}
+
+std::optional<Substitution> FindHomomorphism(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options) {
+  std::optional<Substitution> out;
+  ForEachHomomorphism(pattern, target, options,
+                      [&out](const Substitution& h) {
+                        out = h;
+                        return false;
+                      });
+  return out;
+}
+
+bool HasInstanceHomomorphism(const Instance& from, const Instance& to) {
+  return FindInstanceHomomorphism(from, to).has_value();
+}
+
+std::optional<Substitution> FindInstanceHomomorphism(const Instance& from,
+                                                     const Instance& to) {
+  HomSearchOptions options;
+  options.map_nulls = true;
+  return FindHomomorphism(from.atoms(), to, options);
+}
+
+std::optional<Substitution> FindIsomorphism(const Instance& a,
+                                            const Instance& b) {
+  if (a.size() != b.size()) return std::nullopt;
+  HomSearchOptions options;
+  options.map_nulls = true;
+  options.injective = true;
+  options.nulls_to_nulls = true;
+  std::optional<Substitution> h = FindHomomorphism(a.atoms(), b, options);
+  if (!h.has_value()) return std::nullopt;
+  // Injective on terms => no atom merging, so |h(a)| = |a| = |b| and
+  // h(a) subset of b implies h(a) = b.
+  return h;
+}
+
+bool AreIsomorphic(const Instance& a, const Instance& b) {
+  return FindIsomorphism(a, b).has_value();
+}
+
+}  // namespace dxrec

@@ -1,0 +1,71 @@
+// Homomorphism search (paper, Sec. 2): mappings h, identity on constants,
+// with h(pattern) contained in a target instance. This single backtracking
+// engine drives chase triggers, HOM(Sigma, J), query evaluation, the
+// recovery checks, and instance-level homomorphism / isomorphism tests.
+#ifndef DXREC_CHASE_HOMOMORPHISM_H_
+#define DXREC_CHASE_HOMOMORPHISM_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/substitution.h"
+#include "relational/instance.h"
+#include "relational/tuple.h"
+
+namespace dxrec {
+
+struct HomSearchOptions {
+  // Treat nulls in the pattern as mappable placeholders (used when the
+  // pattern is itself an instance). Variables are always placeholders;
+  // constants are always fixed.
+  bool map_nulls = false;
+  // Require placeholder images to be pairwise distinct (isomorphism-style
+  // search).
+  bool injective = false;
+  // Require nulls to map to nulls (isomorphism between instances).
+  bool nulls_to_nulls = false;
+  // Stop after this many results.
+  size_t max_results = static_cast<size_t>(-1);
+  // Pre-bound placeholder images, e.g. "identity on dom(J)" constraints.
+  Substitution fixed;
+  // Use the (relation, position, term) inverted index for candidate
+  // selection. Disabling falls back to scanning whole relations; exposed
+  // for the index-ablation benchmark (bench_e8).
+  bool use_index = true;
+};
+
+// All homomorphisms from the pattern atoms into `target`. Each result binds
+// exactly the placeholders occurring in the pattern (pre-bindings from
+// `options.fixed` included when the placeholder occurs).
+std::vector<Substitution> FindHomomorphisms(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options = HomSearchOptions());
+
+// First homomorphism if any.
+std::optional<Substitution> FindHomomorphism(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options = HomSearchOptions());
+
+// Streaming variant: invokes `callback` per homomorphism; return false from
+// the callback to stop the search early.
+void ForEachHomomorphism(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options,
+    const std::function<bool(const Substitution&)>& callback);
+
+// Instance-level homomorphism I -> J (nulls of I as placeholders,
+// constants fixed). The paper's notation I "arrow" J.
+bool HasInstanceHomomorphism(const Instance& from, const Instance& to);
+std::optional<Substitution> FindInstanceHomomorphism(const Instance& from,
+                                                     const Instance& to);
+
+// Instance isomorphism: a bijective null renaming taking `a` onto `b`.
+std::optional<Substitution> FindIsomorphism(const Instance& a,
+                                            const Instance& b);
+bool AreIsomorphic(const Instance& a, const Instance& b);
+
+}  // namespace dxrec
+
+#endif  // DXREC_CHASE_HOMOMORPHISM_H_

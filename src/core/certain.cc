@@ -1,0 +1,33 @@
+#include "core/certain.h"
+
+namespace dxrec {
+
+Result<AnswerSet> CertainAnswers(const UnionQuery& query,
+                                 const DependencySet& sigma,
+                                 const Instance& target,
+                                 const InverseChaseOptions& options) {
+  Result<InverseChaseResult> inverse = InverseChase(sigma, target, options);
+  if (!inverse.ok()) return inverse.status();
+  if (!inverse->valid_for_recovery()) {
+    return Status::FailedPrecondition(
+        "target instance is not valid for recovery under Sigma");
+  }
+  return CertainAnswersOver(query, inverse->recoveries);
+}
+
+Result<AnswerSet> CertainAnswers(const ConjunctiveQuery& query,
+                                 const DependencySet& sigma,
+                                 const Instance& target,
+                                 const InverseChaseOptions& options) {
+  return CertainAnswers(UnionQuery::Of(query), sigma, target, options);
+}
+
+Result<bool> IsCertain(const AnswerTuple& tuple, const UnionQuery& query,
+                       const DependencySet& sigma, const Instance& target,
+                       const InverseChaseOptions& options) {
+  Result<AnswerSet> answers = CertainAnswers(query, sigma, target, options);
+  if (!answers.ok()) return answers.status();
+  return answers->count(tuple) > 0;
+}
+
+}  // namespace dxrec

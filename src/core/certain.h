@@ -1,0 +1,38 @@
+// CERT(Q, Sigma, J): certain answers over the recoveries (paper, Sec. 3).
+//
+// By Thm. 2, Chase^{-1}(Sigma, J) is UCQ-universal, so
+//   CERT(Q, Sigma, J) = intersection of Q(I)| over I in Chase^{-1}.
+// The computation is coNP-complete already for CQs (Thm. 4 / Cor. 1);
+// budgets apply via InverseChaseOptions.
+#ifndef DXREC_CORE_CERTAIN_H_
+#define DXREC_CORE_CERTAIN_H_
+
+#include "base/status.h"
+#include "chase/evaluation.h"
+#include "core/inverse_chase.h"
+#include "logic/query.h"
+
+namespace dxrec {
+
+// Certain answers of a source UCQ. FailedPrecondition if J is not valid
+// for recovery under Sigma (CERT is undefined: REC is empty).
+Result<AnswerSet> CertainAnswers(
+    const UnionQuery& query, const DependencySet& sigma,
+    const Instance& target,
+    const InverseChaseOptions& options = InverseChaseOptions());
+
+// Convenience overload for a single CQ.
+Result<AnswerSet> CertainAnswers(
+    const ConjunctiveQuery& query, const DependencySet& sigma,
+    const Instance& target,
+    const InverseChaseOptions& options = InverseChaseOptions());
+
+// Q-certainty decision problem (Thm. 4): is `tuple` certain?
+Result<bool> IsCertain(
+    const AnswerTuple& tuple, const UnionQuery& query,
+    const DependencySet& sigma, const Instance& target,
+    const InverseChaseOptions& options = InverseChaseOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_CERTAIN_H_

@@ -1,0 +1,163 @@
+#include "core/composition.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "logic/unification.h"
+
+namespace dxrec {
+
+namespace {
+
+// Unfolds one Sigma23 tgd: assigns each of its body atoms to a head atom
+// of a (fresh copy of a) Sigma12 tgd, unifying along the way, and emits
+// the resolved tgd per complete assignment.
+class Unfolder {
+ public:
+  Unfolder(const DependencySet& sigma12, const Tgd& tau,
+           const CompositionOptions& options, DependencySet* out,
+           std::set<std::string>* seen, size_t* nodes_left)
+      : sigma12_(sigma12),
+        tau_(tau),
+        options_(options),
+        out_(out),
+        seen_(seen),
+        nodes_left_(nodes_left) {}
+
+  Status Run() {
+    Unifier unifier;
+    std::vector<Copy> copies;
+    return Assign(0, copies, unifier);
+  }
+
+ private:
+  struct Copy {
+    Tgd renamed;
+  };
+
+  Status Assign(size_t j, std::vector<Copy>& copies, Unifier& unifier) {
+    if ((*nodes_left_)-- == 0) {
+      return Status::ResourceExhausted("composition unfolding budget");
+    }
+    if (j == tau_.body().size()) {
+      return Emit(copies, unifier);
+    }
+    const Atom& atom = tau_.body()[j];
+
+    // Reuse an existing producer copy's head atom.
+    for (const Copy& copy : copies) {
+      for (const Atom& head : copy.renamed.head()) {
+        if (head.relation() != atom.relation() ||
+            head.arity() != atom.arity()) {
+          continue;
+        }
+        Unifier branch = unifier;
+        if (!branch.UnifyAtoms(atom, head)) continue;
+        Status status = Assign(j + 1, copies, branch);
+        if (!status.ok()) return status;
+      }
+    }
+    // Open a fresh producer copy.
+    for (const Tgd& producer : sigma12_.tgds()) {
+      Tgd renamed = producer.RenameApart();
+      for (const Atom& head : renamed.head()) {
+        if (head.relation() != atom.relation() ||
+            head.arity() != atom.arity()) {
+          continue;
+        }
+        Unifier branch = unifier;
+        if (!branch.UnifyAtoms(atom, head)) continue;
+        copies.push_back(Copy{renamed});
+        Status status = Assign(j + 1, copies, branch);
+        copies.pop_back();
+        if (!status.ok()) return status;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Emit(const std::vector<Copy>& copies, const Unifier& unifier) {
+    if (copies.empty()) return Status::Ok();
+    Substitution resolve = unifier.ToSubstitution();
+    std::vector<Atom> body;
+    for (const Copy& copy : copies) {
+      for (const Atom& atom : copy.renamed.body()) {
+        Atom resolved = atom.Apply(resolve);
+        bool duplicate = false;
+        for (const Atom& existing : body) {
+          if (existing == resolved) duplicate = true;
+        }
+        if (!duplicate) body.push_back(resolved);
+      }
+    }
+    std::vector<Atom> head;
+    for (const Atom& atom : tau_.head()) {
+      head.push_back(atom.Apply(resolve));
+    }
+    Result<Tgd> tgd = Tgd::Make(std::move(body), std::move(head));
+    if (!tgd.ok()) return tgd.status();
+
+    // Canonical dedup (variables renamed by first occurrence).
+    Substitution canon;
+    int next = 0;
+    auto canon_term = [&](Term t) {
+      if (t.is_variable() && !canon.Binds(t)) {
+        canon.Set(t, Term::Variable("cc" + std::to_string(next++)));
+      }
+      return canon.Apply(t);
+    };
+    std::string key;
+    for (const Atom& atom : tgd->body()) {
+      key += RelationName(atom.relation()) + "(";
+      for (Term t : atom.args()) key += canon_term(t).ToString() + ",";
+      key += ");";
+    }
+    key += "->";
+    for (const Atom& atom : tgd->head()) {
+      key += RelationName(atom.relation()) + "(";
+      for (Term t : atom.args()) key += canon_term(t).ToString() + ",";
+      key += ");";
+    }
+    if (!seen_->insert(key).second) return Status::Ok();
+    out_->Add(std::move(*tgd));
+    if (out_->size() > options_.max_tgds) {
+      return Status::ResourceExhausted("composition tgd budget");
+    }
+    return Status::Ok();
+  }
+
+  const DependencySet& sigma12_;
+  const Tgd& tau_;
+  const CompositionOptions& options_;
+  DependencySet* out_;
+  std::set<std::string>* seen_;
+  size_t* nodes_left_;
+};
+
+}  // namespace
+
+Result<DependencySet> Compose(const DependencySet& sigma12,
+                              const DependencySet& sigma23,
+                              const CompositionOptions& options) {
+  for (const Tgd& tgd : sigma12.tgds()) {
+    if (!tgd.IsFull()) {
+      return Status::InvalidArgument(
+          "Compose requires the first mapping to be full; '" +
+          tgd.ToString() +
+          "' has existential head variables (the composition would need "
+          "second-order tgds)");
+    }
+  }
+  DependencySet out;
+  std::set<std::string> seen;
+  size_t nodes_left = options.max_nodes;
+  for (const Tgd& tau : sigma23.tgds()) {
+    Unfolder unfolder(sigma12, tau, options, &out, &seen, &nodes_left);
+    Status status = unfolder.Run();
+    if (!status.ok()) return status;
+  }
+  return out;
+}
+
+}  // namespace dxrec

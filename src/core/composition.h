@@ -1,0 +1,38 @@
+// Composition of schema mappings (the model-management operator the
+// paper's introduction situates recovery within; semantics of Fagin,
+// Kolaitis, Popa, Tan).
+//
+//   (I, K) in M12 o M23  iff  exists J : (I,J) |= Sigma12 and
+//                                        (J,K) |= Sigma23.
+//
+// When Sigma12 is a set of *full* s-t tgds the composition is again
+// expressible by s-t tgds, obtained by unfolding: every body atom of a
+// Sigma23 tgd is resolved against the head atoms of (fresh copies of)
+// Sigma12 tgds, and the resolved bodies replace it. With existential
+// heads in Sigma12 the composition may require second-order tgds, which
+// this library does not model; Compose reports InvalidArgument then.
+#ifndef DXREC_CORE_COMPOSITION_H_
+#define DXREC_CORE_COMPOSITION_H_
+
+#include "base/status.h"
+#include "logic/dependency_set.h"
+
+namespace dxrec {
+
+struct CompositionOptions {
+  // Budget on unfolding combinations explored.
+  size_t max_nodes = 1u << 20;
+  // Cap on produced tgds.
+  size_t max_tgds = 4096;
+};
+
+// The composition Sigma12 o Sigma23 as a set of s-t tgds from Sigma12's
+// source schema to Sigma23's target schema. Requires every tgd of
+// Sigma12 to be full.
+Result<DependencySet> Compose(
+    const DependencySet& sigma12, const DependencySet& sigma23,
+    const CompositionOptions& options = CompositionOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_COMPOSITION_H_

@@ -1,0 +1,77 @@
+// Coverings of a target instance (paper, Def. 5 and Def. 11).
+//
+// COV(Sigma, J) is the family of subsets H of HOM(Sigma, J) whose covered
+// tuples union up to J exactly. Enumeration is inherently exponential
+// (J-validity is NP-complete, Thm. 3), so every enumeration takes a budget
+// and fails with ResourceExhausted instead of running away.
+//
+// COV_h(Sigma, J) (Def. 11) is the family of *minimal* sets H whose
+// covered tuples include J_h; MinimalCoversOf serves it.
+#ifndef DXREC_CORE_COVER_H_
+#define DXREC_CORE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "core/hom_set.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct CoverOptions {
+  // Upper bound on enumerated covers before giving up.
+  size_t max_covers = 1u << 16;
+  // Upper bound on search nodes explored.
+  size_t max_nodes = 1u << 22;
+};
+
+// A cover, as sorted indices into the HOM(Sigma, J) vector.
+using Cover = std::vector<size_t>;
+
+// Coverage structure binding a hom set to the tuples of a target instance.
+class CoverProblem {
+ public:
+  CoverProblem(const DependencySet& sigma, const Instance& target,
+               const std::vector<HeadHom>& homs);
+
+  size_t num_tuples() const { return num_tuples_; }
+  size_t num_homs() const { return coverage_.size(); }
+
+  // Indices (into target.atoms()) of the tuples hom i covers.
+  const std::vector<std::vector<uint32_t>>& coverage() const {
+    return coverage_;
+  }
+
+  // Homs covering each tuple.
+  const std::vector<std::vector<uint32_t>>& covered_by() const {
+    return covered_by_;
+  }
+
+  // True iff every target tuple is covered by at least one hom (a
+  // necessary condition for COV(Sigma, J) to be non-empty).
+  bool AllTuplesCoverable() const;
+
+  // All H with J_H = J. (Supersets of covers are covers, so the result is
+  // upward closed within the hom set.)
+  Result<std::vector<Cover>> AllCovers(const CoverOptions& options) const;
+
+  // Only the minimal covers of J.
+  Result<std::vector<Cover>> MinimalCovers(const CoverOptions& options) const;
+
+  // Minimal H (subsets of the full hom set) with `tuples` a subset of J_H;
+  // Def. 11's COV_h when `tuples` = J_h. `tuples` holds indices into
+  // target.atoms().
+  Result<std::vector<Cover>> MinimalCoversOf(
+      const std::vector<uint32_t>& tuples, const CoverOptions& options) const;
+
+ private:
+  size_t num_tuples_ = 0;
+  std::vector<std::vector<uint32_t>> coverage_;
+  std::vector<std::vector<uint32_t>> covered_by_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_COVER_H_

@@ -1,0 +1,62 @@
+// The CQ sub-universal source instance I_{Sigma,J} (paper, Sec. 6.2,
+// Defs. 11-12, Thms. 8-9).
+//
+// For every head-homomorphism h in HOM(Sigma, J):
+//   - COV_h(Sigma, J): the minimal hom sets H whose covered tuples include
+//     J_h -- each is an alternative way a source could have produced J_h;
+//   - per covering H, the *generalized* source instance I_{H(h,Sigma)}:
+//     each h_i in H keeps only the bindings of its essential variables
+//     (those occurring in head atoms whose image falls inside J_h); all
+//     other head variables and all body-only variables become fresh nulls.
+//     Equivalent coverings (Def. 11's equivalence ==_{(h,Sigma)}) then
+//     collapse to isomorphic generalized instances and are deduplicated,
+//     keeping the glb inputs polynomial;
+//   - glb over the representatives: a source fragment that maps into
+//     *every* recovery's way of producing J_h.
+// I_{Sigma,J} is the union over h. By Thm. 9 it maps homomorphically into
+// every recovery, so its null-free CQ answers are sound certain answers;
+// by Thm. 10 it dominates the chase with the CQ-maximum recovery mapping.
+#ifndef DXREC_CORE_CQ_SUBUNIVERSAL_H_
+#define DXREC_CORE_CQ_SUBUNIVERSAL_H_
+
+#include "base/status.h"
+#include "chase/evaluation.h"
+#include "core/cover.h"
+#include "core/subsumption.h"
+#include "logic/dependency_set.h"
+#include "logic/query.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct SubUniversalOptions {
+  // Budgets for the per-hom minimal-cover enumerations.
+  CoverOptions cover;
+  // Extension (the paper's open problem, Sec. 6.2 last paragraph): drop
+  // coverings that violate SUB(Sigma) before taking the glb, yielding more
+  // sound answers when subsumption rules out alternatives. Off by default.
+  bool filter_covers_by_subsumption = false;
+  SubsumptionOptions subsumption;
+};
+
+struct SubUniversalResult {
+  // I_{Sigma,J}.
+  Instance instance;
+  size_t num_homs = 0;
+  size_t num_covers = 0;
+  size_t num_classes = 0;  // after the equivalence-class reduction
+};
+
+Result<SubUniversalResult> ComputeCqSubUniversal(
+    const DependencySet& sigma, const Instance& target,
+    const SubUniversalOptions& options = SubUniversalOptions());
+
+// Sound certain answers for a source CQ via I_{Sigma,J} (Thm. 9).
+Result<AnswerSet> SoundCqAnswers(
+    const ConjunctiveQuery& query, const DependencySet& sigma,
+    const Instance& target,
+    const SubUniversalOptions& options = SubUniversalOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_CQ_SUBUNIVERSAL_H_

@@ -1,0 +1,74 @@
+#include "core/engine.h"
+
+namespace dxrec {
+
+Status RecoveryEngine::Validate() const {
+  Result<MappingSchema> schema = sigma_.InferSchema();
+  if (!schema.ok()) return schema.status();
+  return schema->Validate();
+}
+
+Result<InverseChaseResult> RecoveryEngine::Recover(
+    const Instance& target) const {
+  return InverseChase(sigma_, target, options_.inverse);
+}
+
+Result<bool> RecoveryEngine::IsValid(const Instance& target) const {
+  return IsValidForRecovery(sigma_, target, options_.inverse);
+}
+
+Result<AnswerSet> RecoveryEngine::CertainAnswers(
+    const UnionQuery& query, const Instance& target) const {
+  return dxrec::CertainAnswers(query, sigma_, target, options_.inverse);
+}
+
+Result<TractabilityReport> RecoveryEngine::Analyze(
+    const Instance& target) const {
+  return AnalyzeTractability(sigma_, target,
+                             options_.inverse.subsumption);
+}
+
+Result<Instance> RecoveryEngine::CompleteUcqRecovery(
+    const Instance& target) const {
+  return dxrec::CompleteUcqRecovery(sigma_, target,
+                                    options_.inverse.subsumption);
+}
+
+AnswerSet RecoveryEngine::SoundUcqAnswers(const UnionQuery& query,
+                                          const Instance& target) const {
+  return dxrec::SoundUcqAnswers(query, sigma_, target);
+}
+
+Result<SubUniversalResult> RecoveryEngine::SubUniversal(
+    const Instance& target) const {
+  return ComputeCqSubUniversal(sigma_, target, options_.sub_universal);
+}
+
+Result<AnswerSet> RecoveryEngine::SoundCqAnswers(
+    const ConjunctiveQuery& query, const Instance& target) const {
+  return dxrec::SoundCqAnswers(query, sigma_, target,
+                               options_.sub_universal);
+}
+
+Result<DependencySet> RecoveryEngine::MaximumRecoveryMapping() const {
+  return CqMaximumRecoveryMapping(sigma_, options_.max_recovery);
+}
+
+Result<Instance> RecoveryEngine::BaselineRecoveredSource(
+    const Instance& target) const {
+  return MaxRecoveryChase(sigma_, target, options_.max_recovery);
+}
+
+Result<RepairResult> RecoveryEngine::Repair(const Instance& target) const {
+  RepairOptions options;
+  options.inverse = options_.inverse;
+  return RepairTarget(sigma_, target, options);
+}
+
+Result<Instance> RecoveryEngine::RepairGreedy(const Instance& target) const {
+  RepairOptions options;
+  options.inverse = options_.inverse;
+  return GreedyRepair(sigma_, target, options);
+}
+
+}  // namespace dxrec

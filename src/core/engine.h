@@ -1,0 +1,87 @@
+// RecoveryEngine: the facade tying the pipeline together.
+//
+// Typical use:
+//
+//   auto sigma = ParseTgdSet("R(x,x,y) -> exists z: S(x,z); "
+//                            "R(u,v,w) -> T(w); D(k,p) -> T(p)");
+//   auto j = ParseInstance("{S(a,b), T(c), T(d)}");
+//   RecoveryEngine engine(std::move(*sigma));
+//   auto recoveries = engine.Recover(*j);          // Chase^{-1}(Sigma, J)
+//   auto q = ParseUnionQuery("Q(x) :- R(x,x,y)");
+//   auto cert = engine.CertainAnswers(*q, *j);     // CERT(Q, Sigma, J)
+//
+// All exponential paths honor the budgets in EngineOptions and fail with
+// ResourceExhausted rather than hanging.
+#ifndef DXREC_CORE_ENGINE_H_
+#define DXREC_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "chase/evaluation.h"
+#include "core/certain.h"
+#include "core/cq_subuniversal.h"
+#include "core/inverse_chase.h"
+#include "core/max_recovery.h"
+#include "core/repair.h"
+#include "core/tractable.h"
+#include "logic/dependency_set.h"
+#include "logic/query.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct EngineOptions {
+  InverseChaseOptions inverse;
+  SubUniversalOptions sub_universal;
+  MaxRecoveryOptions max_recovery;
+};
+
+class RecoveryEngine {
+ public:
+  explicit RecoveryEngine(DependencySet sigma,
+                          EngineOptions options = EngineOptions())
+      : sigma_(std::move(sigma)), options_(std::move(options)) {}
+
+  const DependencySet& sigma() const { return sigma_; }
+
+  // Checks the mapping is well-formed: schemas inferable and disjoint.
+  Status Validate() const;
+
+  // --- Exact (exponential) path -------------------------------------
+  // Chase^{-1}(Sigma, J) (Def. 9, Thms. 1-2).
+  Result<InverseChaseResult> Recover(const Instance& target) const;
+  // J-validity (Thm. 3).
+  Result<bool> IsValid(const Instance& target) const;
+  // CERT(Q, Sigma, J) for UCQs (Thm. 2 / Thm. 4).
+  Result<AnswerSet> CertainAnswers(const UnionQuery& query,
+                                   const Instance& target) const;
+
+  // --- Tractable paths (Sec. 6) -------------------------------------
+  Result<TractabilityReport> Analyze(const Instance& target) const;
+  // Thm. 5.
+  Result<Instance> CompleteUcqRecovery(const Instance& target) const;
+  // Thm. 7: sound UCQ answers via the maximal uniquely covered subset.
+  AnswerSet SoundUcqAnswers(const UnionQuery& query,
+                            const Instance& target) const;
+  // Sec. 6.2: I_{Sigma,J} and sound CQ answers (Thms. 8-9).
+  Result<SubUniversalResult> SubUniversal(const Instance& target) const;
+  Result<AnswerSet> SoundCqAnswers(const ConjunctiveQuery& query,
+                                   const Instance& target) const;
+
+  // --- Baseline (mapping-based inversion, [6, 8]) -------------------
+  Result<DependencySet> MaximumRecoveryMapping() const;
+  Result<Instance> BaselineRecoveredSource(const Instance& target) const;
+
+  // --- Target repair (extension; see core/repair.h) ------------------
+  Result<RepairResult> Repair(const Instance& target) const;
+  Result<Instance> RepairGreedy(const Instance& target) const;
+
+ private:
+  DependencySet sigma_;
+  EngineOptions options_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_ENGINE_H_

@@ -1,0 +1,52 @@
+// Reconstruction of the disjunctive (maximum / extended) recovery
+// mapping shape of Arenas et al. [8] and Fagin et al. [16], used by the
+// paper's introduction: for Sigma of eq. (4) the inverse is
+//
+//     T(x) -> R(x)
+//     S(x) -> R(x) v M(x)          (eq. (5))
+//
+// Construction: for each s-t tgd and each head-atom subset A, every
+// minimal producer scenario (the same unification machinery as
+// core/max_recovery) contributes one head *alternative* -- the combined
+// producing bodies with A's variables pinned and the rest existential.
+// Alternatives implied by a more general one are dropped, and rules
+// whose alternative set is empty never arise (an unproducible A has no
+// scenario and yields no rule).
+//
+// Chasing a target with this mapping (logic/disjunctive.h) materializes
+// the possible sources of the mapping-based approach; the paper's
+// drawback (3) is that some of these worlds are not recoveries, which
+// tests and bench E12 demonstrate against the instance-based engine.
+#ifndef DXREC_CORE_EXTENDED_RECOVERY_H_
+#define DXREC_CORE_EXTENDED_RECOVERY_H_
+
+#include "base/status.h"
+#include "logic/dependency_set.h"
+#include "logic/disjunctive.h"
+
+namespace dxrec {
+
+struct ExtendedRecoveryOptions {
+  // Cap on the head-subset size per tgd (0 = all subsets).
+  size_t max_subset_size = 1;
+  // Scenario search budget.
+  size_t max_nodes = 1u << 20;
+  // Cap on alternatives per rule.
+  size_t max_alternatives = 64;
+};
+
+// The disjunctive recovery mapping for Sigma.
+Result<DisjunctiveMapping> ExtendedRecoveryMapping(
+    const DependencySet& sigma,
+    const ExtendedRecoveryOptions& options = ExtendedRecoveryOptions());
+
+// Possible sources: the disjunctive chase of `target` with that mapping.
+Result<std::vector<Instance>> ExtendedRecoveryWorlds(
+    const DependencySet& sigma, const Instance& target,
+    const ExtendedRecoveryOptions& options = ExtendedRecoveryOptions(),
+    const DisjunctiveChaseOptions& chase_options =
+        DisjunctiveChaseOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_EXTENDED_RECOVERY_H_

@@ -1,0 +1,308 @@
+#include "core/inverse_chase.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "chase/instance_core.h"
+#include "core/recovery.h"
+#include "relational/instance_ops.h"
+
+namespace dxrec {
+
+namespace {
+
+// Homomorphisms g : chased -> target that are the identity on dom(target).
+// Constants are fixed automatically; target-owned nulls are pre-pinned.
+std::vector<Substitution> BackHomomorphisms(const Instance& chased,
+                                            const Instance& target,
+                                            size_t max_results) {
+  HomSearchOptions options;
+  options.map_nulls = true;
+  options.max_results = max_results;
+  for (Term t : target.TermsOfKind(TermKind::kNull)) {
+    options.fixed.Set(t, t);
+  }
+  return FindHomomorphisms(chased.atoms(), target, options);
+}
+
+// A verified recovery candidate produced from one (cover, g) pair.
+struct VerifiedCandidate {
+  size_t cover_index = 0;
+  size_t g_index = 0;
+  Instance recovery;
+  std::optional<RecoveryExplanation> explanation;
+};
+
+// Per-cover statistics (merged into InverseChaseStats).
+struct CoverOutcome {
+  bool passed_sub = false;
+  size_t num_g_homs = 0;
+  size_t num_candidates = 0;
+  size_t num_rejected = 0;
+  size_t num_unverified = 0;
+  std::vector<VerifiedCandidate> candidates;
+};
+
+// Runs Def. 9's steps 4-7 for one covering. Thread-safe given a warmed
+// target index: all mutated state is local or the atomic null counter.
+CoverOutcome ProcessCover(const DependencySet& sigma,
+                          const Instance& target,
+                          const std::vector<HeadHom>& homs,
+                          const Cover& cover, size_t cover_index,
+                          const std::vector<SubsumptionConstraint>& sub,
+                          const InverseChaseOptions& options) {
+  CoverOutcome outcome;
+  NullSource* nulls = &FreshNulls();
+
+  std::vector<HeadHom> h_set;
+  h_set.reserve(cover.size());
+  for (size_t idx : cover) h_set.push_back(homs[idx]);
+
+  if (options.use_subsumption_filter && !ModelsAll(h_set, sub, sigma)) {
+    return outcome;
+  }
+  outcome.passed_sub = true;
+
+  // 4. I_H = Chase_H(Sigma^{-1}, J); per-hom atom sets are kept when
+  // provenance is requested.
+  Instance source;
+  std::vector<Instance> per_hom_sources;
+  for (const HeadHom& h : h_set) {
+    Instance atoms = SourceAtomsFor(sigma, h, nulls);
+    source.AddAll(atoms);
+    if (options.explain) per_hom_sources.push_back(std::move(atoms));
+  }
+
+  // 5. J_H = Chase(Sigma, I_H).
+  Instance chased = Chase(sigma, source, nulls);
+
+  // 6. g : J_H -> J, identity on dom(J).
+  std::vector<Substitution> gs =
+      BackHomomorphisms(chased, target, options.max_g_homs_per_cover);
+  outcome.num_g_homs = gs.size();
+
+  // 7. Emit g(I_H) -- after verifying the recovery condition. The
+  // g-collapse can create fresh triggers whose heads escape J, so a
+  // candidate is kept only if J is a minimal solution w.r.t. it (exact
+  // for ground J; for targets with nulls the brute-force justification
+  // test is the fallback). Completeness is unaffected: for any recovery
+  // I*, the cover realized by I* and its induced g yield a candidate
+  // contained in I* that passes this check.
+  const bool target_ground = target.IsGround();
+  for (size_t g_index = 0; g_index < gs.size(); ++g_index) {
+    const Substitution& g = gs[g_index];
+    Instance recovery = source.Apply(g);
+    if (options.core_recoveries) recovery = ComputeCore(recovery);
+    outcome.num_candidates++;
+    bool is_recovery = IsMinimalSolution(sigma, recovery, target);
+    if (!is_recovery && !target_ground) {
+      Result<bool> justified = IsJustifiedSolution(sigma, recovery, target);
+      if (justified.ok()) {
+        is_recovery = *justified;
+      } else {
+        outcome.num_unverified++;
+      }
+    }
+    if (!is_recovery) {
+      outcome.num_rejected++;
+      continue;
+    }
+    VerifiedCandidate candidate;
+    candidate.cover_index = cover_index;
+    candidate.g_index = g_index;
+    if (options.explain) {
+      RecoveryExplanation explanation;
+      explanation.cover = h_set;
+      explanation.g = g;
+      for (size_t k = 0; k < per_hom_sources.size(); ++k) {
+        Instance covered = h_set[k].CoveredTuples(sigma);
+        for (const Atom& raw : per_hom_sources[k].atoms()) {
+          Atom mapped = raw.Apply(g);
+          // The core step may have folded this atom away.
+          if (!recovery.Contains(mapped)) continue;
+          explanation.atoms.push_back(
+              SourceAtomProvenance{mapped, h_set[k].tgd, covered});
+        }
+      }
+      candidate.explanation = std::move(explanation);
+    }
+    candidate.recovery = std::move(recovery);
+    outcome.candidates.push_back(std::move(candidate));
+  }
+  return outcome;
+}
+
+}  // namespace
+
+std::string InverseChaseStats::ToString() const {
+  return "homs=" + std::to_string(num_homs) +
+         " covers=" + std::to_string(num_covers) +
+         " passing_sub=" + std::to_string(num_covers_passing_sub) +
+         " yielding=" + std::to_string(num_covers_yielding_recoveries) +
+         " g_homs=" + std::to_string(num_g_homs) +
+         " candidates=" + std::to_string(num_recoveries_before_dedup) +
+         " rejected=" + std::to_string(num_candidates_rejected) +
+         " unverified=" + std::to_string(num_candidates_unverified);
+}
+
+std::string RecoveryExplanation::ToString(const DependencySet& sigma) const {
+  std::string out = "covering:\n";
+  for (const HeadHom& h : cover) {
+    out += "  " + h.ToString(sigma) + "\n";
+  }
+  out += "g = " + g.ToString() + "\n";
+  for (const SourceAtomProvenance& p : atoms) {
+    out += "  " + p.atom.ToString() + "  <- reverse of tgd " +
+           std::to_string(p.tgd) + " (" + sigma.at(p.tgd).ToString() +
+           "), justifies " + p.supports.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
+                                        const Instance& target,
+                                        const InverseChaseOptions& options) {
+  InverseChaseResult result;
+
+  // 1. HOM(Sigma, J).
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, target);
+  result.stats.num_homs = homs.size();
+
+  // 2. COV(Sigma, J).
+  CoverProblem problem(sigma, target, homs);
+  if (!problem.AllTuplesCoverable()) {
+    return result;  // some tuple of J is not coverable: invalid.
+  }
+  Result<std::vector<Cover>> covers =
+      options.minimal_covers_only ? problem.MinimalCovers(options.cover)
+                                  : problem.AllCovers(options.cover);
+  if (!covers.ok()) return covers.status();
+  result.stats.num_covers = covers->size();
+
+  // 3. SUB(Sigma).
+  std::vector<SubsumptionConstraint> sub;
+  if (options.use_subsumption_filter) {
+    Result<std::vector<SubsumptionConstraint>> computed =
+        ComputeSubsumption(sigma, options.subsumption);
+    if (!computed.ok()) return computed.status();
+    sub = std::move(*computed);
+  }
+
+  // Steps 4-7, per cover; optionally across threads. Outcomes are merged
+  // in cover order so the result is deterministic up to null labels.
+  std::vector<CoverOutcome> outcomes(covers->size());
+  size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
+  num_threads = std::min(num_threads, covers->size() + 1);
+  if (num_threads <= 1 || covers->size() < 2) {
+    for (size_t i = 0; i < covers->size(); ++i) {
+      outcomes[i] = ProcessCover(sigma, target, homs, (*covers)[i], i, sub,
+                                 options);
+    }
+  } else {
+    target.WarmIndex();  // concurrent readers need the index pre-built
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (size_t w = 0; w < num_threads; ++w) {
+      workers.emplace_back([&, w]() {
+        for (size_t i = w; i < covers->size(); i += num_threads) {
+          outcomes[i] = ProcessCover(sigma, target, homs, (*covers)[i], i,
+                                     sub, options);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Merge, dedup, and enforce the recovery budget.
+  std::set<std::string> seen_exact;
+  for (CoverOutcome& outcome : outcomes) {
+    if (outcome.passed_sub) result.stats.num_covers_passing_sub++;
+    result.stats.num_g_homs += outcome.num_g_homs;
+    result.stats.num_recoveries_before_dedup += outcome.num_candidates;
+    result.stats.num_candidates_rejected += outcome.num_rejected;
+    result.stats.num_candidates_unverified += outcome.num_unverified;
+    if (!outcome.candidates.empty()) {
+      result.stats.num_covers_yielding_recoveries++;
+    }
+    for (VerifiedCandidate& candidate : outcome.candidates) {
+      std::string key = CanonicalString(candidate.recovery);
+      if (!seen_exact.insert(key).second) continue;
+      if (options.explain && candidate.explanation.has_value()) {
+        result.explanations.push_back(std::move(*candidate.explanation));
+      }
+      result.recoveries.push_back(std::move(candidate.recovery));
+      if (result.recoveries.size() > options.max_recoveries) {
+        return Status::ResourceExhausted("inverse chase recovery budget");
+      }
+    }
+  }
+
+  // Optional isomorphism dedup (CanonicalString already catches most
+  // duplicates; this pass removes relabel-resistant ones). Explanations
+  // stay aligned by keeping each class's first representative.
+  if (options.dedup_isomorphic && result.recoveries.size() > 1) {
+    std::vector<Instance> unique;
+    std::vector<RecoveryExplanation> unique_explanations;
+    for (size_t i = 0; i < result.recoveries.size(); ++i) {
+      Instance& candidate = result.recoveries[i];
+      bool duplicate = false;
+      for (const Instance& kept : unique) {
+        if (AreIsomorphic(candidate, kept)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      unique.push_back(std::move(candidate));
+      if (options.explain) {
+        unique_explanations.push_back(std::move(result.explanations[i]));
+      }
+    }
+    result.recoveries = std::move(unique);
+    result.explanations = std::move(unique_explanations);
+  }
+  return result;
+}
+
+Result<bool> IsValidForRecovery(const DependencySet& sigma,
+                                const Instance& target,
+                                const InverseChaseOptions& options) {
+  // An empty target is vacuously valid (the empty source justifies it).
+  if (target.empty()) return true;
+  Result<InverseChaseResult> result = InverseChase(sigma, target, options);
+  if (!result.ok()) return result.status();
+  return result->valid_for_recovery();
+}
+
+Result<bool> IsUniversalSolutionForSomeSource(
+    const DependencySet& sigma, const Instance& target,
+    const InverseChaseOptions& options) {
+  if (target.empty()) return true;  // witnessed by the empty source
+  Result<InverseChaseResult> result = InverseChase(sigma, target, options);
+  if (!result.ok()) return result.status();
+  for (const Instance& candidate : result->recoveries) {
+    if (IsUniversalSolutionFor(sigma, candidate, target)) return true;
+  }
+  return false;
+}
+
+Result<bool> IsCanonicalSolutionForSomeSource(
+    const DependencySet& sigma, const Instance& target,
+    const InverseChaseOptions& options) {
+  if (target.empty()) return true;
+  Result<InverseChaseResult> result = InverseChase(sigma, target, options);
+  if (!result.ok()) return result.status();
+  for (const Instance& candidate : result->recoveries) {
+    if (IsCanonicalSolutionFor(sigma, candidate, target)) return true;
+  }
+  return false;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,50 @@
+// Reconstruction of the maximum-recovery / CQ-maximum-recovery mappings of
+// Arenas, Perez, Riveros [8] and Arenas et al. [6], used by the paper as
+// the baseline to compare instance-based recovery against (intro, Example
+// 8, Example 13, Thm. 10).
+//
+// Construction implemented here: for every s-t tgd xi in Sigma and every
+// non-empty subset A of head(xi), the *candidate* target-to-source tgd
+//     A  ->  exists (vars(body(xi)) \ vars(A)) : body(xi)
+// is kept iff it is sound under every generation scenario: for every way
+// the atoms of A can be produced by (copies of) tgds of Sigma -- computed
+// by unification where the producing copies' head-existential variables
+// are frozen (the chase makes them fresh pairwise-distinct nulls) -- the
+// union of the producing bodies entails the candidate's conclusion.
+// Specializations of a scenario preserve entailment, so checking the most
+// general unifier per assignment pattern suffices.
+//
+// The reconstruction reproduces every inverse mapping the paper states
+// explicitly (intro eq. (1) and (4)-(5), Example 8's Sigma', Example 13's
+// Sigma'); see tests/max_recovery_test.cc.
+#ifndef DXREC_CORE_MAX_RECOVERY_H_
+#define DXREC_CORE_MAX_RECOVERY_H_
+
+#include "base/status.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct MaxRecoveryOptions {
+  // Cap on the head-subset size considered per tgd (0 = no cap). Large
+  // heads make 2^k candidates; the paper's mappings only need small ones.
+  size_t max_subset_size = 0;
+  // Scenario search budget.
+  size_t max_nodes = 1u << 22;
+};
+
+// The CQ-maximum recovery mapping Sigma' (a set of target-to-source tgds).
+Result<DependencySet> CqMaximumRecoveryMapping(
+    const DependencySet& sigma,
+    const MaxRecoveryOptions& options = MaxRecoveryOptions());
+
+// Chase of the target instance with the recovery mapping: the baseline
+// recovered source of the mapping-based approach.
+Result<Instance> MaxRecoveryChase(
+    const DependencySet& sigma, const Instance& target,
+    const MaxRecoveryOptions& options = MaxRecoveryOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_MAX_RECOVERY_H_

@@ -1,0 +1,82 @@
+#include "core/metrics.h"
+
+#include <unordered_set>
+
+#include "chase/evaluation.h"
+#include "core/certain.h"
+#include "core/cq_subuniversal.h"
+#include "core/max_recovery.h"
+#include "core/recovery.h"
+
+namespace dxrec {
+
+namespace {
+
+// The atomic query for one relation: Q(x1..xk) :- R(x1..xk).
+Result<ConjunctiveQuery> AtomicQuery(RelationId rel, uint32_t arity) {
+  std::vector<Term> vars;
+  for (uint32_t i = 0; i < arity; ++i) {
+    vars.push_back(Term::Variable("$mq" + std::to_string(i)));
+  }
+  return ConjunctiveQuery::Make(vars, {Atom(rel, vars)});
+}
+
+// Scores a set of certified ground tuples for one relation against the
+// truth.
+void Score(const AnswerSet& certified, RelationId rel,
+           const Instance& truth, MethodQuality* quality) {
+  for (const AnswerTuple& tuple : certified) {
+    Atom atom(rel, tuple);
+    if (truth.Contains(atom)) {
+      quality->recovered++;
+    } else {
+      quality->violations++;
+    }
+  }
+}
+
+}  // namespace
+
+Result<RecoveryQuality> EvaluateRecoveryQuality(
+    const DependencySet& sigma, const Instance& truth,
+    const Instance& target, const InverseChaseOptions& options) {
+  RecoveryQuality out;
+  out.truth_atoms = truth.size();
+  Result<bool> truth_rec = IsRecovery(sigma, truth, target);
+  out.truth_is_recovery = truth_rec.ok() && *truth_rec;
+
+  Result<MappingSchema> schema = sigma.InferSchema();
+  if (!schema.ok()) return schema.status();
+
+  // Exact engine: one inverse chase, then per-relation evaluation.
+  Result<InverseChaseResult> recovered = InverseChase(sigma, target, options);
+  // PTIME sub-universal instance.
+  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, target);
+  // Mapping-based baseline.
+  Result<Instance> baseline = MaxRecoveryChase(sigma, target);
+
+  for (RelationId rel : schema->source().relations()) {
+    uint32_t arity = schema->source().Arity(rel);
+    Result<ConjunctiveQuery> query = AtomicQuery(rel, arity);
+    if (!query.ok()) return query.status();
+    UnionQuery ucq = UnionQuery::Of(*query);
+
+    if (recovered.ok() && recovered->valid_for_recovery()) {
+      out.exact.computed = true;
+      Score(CertainAnswersOver(ucq, recovered->recoveries), rel, truth,
+            &out.exact);
+    }
+    if (sub.ok()) {
+      out.sub_universal.computed = true;
+      Score(EvaluateNullFree(ucq, sub->instance), rel, truth,
+            &out.sub_universal);
+    }
+    if (baseline.ok()) {
+      out.baseline.computed = true;
+      Score(EvaluateNullFree(ucq, *baseline), rel, truth, &out.baseline);
+    }
+  }
+  return out;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,59 @@
+// Recovery-quality metrics against a known ground-truth source.
+//
+// In a reproduction setting we often *have* the original source I0 (we
+// generated it before exchanging). These metrics quantify how much of it
+// each recovery method gets back:
+//   - recall: the fraction of I0's atoms that are certain under the
+//     method (they appear, fully ground, in the method's answer to the
+//     atomic query of their relation);
+//   - precision violations: certain atoms NOT in I0 -- must be zero for
+//     every sound method whenever I0 is itself a recovery, so this
+//     doubles as an end-to-end soundness check.
+// Methods compared: exact certain answers over Chase^{-1}, the PTIME
+// sub-universal instance, and the CQ-maximum-recovery chase baseline.
+#ifndef DXREC_CORE_METRICS_H_
+#define DXREC_CORE_METRICS_H_
+
+#include "base/status.h"
+#include "core/inverse_chase.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct MethodQuality {
+  // Atoms of the ground truth that the method certifies.
+  size_t recovered = 0;
+  // Certified atoms outside the ground truth (0 for sound methods when
+  // the truth is a recovery).
+  size_t violations = 0;
+  // Whether the method completed within budget.
+  bool computed = false;
+
+  double recall(size_t truth_size) const {
+    return truth_size == 0 ? 1.0
+                           : static_cast<double>(recovered) /
+                                 static_cast<double>(truth_size);
+  }
+};
+
+struct RecoveryQuality {
+  size_t truth_atoms = 0;
+  // Only meaningful when true: precision violations are then genuine
+  // soundness bugs rather than artifacts of an unrecoverable truth.
+  bool truth_is_recovery = false;
+  MethodQuality exact;          // CERT over Chase^{-1}
+  MethodQuality sub_universal;  // I_{Sigma,J} (Sec. 6.2)
+  MethodQuality baseline;       // CQ-maximum-recovery chase
+};
+
+// Evaluates all three methods on (sigma, target) against `truth`.
+// Methods that exceed their budgets are reported with computed = false.
+Result<RecoveryQuality> EvaluateRecoveryQuality(
+    const DependencySet& sigma, const Instance& truth,
+    const Instance& target,
+    const InverseChaseOptions& options = InverseChaseOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_METRICS_H_

@@ -1,0 +1,169 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+
+#include "core/certain.h"
+#include "core/cover.h"
+#include "core/hom_set.h"
+#include "relational/instance_ops.h"
+
+namespace dxrec {
+
+namespace {
+
+// Splits `target` into (coverable, uncoverable) by HOM(Sigma, target).
+// A tuple no head-homomorphism covers is unrecoverable in every subset
+// (subsets only have fewer homs).
+std::pair<Instance, Instance> PruneUncoverable(const DependencySet& sigma,
+                                               const Instance& target) {
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, target);
+  CoverProblem problem(sigma, target, homs);
+  Instance coverable, uncoverable;
+  for (size_t t = 0; t < target.atoms().size(); ++t) {
+    if (problem.covered_by()[t].empty()) {
+      uncoverable.Add(target.atoms()[t]);
+    } else {
+      coverable.Add(target.atoms()[t]);
+    }
+  }
+  return {std::move(coverable), std::move(uncoverable)};
+}
+
+Result<bool> CheckValid(const DependencySet& sigma, const Instance& j,
+                        const RepairOptions& options, size_t* checks_left) {
+  if ((*checks_left)-- == 0) {
+    return Status::ResourceExhausted("repair validity-check budget");
+  }
+  return IsValidForRecovery(sigma, j, options.inverse);
+}
+
+}  // namespace
+
+Result<RepairResult> RepairTarget(const DependencySet& sigma,
+                                  const Instance& target,
+                                  const RepairOptions& options) {
+  RepairResult result;
+  auto [coverable, uncoverable] = PruneUncoverable(sigma, target);
+  result.uncoverable = std::move(uncoverable);
+
+  size_t checks_left = options.max_validity_checks;
+  std::deque<Instance> frontier;
+  std::set<std::string> visited;
+  frontier.push_back(coverable);
+  visited.insert(CanonicalString(coverable));
+
+  while (!frontier.empty()) {
+    Instance candidate = std::move(frontier.front());
+    frontier.pop_front();
+
+    // Skip if contained in an already-found maximal subset.
+    bool dominated = false;
+    for (const Instance& maximal : result.maximal_valid_subsets) {
+      if (maximal.ContainsAll(candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+
+    Result<bool> valid = CheckValid(sigma, candidate, options, &checks_left);
+    if (!valid.ok()) return valid.status();
+    if (*valid) {
+      result.maximal_valid_subsets.push_back(std::move(candidate));
+      if (result.maximal_valid_subsets.size() > options.max_repairs) {
+        return Status::ResourceExhausted("repair result budget");
+      }
+      continue;
+    }
+    // Invalid: explore all single-tuple removals. The BFS order (by
+    // decreasing size) guarantees that any subset found valid later is
+    // maximal unless dominated by an earlier find.
+    for (const Atom& tuple : candidate.atoms()) {
+      Instance smaller;
+      for (const Atom& other : candidate.atoms()) {
+        if (!(other == tuple)) smaller.Add(other);
+      }
+      std::string key = CanonicalString(smaller);
+      if (visited.insert(key).second) {
+        frontier.push_back(std::move(smaller));
+      }
+    }
+  }
+  std::sort(result.maximal_valid_subsets.begin(),
+            result.maximal_valid_subsets.end(),
+            [](const Instance& a, const Instance& b) {
+              return a.size() > b.size();
+            });
+  return result;
+}
+
+Result<Instance> GreedyRepair(const DependencySet& sigma,
+                              const Instance& target,
+                              const RepairOptions& options) {
+  auto [current, uncoverable] = PruneUncoverable(sigma, target);
+  (void)uncoverable;
+  size_t checks_left = options.max_validity_checks;
+  while (true) {
+    Result<bool> valid = CheckValid(sigma, current, options, &checks_left);
+    if (!valid.ok()) return valid.status();
+    if (*valid) return current;
+    if (current.empty()) return current;  // empty is always valid; guard
+    // Try each single removal; take the first that becomes valid,
+    // otherwise drop the first tuple and continue.
+    Instance fallback;
+    bool have_fallback = false;
+    for (const Atom& tuple : current.atoms()) {
+      Instance smaller;
+      for (const Atom& other : current.atoms()) {
+        if (!(other == tuple)) smaller.Add(other);
+      }
+      if (!have_fallback) {
+        fallback = smaller;
+        have_fallback = true;
+      }
+      Result<bool> smaller_valid =
+          CheckValid(sigma, smaller, options, &checks_left);
+      if (!smaller_valid.ok()) return smaller_valid.status();
+      if (*smaller_valid) return smaller;
+    }
+    current = std::move(fallback);
+  }
+}
+
+Result<AnswerSet> RepairCertainAnswers(const UnionQuery& query,
+                                       const DependencySet& sigma,
+                                       const Instance& target,
+                                       const RepairOptions& options) {
+  Result<RepairResult> repairs = RepairTarget(sigma, target, options);
+  if (!repairs.ok()) return repairs.status();
+  bool any_nonempty = false;
+  AnswerSet out;
+  bool first = true;
+  for (const Instance& j : repairs->maximal_valid_subsets) {
+    if (j.empty()) continue;
+    any_nonempty = true;
+    Result<AnswerSet> cert =
+        CertainAnswers(query, sigma, j, options.inverse);
+    if (!cert.ok()) return cert.status();
+    if (first) {
+      out = std::move(*cert);
+      first = false;
+    } else {
+      AnswerSet kept;
+      for (const AnswerTuple& t : out) {
+        if (cert->count(t) > 0) kept.insert(t);
+      }
+      out = std::move(kept);
+    }
+  }
+  if (!any_nonempty) {
+    return Status::FailedPrecondition(
+        "no non-empty valid-for-recovery subset of the target exists");
+  }
+  return out;
+}
+
+}  // namespace dxrec

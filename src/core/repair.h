@@ -1,0 +1,73 @@
+// Target repair: recovering from altered target instances.
+//
+// The paper's conclusion poses "finding recoveries after the target
+// instance already has been altered by some operations" as an open
+// direction: an updated J may no longer be valid for recovery. This
+// module implements the subset-repair reading: find the maximal
+// sub-instances J' of J that are valid for recovery under Sigma, so the
+// surviving data can still be recovered soundly.
+//
+// Validity is not monotone under removal (dropping S(a) can orphan T(a)
+// in the diamond mapping), so maximal valid subsets form an antichain
+// that genuinely requires search. The implementation:
+//   1. prunes tuples no head-homomorphism covers (never recoverable,
+//      and their removal never hurts validity of the rest);
+//   2. explores subsets top-down (largest first), testing validity with
+//      the exact engine and keeping only maximal ones, under a budget.
+// A greedy variant returns a single large valid subset quickly.
+#ifndef DXREC_CORE_REPAIR_H_
+#define DXREC_CORE_REPAIR_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "chase/evaluation.h"
+#include "core/inverse_chase.h"
+#include "logic/query.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct RepairOptions {
+  // Budget on validity checks performed during the subset search.
+  size_t max_validity_checks = 512;
+  // Cap on reported maximal subsets.
+  size_t max_repairs = 64;
+  // Options for the per-subset validity decision.
+  InverseChaseOptions inverse;
+};
+
+struct RepairResult {
+  // Tuples removed up front because nothing can produce them.
+  Instance uncoverable;
+  // The maximal valid-for-recovery subsets of the (pruned) target,
+  // largest first. Contains the pruned target itself iff it is valid.
+  std::vector<Instance> maximal_valid_subsets;
+};
+
+// Enumerates maximal valid-for-recovery subsets of `target`.
+// ResourceExhausted if the search exceeds its budgets.
+Result<RepairResult> RepairTarget(
+    const DependencySet& sigma, const Instance& target,
+    const RepairOptions& options = RepairOptions());
+
+// Greedy single repair: prunes uncoverable tuples, then removes one
+// offending tuple at a time until the remainder is valid. Returns a
+// valid subset (possibly empty), not necessarily maximal.
+Result<Instance> GreedyRepair(
+    const DependencySet& sigma, const Instance& target,
+    const RepairOptions& options = RepairOptions());
+
+// Cautious certain answers over a damaged target: the intersection of
+// CERT(Q, Sigma, J') over every maximal valid subset J' -- answers that
+// hold no matter which maximal repair reflects the lost data. Equals
+// CERT(Q, Sigma, J) when J is already valid. FailedPrecondition when no
+// non-empty repair exists.
+Result<AnswerSet> RepairCertainAnswers(
+    const UnionQuery& query, const DependencySet& sigma,
+    const Instance& target, const RepairOptions& options = RepairOptions());
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_REPAIR_H_

@@ -1,0 +1,85 @@
+// Subsumption constraints SUB(Sigma) (paper, Defs. 6-8).
+//
+// A minimal subsumant {xi_1, ..., xi_n} of xi_0 with mappings theta_i
+// witnesses that any source instance triggering xi_1..xi_n (with the
+// identifications the theta_i describe) necessarily also triggers xi_0, so
+// a covering H that realizes the premises must also contain a matching
+// head-homomorphism for xi_0 -- otherwise no recovery can use H.
+//
+// Representation: each constraint stores, per premise, the subsumed tgd's
+// id and the theta-images of its *head* variables (the positions a
+// premise head-homomorphism pins), and for the conclusion the images of
+// its *frontier* variables. Images are either constants or shared
+// "constraint variables". An image variable that appears in some premise
+// is *pinned* by a premise match; unpinned images correspond to the
+// body-only ("frozen") variables of Def. 6, whose values the extension m'
+// of Def. 8 chooses existentially.
+//
+// Generation works over fresh-variable copies of tgds (Example 8's
+// constraint needs two copies of the same tgd), at most one copy per body
+// atom of xi_0, unified with the frozen-class discipline of
+// logic/unification.h. Every generated constraint is *sound* (it reflects
+// a genuine trigger implication), so tautology filtering and dedup are
+// performance matters only; Def. 9's final back-homomorphism step keeps
+// the produced recoveries correct regardless.
+#ifndef DXREC_CORE_SUBSUMPTION_H_
+#define DXREC_CORE_SUBSUMPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/term.h"
+#include "core/hom_set.h"
+#include "logic/dependency_set.h"
+
+namespace dxrec {
+
+// One premise theta_i: the tgd and the images of its head variables, in
+// tgd.head_vars() order.
+struct SubPremise {
+  TgdId tgd = 0;
+  std::vector<Term> head_images;
+};
+
+// theta_1, ..., theta_n -> theta_0.
+struct SubsumptionConstraint {
+  std::vector<SubPremise> premises;
+  TgdId conclusion = 0;
+  // Images of the conclusion tgd's frontier variables, in
+  // tgd.frontier_vars() order. Head-existential variables are
+  // unconstrained (Def. 8's m' extension covers them).
+  std::vector<Term> conclusion_images;
+
+  std::string ToString(const DependencySet& sigma) const;
+};
+
+struct SubsumptionOptions {
+  // Cap on premises per constraint; 0 means "body atom count of the
+  // subsumed tgd" (the natural bound: each premise must contribute).
+  size_t max_premises = 0;
+  // Search budgets.
+  size_t max_constraints = 4096;
+  size_t max_nodes = 1u << 22;
+};
+
+// SUB(Sigma): all derivable non-tautological constraints, deduplicated.
+Result<std::vector<SubsumptionConstraint>> ComputeSubsumption(
+    const DependencySet& sigma,
+    const SubsumptionOptions& options = SubsumptionOptions());
+
+// H |= constraint (Def. 8): for every way of matching the premises with
+// homs from H, some hom in H matches the conclusion (pinned positions
+// fixed, unpinned positions chosen existentially and consistently).
+bool Models(const std::vector<HeadHom>& homs,
+            const SubsumptionConstraint& constraint,
+            const DependencySet& sigma);
+
+// H |= SUB for every constraint.
+bool ModelsAll(const std::vector<HeadHom>& homs,
+               const std::vector<SubsumptionConstraint>& constraints,
+               const DependencySet& sigma);
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_SUBSUMPTION_H_

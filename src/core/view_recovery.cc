@@ -1,0 +1,86 @@
+#include "core/view_recovery.h"
+
+#include <unordered_set>
+
+namespace dxrec {
+
+Result<ViewRecovery> ViewRecovery::Make(std::vector<ViewDefinition> views,
+                                        EngineOptions options) {
+  if (views.empty()) {
+    return Status::InvalidArgument("at least one view is required");
+  }
+  std::unordered_set<std::string> names;
+  std::unordered_set<RelationId> base_relations;
+  for (const ViewDefinition& view : views) {
+    for (const Atom& atom : view.query.body()) {
+      base_relations.insert(atom.relation());
+    }
+  }
+  DependencySet sigma;
+  for (const ViewDefinition& view : views) {
+    if (!names.insert(view.name).second) {
+      return Status::InvalidArgument("duplicate view name " + view.name);
+    }
+    RelationId view_rel = InternRelation(view.name);
+    if (base_relations.count(view_rel) > 0) {
+      return Status::InvalidArgument(
+          "view name " + view.name + " collides with a base relation");
+    }
+    // body(V) -> V(free vars): a full GAV tgd (CQ safety guarantees the
+    // free variables occur in the body).
+    Result<Tgd> tgd = Tgd::Make(
+        view.query.body(), {Atom(view_rel, view.query.free_vars())});
+    if (!tgd.ok()) return tgd.status();
+    sigma.Add(std::move(*tgd));
+  }
+  return ViewRecovery(std::move(views), std::move(sigma),
+                      std::move(options));
+}
+
+Result<Instance> ViewRecovery::TargetFromExtents(
+    const ViewExtents& extents) const {
+  Instance out;
+  for (const auto& [name, tuples] : extents) {
+    const ViewDefinition* view = nullptr;
+    for (const ViewDefinition& v : views_) {
+      if (v.name == name) view = &v;
+    }
+    if (view == nullptr) {
+      return Status::NotFound("unknown view " + name);
+    }
+    size_t arity = view->query.free_vars().size();
+    RelationId rel = InternRelation(name);
+    for (const AnswerTuple& tuple : tuples) {
+      if (tuple.size() != arity) {
+        return Status::InvalidArgument(
+            "tuple arity " + std::to_string(tuple.size()) +
+            " does not match view " + name + "/" + std::to_string(arity));
+      }
+      out.Add(Atom(rel, tuple));
+    }
+  }
+  return out;
+}
+
+Result<bool> ViewRecovery::AreExtentsConsistent(
+    const ViewExtents& extents) const {
+  Result<Instance> target = TargetFromExtents(extents);
+  if (!target.ok()) return target.status();
+  return engine_.IsValid(*target);
+}
+
+Result<AnswerSet> ViewRecovery::CertainAnswers(
+    const UnionQuery& query, const ViewExtents& extents) const {
+  Result<Instance> target = TargetFromExtents(extents);
+  if (!target.ok()) return target.status();
+  return engine_.CertainAnswers(query, *target);
+}
+
+Result<AnswerSet> ViewRecovery::SoundAnswers(
+    const ConjunctiveQuery& query, const ViewExtents& extents) const {
+  Result<Instance> target = TargetFromExtents(extents);
+  if (!target.ok()) return target.status();
+  return engine_.SoundCqAnswers(query, *target);
+}
+
+}  // namespace dxrec

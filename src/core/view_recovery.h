@@ -1,0 +1,73 @@
+// Query answering over materialized views, as a special case of
+// instance-based recovery.
+//
+// The paper (Sec. 1 and Thm. 3/4 lower bounds) points out that its
+// semantics generalizes certain-answer computation over materialized
+// views under the closed-world assumption [1]: a view is a full GAV
+// dependency  body(V) -> V(x),  a materialized extent is a target
+// instance over the view relations, *view consistency* is exactly
+// J-validity, and certain answers over the consistent source databases
+// are CERT(Q, Sigma, J). This facade packages that correspondence.
+#ifndef DXREC_CORE_VIEW_RECOVERY_H_
+#define DXREC_CORE_VIEW_RECOVERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/engine.h"
+#include "logic/query.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct ViewDefinition {
+  // Name of the view relation (must not collide with a base relation).
+  std::string name;
+  // The defining conjunctive query over the base (source) schema.
+  ConjunctiveQuery query;
+};
+
+// Extents: per view name, the materialized answer tuples.
+using ViewExtents = std::map<std::string, std::vector<AnswerTuple>>;
+
+class ViewRecovery {
+ public:
+  // Validates the definitions (non-empty, distinct names, no name also
+  // used as a base relation) and compiles them into a GAV mapping.
+  static Result<ViewRecovery> Make(std::vector<ViewDefinition> views,
+                                   EngineOptions options = EngineOptions());
+
+  // The compiled mapping: one full tgd per view.
+  const DependencySet& sigma() const { return engine_.sigma(); }
+
+  // Builds the target instance from extents; arity-checked.
+  Result<Instance> TargetFromExtents(const ViewExtents& extents) const;
+
+  // View consistency [1]: is there a base database producing exactly
+  // these extents? (== J-validity, NP-complete by Thm. 3.)
+  Result<bool> AreExtentsConsistent(const ViewExtents& extents) const;
+
+  // Certain answers of a base-schema query over all consistent base
+  // databases (CWA view-based query answering).
+  Result<AnswerSet> CertainAnswers(const UnionQuery& query,
+                                   const ViewExtents& extents) const;
+
+  // The PTIME sound path (Sec. 6.2) for CQ queries.
+  Result<AnswerSet> SoundAnswers(const ConjunctiveQuery& query,
+                                 const ViewExtents& extents) const;
+
+ private:
+  ViewRecovery(std::vector<ViewDefinition> views, DependencySet sigma,
+               EngineOptions options)
+      : views_(std::move(views)),
+        engine_(std::move(sigma), std::move(options)) {}
+
+  std::vector<ViewDefinition> views_;
+  RecoveryEngine engine_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_CORE_VIEW_RECOVERY_H_

@@ -1,0 +1,137 @@
+#include "datagen/generators.h"
+
+#include <string>
+#include <vector>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "relational/instance_ops.h"
+
+namespace dxrec {
+
+namespace {
+
+std::string RelName(const std::string& tag, const char* side, size_t i) {
+  return tag + side + std::to_string(i);
+}
+
+}  // namespace
+
+DependencySet RandomMapping(const MappingSpec& spec, const std::string& tag,
+                            Rng* rng) {
+  // Fix arities per relation, shared across tgds.
+  std::vector<uint32_t> source_arity(spec.num_source_relations);
+  std::vector<uint32_t> target_arity(spec.num_target_relations);
+  for (auto& a : source_arity) {
+    a = static_cast<uint32_t>(rng->Int(spec.min_arity, spec.max_arity));
+  }
+  for (auto& a : target_arity) {
+    a = static_cast<uint32_t>(rng->Int(spec.min_arity, spec.max_arity));
+  }
+
+  DependencySet out;
+  for (size_t t = 0; t < spec.num_tgds; ++t) {
+    std::string prefix = "v" + std::to_string(t) + "_";
+    std::vector<Term> body_vars;
+    size_t next_var = 0;
+    auto fresh_body_var = [&]() {
+      Term v = Term::Variable(tag + prefix + std::to_string(next_var++));
+      body_vars.push_back(v);
+      return v;
+    };
+
+    std::vector<Atom> body;
+    size_t body_atoms = 1 + rng->Index(spec.max_body_atoms);
+    for (size_t b = 0; b < body_atoms; ++b) {
+      size_t rel = rng->Index(spec.num_source_relations);
+      std::vector<Term> args;
+      for (uint32_t p = 0; p < source_arity[rel]; ++p) {
+        if (!body_vars.empty() && rng->Chance(spec.join_prob)) {
+          args.push_back(rng->Pick(body_vars));
+        } else {
+          args.push_back(fresh_body_var());
+        }
+      }
+      body.push_back(
+          Atom::Make(RelName(tag, "S", rel), std::move(args)));
+    }
+
+    std::vector<Atom> head;
+    std::vector<Term> existentials;
+    size_t head_atoms = 1 + rng->Index(spec.max_head_atoms);
+    size_t next_z = 0;
+    for (size_t hd = 0; hd < head_atoms; ++hd) {
+      size_t rel = rng->Index(spec.num_target_relations);
+      std::vector<Term> args;
+      for (uint32_t p = 0; p < target_arity[rel]; ++p) {
+        if (rng->Chance(spec.frontier_prob)) {
+          args.push_back(rng->Pick(body_vars));
+        } else if (!existentials.empty() && rng->Chance(0.3)) {
+          args.push_back(rng->Pick(existentials));
+        } else {
+          Term z =
+              Term::Variable(tag + prefix + "z" + std::to_string(next_z++));
+          existentials.push_back(z);
+          args.push_back(z);
+        }
+      }
+      head.push_back(
+          Atom::Make(RelName(tag, "T", rel), std::move(args)));
+    }
+
+    Result<Tgd> tgd = Tgd::Make(std::move(body), std::move(head));
+    if (tgd.ok()) out.Add(std::move(*tgd));
+  }
+  return out;
+}
+
+Instance RandomSource(const DependencySet& sigma, const SourceSpec& spec,
+                      const std::string& tag, Rng* rng) {
+  Result<MappingSchema> schema = sigma.InferSchema();
+  Instance out;
+  if (!schema.ok() || schema->source().size() == 0) return out;
+  std::vector<Term> constants;
+  constants.reserve(spec.num_constants);
+  for (size_t i = 0; i < spec.num_constants; ++i) {
+    constants.push_back(Term::Constant(tag + "c" + std::to_string(i)));
+  }
+  const std::vector<RelationId>& rels = schema->source().relations();
+  for (size_t t = 0; t < spec.num_tuples; ++t) {
+    RelationId rel = rels[rng->Index(rels.size())];
+    std::vector<Term> args;
+    for (uint32_t p = 0; p < schema->source().Arity(rel); ++p) {
+      args.push_back(rng->Pick(constants));
+    }
+    out.Add(Atom(rel, std::move(args)));
+  }
+  return out;
+}
+
+Instance ChaseTarget(const DependencySet& sigma, const Instance& source,
+                     bool ground) {
+  Instance target = Chase(sigma, source, &FreshNulls());
+  if (!ground) return target;
+  // Freezing alone is not enough: two frozen copies of exchangeable chase
+  // nulls are mutually redundant, making the target non-minimal and hence
+  // not justified by `source`. Greedily removing removable tuples makes
+  // the target a minimal solution, which is justified by definition.
+  Instance frozen = FreezeNulls(target).instance;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Atom& tuple : frozen.atoms()) {
+      Instance smaller;
+      for (const Atom& other : frozen.atoms()) {
+        if (!(other == tuple)) smaller.Add(other);
+      }
+      if (Satisfies(sigma, source, smaller)) {
+        frozen = std::move(smaller);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return frozen;
+}
+
+}  // namespace dxrec

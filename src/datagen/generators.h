@@ -1,0 +1,54 @@
+// Random workload generation: mappings, source instances, and valid
+// target instances obtained by forward chase.
+#ifndef DXREC_DATAGEN_GENERATORS_H_
+#define DXREC_DATAGEN_GENERATORS_H_
+
+#include "datagen/random.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+struct MappingSpec {
+  size_t num_tgds = 3;
+  size_t num_source_relations = 3;
+  size_t num_target_relations = 3;
+  uint32_t min_arity = 1;
+  uint32_t max_arity = 3;
+  size_t max_body_atoms = 2;
+  size_t max_head_atoms = 2;
+  // Probability that a head position reuses a body (frontier) variable
+  // rather than introducing a head-existential one.
+  double frontier_prob = 0.7;
+  // Probability that a body position reuses an earlier body variable
+  // (creating joins / repeated variables).
+  double join_prob = 0.3;
+};
+
+// A random set of s-t tgds over relations S0..Sk / T0..Tk. Relation names
+// carry a `tag` so concurrently generated mappings do not collide in the
+// global symbol universe.
+DependencySet RandomMapping(const MappingSpec& spec, const std::string& tag,
+                            Rng* rng);
+
+struct SourceSpec {
+  size_t num_tuples = 10;
+  size_t num_constants = 8;
+};
+
+// A random ground source instance over the mapping's inferred source
+// schema (constants "<tag>c0".."<tag>cK").
+Instance RandomSource(const DependencySet& sigma, const SourceSpec& spec,
+                      const std::string& tag, Rng* rng);
+
+// A target instance guaranteed to be valid for recovery: the chase of
+// `source`; when `ground` is true, fresh nulls are frozen to distinct
+// constants and the result is greedily minimized w.r.t. `source` (a
+// frozen chase is generally *not* minimal -- exchangeable nulls become
+// redundant constants -- and only minimal solutions are justified).
+Instance ChaseTarget(const DependencySet& sigma, const Instance& source,
+                     bool ground);
+
+}  // namespace dxrec
+
+#endif  // DXREC_DATAGEN_GENERATORS_H_

@@ -1,0 +1,19 @@
+#include "datagen/random.h"
+
+namespace dxrec {
+
+int64_t Rng::Int(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  return static_cast<size_t>(Int(0, static_cast<int64_t>(n) - 1));
+}
+
+bool Rng::Chance(double p) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_) < p;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,37 @@
+// Seeded deterministic randomness for workload generation. All generators
+// take an Rng so benchmarks and property tests are reproducible.
+#ifndef DXREC_DATAGEN_RANDOM_H_
+#define DXREC_DATAGEN_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace dxrec {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Int(int64_t lo, int64_t hi);
+  // Uniform index in [0, n).
+  size_t Index(size_t n);
+  // True with probability p.
+  bool Chance(double p);
+  // Uniform pick from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_DATAGEN_RANDOM_H_

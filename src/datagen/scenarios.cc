@@ -1,0 +1,192 @@
+#include "datagen/scenarios.h"
+
+#include <cassert>
+
+#include "logic/parser.h"
+
+namespace dxrec {
+
+namespace {
+
+DependencySet MustParseSigma(const char* text) {
+  Result<DependencySet> sigma = ParseTgdSet(text);
+  assert(sigma.ok());
+  return std::move(*sigma);
+}
+
+UnionQuery MustParseUcq(const char* text) {
+  Result<UnionQuery> q = ParseUnionQuery(text);
+  assert(q.ok());
+  return std::move(*q);
+}
+
+Term C(const std::string& name) { return Term::Constant(name); }
+
+}  // namespace
+
+DependencySet ProjectionScenario::Sigma() {
+  return MustParseSigma("Rp(x, y) -> Sp(x), Pp(y)");
+}
+
+Instance ProjectionScenario::Target(size_t n) {
+  Instance out;
+  out.Add(Atom::Make("Sp", {C("a")}));
+  for (size_t i = 1; i <= n; ++i) {
+    out.Add(Atom::Make("Pp", {C("b" + std::to_string(i))}));
+  }
+  return out;
+}
+
+UnionQuery ProjectionScenario::ProbeQuery() {
+  return MustParseUcq("Q(x) :- Rp(x, 'b2')");
+}
+
+DependencySet DiamondScenario::Sigma() {
+  return MustParseSigma(
+      "Rd(x) -> Td(x); Rd(x2) -> Sd(x2); Md(x3) -> Sd(x3)");
+}
+
+Instance DiamondScenario::ValidTarget(size_t n) {
+  Instance out;
+  for (size_t i = 0; i < n; ++i) {
+    out.Add(Atom::Make("Sd", {C("a" + std::to_string(i))}));
+  }
+  return out;
+}
+
+Instance DiamondScenario::InvalidTarget(size_t n) {
+  // T(a) without S(a) can never be justified: R(a) would force S(a).
+  Instance out = ValidTarget(n > 0 ? n - 1 : 0);
+  out.Add(Atom::Make("Td", {C("t_only")}));
+  return out;
+}
+
+DependencySet TriangleScenario::Sigma() {
+  return MustParseSigma(
+      "Rt(x, x, y) -> exists z: St(x, z); "
+      "Rt(u, v, w) -> Tt(w); "
+      "Dt(k, p) -> Tt(p)");
+}
+
+Instance TriangleScenario::Target(size_t s, size_t t) {
+  Instance out;
+  for (size_t i = 0; i < s; ++i) {
+    out.Add(Atom::Make(
+        "St", {C("a" + std::to_string(i)), C("b" + std::to_string(i))}));
+  }
+  for (size_t j = 0; j < t; ++j) {
+    out.Add(Atom::Make("Tt", {C("c" + std::to_string(j))}));
+  }
+  return out;
+}
+
+DependencySet SelfJoinScenario::Sigma() {
+  return MustParseSigma(
+      "Rj(x, x, y) -> Tj(x); Rj(v, w, z) -> Sj(z)");
+}
+
+Instance SelfJoinScenario::Target(size_t t, size_t s) {
+  Instance out;
+  for (size_t i = 0; i < t; ++i) {
+    out.Add(Atom::Make("Tj", {C("a" + std::to_string(i))}));
+  }
+  for (size_t j = 0; j < s; ++j) {
+    out.Add(Atom::Make("Sj", {C("b" + std::to_string(j))}));
+  }
+  return out;
+}
+
+DependencySet EmployeeScenario::Sigma() {
+  return MustParseSigma(
+      "Emp(n, d), Bnf(d, b) -> EmpDept(n, d), EmpBnf(n, b)");
+}
+
+Instance EmployeeScenario::Target(size_t employees, size_t departments,
+                                  size_t benefits) {
+  Instance out;
+  for (size_t d = 0; d < departments; ++d) {
+    std::string dept = "dept" + std::to_string(d);
+    for (size_t e = 0; e < employees; ++e) {
+      std::string name = "emp" + std::to_string(d) + "_" +
+                         std::to_string(e);
+      out.Add(Atom::Make("EmpDept", {C(name), C(dept)}));
+      for (size_t b = 0; b < benefits; ++b) {
+        out.Add(Atom::Make(
+            "EmpBnf",
+            {C(name), C("bnf" + std::to_string(d) + "_" +
+                        std::to_string(b))}));
+      }
+    }
+  }
+  return out;
+}
+
+UnionQuery EmployeeScenario::BenefitsQuery() {
+  return MustParseUcq("Q(x) :- Bnf('dept0', x)");
+}
+
+DependencySet FanScenario::Sigma() {
+  return MustParseSigma("Rf(x, y) -> Sf(x); Rf(z, v) -> Sf(z), Tf(v)");
+}
+
+Instance FanScenario::Target(size_t n) {
+  Instance out;
+  out.Add(Atom::Make("Sf", {C("a")}));
+  for (size_t i = 1; i <= n; ++i) {
+    out.Add(Atom::Make("Tf", {C("b" + std::to_string(i))}));
+  }
+  return out;
+}
+
+DependencySet PairScenario::Sigma() {
+  return MustParseSigma("Re(x, y) -> Se(x), Se(y); De(z) -> Te(z)");
+}
+
+Instance PairScenario::Target(size_t s, size_t t) {
+  Instance out;
+  for (size_t i = 0; i < s; ++i) {
+    out.Add(Atom::Make("Se", {C("a" + std::to_string(i))}));
+  }
+  for (size_t j = 0; j < t; ++j) {
+    out.Add(Atom::Make("Te", {C("c" + std::to_string(j))}));
+  }
+  return out;
+}
+
+DependencySet OverlapScenario::Sigma() {
+  return MustParseSigma(
+      "Ro(x, y) -> To(x); Uo(z) -> So(z); Ro(v, v) -> To(v), So(v)");
+}
+
+Instance OverlapScenario::Target(size_t a, size_t b) {
+  Instance out;
+  for (size_t i = 0; i < a; ++i) {
+    out.Add(Atom::Make("To", {C("a" + std::to_string(i))}));
+    out.Add(Atom::Make("So", {C("a" + std::to_string(i))}));
+  }
+  for (size_t j = 0; j < b; ++j) {
+    out.Add(Atom::Make("So", {C("b" + std::to_string(j))}));
+  }
+  return out;
+}
+
+UnionQuery OverlapScenario::ProbeQuery() {
+  return MustParseUcq("Q(x) :- Uo(x)");
+}
+
+DependencySet BlowupScenario::Sigma() {
+  return MustParseSigma("Rb(x, y) -> Sb(x); Rb(u, v) -> Tb(v)");
+}
+
+Instance BlowupScenario::Target(size_t p, size_t q) {
+  Instance out;
+  for (size_t i = 0; i < p; ++i) {
+    out.Add(Atom::Make("Sb", {C("a" + std::to_string(i))}));
+  }
+  for (size_t j = 0; j < q; ++j) {
+    out.Add(Atom::Make("Tb", {C("c" + std::to_string(j))}));
+  }
+  return out;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,100 @@
+// Named workloads drawn from the paper's running examples, with size
+// parameters so benchmarks can sweep them.
+//
+// Each scenario provides the mapping Sigma and a generator for target
+// instances of a given scale; some also provide natural queries.
+#ifndef DXREC_DATAGEN_SCENARIOS_H_
+#define DXREC_DATAGEN_SCENARIOS_H_
+
+#include <string>
+
+#include "logic/dependency_set.h"
+#include "logic/query.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+// Intro eq. (1): R(x, y) -> S(x), P(y). Target {S(a), P(b1..bn)}; every
+// recovery must contain R(a, bi) for all i -- the paper's completeness
+// anomaly for mapping-based inversion.
+struct ProjectionScenario {
+  static DependencySet Sigma();
+  static Instance Target(size_t n);
+  // Q(x) :- R(x, 'b2') -- certain answer {(a)} that the maximum-recovery
+  // chase misses.
+  static UnionQuery ProbeQuery();
+};
+
+// Intro eq. (4): R(x) -> T(x); R(x) -> S(x); M(x) -> S(x).
+struct DiamondScenario {
+  static DependencySet Sigma();
+  // {S(a1..an)}: valid (recoverable via M).
+  static Instance ValidTarget(size_t n);
+  // {T(a1..an-1), S-side missing}: J = {T(a)} alone is invalid (a tuple
+  // T(a) forces R(a) which forces S(a) in J).
+  static Instance InvalidTarget(size_t n);
+};
+
+// Example 2/7 running example: R(x,x,y) -> exists z: S(x,z);
+// R(u,v,w) -> T(w); D(k,p) -> T(p).
+struct TriangleScenario {
+  static DependencySet Sigma();
+  // {S(a_i, b_i) : i < s} u {T(c_j) : j < t}.
+  static Instance Target(size_t s, size_t t);
+};
+
+// Intro eq. (6) self-join case: R(x,x,y) -> T(x); R(v,w,z) -> S(z).
+struct SelfJoinScenario {
+  static DependencySet Sigma();
+  // {T(a_i)} u {S(b_j)}.
+  static Instance Target(size_t t, size_t s);
+};
+
+// Example 8 schema evolution: Emp(N,D), Bnf(D,B) -> EmpDept(N,D),
+// EmpBnf(N,B). Unique cover + quasi-guarded safe: complete UCQ recovery.
+struct EmployeeScenario {
+  static DependencySet Sigma();
+  // employees-per-department x departments x benefits-per-department,
+  // mirroring the paper's Joe/Bill/Sue table at (2,2,2)-ish scales.
+  static Instance Target(size_t employees, size_t departments,
+                         size_t benefits);
+  // Bnf('HR-like' department 0, x).
+  static UnionQuery BenefitsQuery();
+};
+
+// Example 10 fan: R(x,y) -> S(x); R(z,v) -> S(z), T(v).
+struct FanScenario {
+  static DependencySet Sigma();
+  // {S(a), T(b1..bn)}.
+  static Instance Target(size_t n);
+};
+
+// Example 9: R(x,y) -> S(x), S(y); D(z) -> T(z). The S-side is multiply
+// covered, the T-side uniquely: Thm. 7 extracts J' = T-atoms.
+struct PairScenario {
+  static DependencySet Sigma();
+  // {S(a1..as)} u {T(c1..ct)}.
+  static Instance Target(size_t s, size_t t);
+};
+
+// Example 12/13: R(x,y) -> T(x); U(z) -> S(z); R(v,v) -> T(v), S(v).
+struct OverlapScenario {
+  static DependencySet Sigma();
+  // {T(a_i), S(a_i)} u {S(b_j)}.
+  static Instance Target(size_t a, size_t b);
+  // Q(x) :- U(x): I_{Sigma,J} finds S(b)-side answers the CQ-maximum
+  // recovery mapping misses (Example 13).
+  static UnionQuery ProbeQuery();
+};
+
+// Post-Lemma-1 blowup example: R(x,y) -> S(x); R(u,v) -> T(v). One cover,
+// exponentially many recoveries.
+struct BlowupScenario {
+  static DependencySet Sigma();
+  // {S(a1..ap)} u {T(c1..cq)}.
+  static Instance Target(size_t p, size_t q);
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_DATAGEN_SCENARIOS_H_

@@ -1,0 +1,58 @@
+// A set Sigma of source-to-target tgds (paper, Sec. 2).
+//
+// The paper assumes w.l.o.g. that distinct tgds share no variables;
+// DependencySet enforces this on insertion by renaming colliding variables
+// apart (semantics are unaffected -- tgd variables are local).
+#ifndef DXREC_LOGIC_DEPENDENCY_SET_H_
+#define DXREC_LOGIC_DEPENDENCY_SET_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/tgd.h"
+#include "relational/schema.h"
+
+namespace dxrec {
+
+// Index of a tgd within its DependencySet.
+using TgdId = size_t;
+
+class DependencySet {
+ public:
+  DependencySet() = default;
+
+  // Adds a tgd, renaming its variables apart from all previously added tgds
+  // if they collide. Returns the tgd's id.
+  TgdId Add(Tgd tgd);
+
+  size_t size() const { return tgds_.size(); }
+  bool empty() const { return tgds_.empty(); }
+  const Tgd& at(TgdId id) const { return tgds_[id]; }
+  const std::vector<Tgd>& tgds() const { return tgds_; }
+
+  // Sigma^{-1}: every tgd reversed, ids preserved.
+  DependencySet Reverse() const;
+
+  // Infers the source schema from the bodies and the target schema from
+  // the heads. Fails if a relation appears on both sides or with two
+  // arities.
+  Result<MappingSchema> InferSchema() const;
+
+  // True iff (I, J) |= Sigma: every trigger of every tgd on I has a
+  // matching extension in J. (Implemented in chase/chase.cc terms; this
+  // declaration lives here for discoverability.)
+  // -- see Satisfies() in chase/chase.h.
+
+  // One tgd per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Tgd> tgds_;
+  std::unordered_set<Term, TermHash> used_vars_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_DEPENDENCY_SET_H_

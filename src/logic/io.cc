@@ -1,0 +1,148 @@
+#include "logic/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "logic/parser.h"
+
+namespace dxrec {
+
+namespace {
+
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty() || name[0] == '_') return true;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '@' && c != '$') {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Renders a term for the instance context: constants bare when safe,
+// quoted otherwise; nulls as "_N<label>".
+std::string InstanceTerm(Term t) {
+  if (t.is_null()) return t.ToString();
+  std::string name = t.ToString();
+  if (t.is_constant() && NeedsQuoting(name)) return "'" + name + "'";
+  return name;
+}
+
+// Renders a term for the formula context: variables bare, constants
+// always quoted (a bare identifier would re-parse as a variable).
+std::string FormulaTerm(Term t) {
+  if (t.is_constant()) return "'" + t.ToString() + "'";
+  return t.ToString();
+}
+
+std::string RenderAtom(const Atom& atom,
+                       const std::function<std::string(Term)>& term) {
+  std::string out = RelationName(atom.relation()) + "(";
+  for (uint32_t i = 0; i < atom.arity(); ++i) {
+    if (i > 0) out += ", ";
+    out += term(atom.arg(i));
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::InvalidArgument("I/O error reading " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("I/O error writing " + path);
+  }
+  return Status::Ok();
+}
+
+Result<DependencySet> LoadTgdSetFile(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseTgdSet(*text);
+}
+
+Result<Instance> LoadInstanceFile(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseInstance(*text);
+}
+
+std::string SerializeInstance(const Instance& instance) {
+  std::vector<Atom> sorted = instance.atoms();
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{\n";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    out += "  " + RenderAtom(sorted[i], InstanceTerm);
+    if (i + 1 < sorted.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Status SaveInstanceFile(const std::string& path,
+                        const Instance& instance) {
+  return WriteFile(path, SerializeInstance(instance));
+}
+
+std::string SerializeTgdSet(const DependencySet& sigma) {
+  std::string out;
+  for (const Tgd& tgd : sigma.tgds()) {
+    bool first = true;
+    for (const Atom& atom : tgd.body()) {
+      if (!first) out += ", ";
+      first = false;
+      out += RenderAtom(atom, FormulaTerm);
+    }
+    out += " -> ";
+    if (!tgd.head_existential_vars().empty()) {
+      out += "exists ";
+      first = true;
+      for (Term v : tgd.head_existential_vars()) {
+        if (!first) out += ", ";
+        first = false;
+        out += v.ToString();
+      }
+      out += ": ";
+    }
+    first = true;
+    for (const Atom& atom : tgd.head()) {
+      if (!first) out += ", ";
+      first = false;
+      out += RenderAtom(atom, FormulaTerm);
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+Status SaveTgdSetFile(const std::string& path, const DependencySet& sigma) {
+  return WriteFile(path, SerializeTgdSet(sigma));
+}
+
+}  // namespace dxrec

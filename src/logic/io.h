@@ -1,0 +1,44 @@
+// File-level persistence for mappings and instances, in the same text
+// language the parser reads (logic/parser.h). Serialized instances use
+// explicit "_N<k>" null names, so save -> load round-trips preserve null
+// identity within one file.
+#ifndef DXREC_LOGIC_IO_H_
+#define DXREC_LOGIC_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "logic/dependency_set.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+// Reads an entire file; NotFound / InvalidArgument on failure.
+Result<std::string> ReadFile(const std::string& path);
+// Writes (truncating) `contents` to `path`.
+Status WriteFile(const std::string& path, std::string_view contents);
+
+// Loads a tgd set from a file (";"/newline separated, "#" comments).
+Result<DependencySet> LoadTgdSetFile(const std::string& path);
+
+// Loads an instance from a file ("{...}" or a bare atom list).
+Result<Instance> LoadInstanceFile(const std::string& path);
+
+// Serializes an instance in parseable form: sorted atoms, one per line,
+// inside braces; nulls rendered as "_N<label>".
+std::string SerializeInstance(const Instance& instance);
+
+// Saves an instance so that LoadInstanceFile reads back an isomorphic
+// (null-renamed) copy.
+Status SaveInstanceFile(const std::string& path, const Instance& instance);
+
+// Serializes a tgd set, one dependency per line terminated by ";".
+std::string SerializeTgdSet(const DependencySet& sigma);
+
+// Saves a tgd set so LoadTgdSetFile parses it back.
+Status SaveTgdSetFile(const std::string& path, const DependencySet& sigma);
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_IO_H_

@@ -1,0 +1,391 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/fresh.h"
+
+namespace dxrec {
+
+namespace {
+
+enum class TokKind {
+  kIdent,    // bare identifier or number
+  kQuoted,   // 'quoted'
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kSemicolon,
+  kPipe,
+  kArrow,    // ->
+  kTurnstile,  // :-
+  kLBrace,
+  kRBrace,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (i < n && text_[i] != '\n') ++i;
+        continue;
+      }
+      size_t start = i;
+      if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", start});
+        ++i;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", start});
+        ++i;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, ",", start});
+        ++i;
+      } else if (c == ';') {
+        out.push_back({TokKind::kSemicolon, ";", start});
+        ++i;
+      } else if (c == '|') {
+        out.push_back({TokKind::kPipe, "|", start});
+        ++i;
+      } else if (c == '{') {
+        out.push_back({TokKind::kLBrace, "{", start});
+        ++i;
+      } else if (c == '}') {
+        out.push_back({TokKind::kRBrace, "}", start});
+        ++i;
+      } else if (c == '-') {
+        if (i + 1 < n && text_[i + 1] == '>') {
+          out.push_back({TokKind::kArrow, "->", start});
+          i += 2;
+        } else {
+          return Status::InvalidArgument(Where(start, "expected '->'"));
+        }
+      } else if (c == ':') {
+        if (i + 1 < n && text_[i + 1] == '-') {
+          out.push_back({TokKind::kTurnstile, ":-", start});
+          i += 2;
+        } else {
+          out.push_back({TokKind::kColon, ":", start});
+          ++i;
+        }
+      } else if (c == '\'') {
+        ++i;
+        std::string value;
+        while (i < n && text_[i] != '\'') value += text_[i++];
+        if (i >= n) {
+          return Status::InvalidArgument(
+              Where(start, "unterminated quoted constant"));
+        }
+        ++i;  // closing quote
+        out.push_back({TokKind::kQuoted, value, start});
+      } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                 c == '@' || c == '$') {
+        std::string value;
+        while (i < n &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_' || text_[i] == '@' || text_[i] == '$' ||
+                text_[i] == '\'')) {
+          if (text_[i] == '\'') break;  // quote ends an identifier
+          value += text_[i++];
+        }
+        out.push_back({TokKind::kIdent, value, start});
+      } else {
+        return Status::InvalidArgument(
+            Where(start, std::string("unexpected character '") + c + "'"));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", n});
+    return out;
+  }
+
+ private:
+  std::string Where(size_t pos, const std::string& msg) const {
+    return msg + " at offset " + std::to_string(pos);
+  }
+
+  std::string_view text_;
+};
+
+// Whether identifiers denote variables (formula context) or constants/nulls
+// (instance context).
+enum class TermContext { kFormula, kInstance };
+
+class TokenParser {
+ public:
+  TokenParser(std::vector<Token> tokens, TermContext context)
+      : tokens_(std::move(tokens)), context_(context) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool Accept(TokKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokKind kind, const std::string& what) {
+    if (!Accept(kind)) {
+      return Status::InvalidArgument("expected " + what + " near '" +
+                                     Peek().text + "' at offset " +
+                                     std::to_string(Peek().pos));
+    }
+    return Status::Ok();
+  }
+
+  // A term in the current context.
+  Result<Term> ParseTerm() {
+    const Token& tok = Next();
+    if (tok.kind == TokKind::kQuoted) return Term::Constant(tok.text);
+    if (tok.kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected a term, got '" + tok.text +
+                                     "' at offset " +
+                                     std::to_string(tok.pos));
+    }
+    if (context_ == TermContext::kFormula) {
+      if (!tok.text.empty() && tok.text[0] == '_') {
+        return Status::InvalidArgument(
+            "nulls ('_' prefix) are not allowed in formulas: " + tok.text);
+      }
+      // Numeric literals are constants even in formulas.
+      if (std::isdigit(static_cast<unsigned char>(tok.text[0]))) {
+        return Term::Constant(tok.text);
+      }
+      return Term::Variable(tok.text);
+    }
+    // Instance context.
+    if (!tok.text.empty() && tok.text[0] == '_') {
+      auto it = nulls_.find(tok.text);
+      if (it != nulls_.end()) return it->second;
+      Term fresh = FreshNulls().Fresh();
+      nulls_.emplace(tok.text, fresh);
+      return fresh;
+    }
+    return Term::Constant(tok.text);
+  }
+
+  // "R(t1, ..., tk)".
+  Result<Atom> ParseAtom() {
+    const Token& name = Next();
+    if (name.kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected a relation name, got '" +
+                                     name.text + "' at offset " +
+                                     std::to_string(name.pos));
+    }
+    Status status = Expect(TokKind::kLParen, "'('");
+    if (!status.ok()) return status;
+    std::vector<Term> args;
+    if (!Accept(TokKind::kRParen)) {
+      while (true) {
+        Result<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        args.push_back(*term);
+        if (Accept(TokKind::kRParen)) break;
+        status = Expect(TokKind::kComma, "',' or ')'");
+        if (!status.ok()) return status;
+      }
+    }
+    return Atom::Make(name.text, std::move(args));
+  }
+
+  // "A1, A2, ..., Ak" -- stops before a token that cannot start an atom.
+  Result<std::vector<Atom>> ParseAtomList() {
+    std::vector<Atom> atoms;
+    while (true) {
+      Result<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      atoms.push_back(*atom);
+      if (!Accept(TokKind::kComma)) break;
+    }
+    return atoms;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  TermContext context_;
+  std::unordered_map<std::string, Term> nulls_;
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  return Lexer(text).Tokenize();
+}
+
+// Parses one tgd from `p`; stops at ';' or end.
+Result<Tgd> ParseTgdFrom(TokenParser* p) {
+  Result<std::vector<Atom>> body = p->ParseAtomList();
+  if (!body.ok()) return body.status();
+  Status status = p->Expect(TokKind::kArrow, "'->'");
+  if (!status.ok()) return status;
+  // Optional "exists v1, ..., vk :".
+  if (p->Peek().kind == TokKind::kIdent &&
+      (p->Peek().text == "exists" || p->Peek().text == "EXISTS")) {
+    p->Next();
+    while (true) {
+      const Token& var = p->Next();
+      if (var.kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected a variable after 'exists'");
+      }
+      if (!p->Accept(TokKind::kComma)) break;
+    }
+    status = p->Expect(TokKind::kColon, "':' after exists-list");
+    if (!status.ok()) return status;
+  }
+  Result<std::vector<Atom>> head = p->ParseAtomList();
+  if (!head.ok()) return head.status();
+  return Tgd::Make(std::move(*body), std::move(*head));
+}
+
+}  // namespace
+
+Result<Tgd> ParseTgd(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenParser p(std::move(*tokens), TermContext::kFormula);
+  Result<Tgd> tgd = ParseTgdFrom(&p);
+  if (!tgd.ok()) return tgd.status();
+  p.Accept(TokKind::kSemicolon);
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing input after tgd near '" +
+                                   p.Peek().text + "'");
+  }
+  return tgd;
+}
+
+Result<DependencySet> ParseTgdSet(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenParser p(std::move(*tokens), TermContext::kFormula);
+  DependencySet out;
+  while (p.Accept(TokKind::kSemicolon)) {
+  }
+  while (!p.AtEnd()) {
+    Result<Tgd> tgd = ParseTgdFrom(&p);
+    if (!tgd.ok()) return tgd.status();
+    out.Add(std::move(*tgd));
+    if (!p.Accept(TokKind::kSemicolon) && !p.AtEnd()) {
+      return Status::InvalidArgument("expected ';' between tgds near '" +
+                                     p.Peek().text + "'");
+    }
+    while (p.Accept(TokKind::kSemicolon)) {
+    }
+  }
+  return out;
+}
+
+Result<Instance> ParseInstance(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenParser p(std::move(*tokens), TermContext::kInstance);
+  Instance out;
+  bool braced = p.Accept(TokKind::kLBrace);
+  if (braced && p.Accept(TokKind::kRBrace)) {
+    if (!p.AtEnd()) {
+      return Status::InvalidArgument("trailing input after instance");
+    }
+    return out;  // empty instance "{}"
+  }
+  if (!braced && p.AtEnd()) return out;  // empty text
+  while (true) {
+    Result<Atom> atom = p.ParseAtom();
+    if (!atom.ok()) return atom.status();
+    if (!atom->IsFact()) {
+      return Status::Internal("instance atom contains variables");
+    }
+    out.Add(*atom);
+    if (!p.Accept(TokKind::kComma)) break;
+  }
+  if (braced) {
+    Status status = p.Expect(TokKind::kRBrace, "'}'");
+    if (!status.ok()) return status;
+  }
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing input after instance near '" +
+                                   p.Peek().text + "'");
+  }
+  return out;
+}
+
+namespace {
+
+Result<ConjunctiveQuery> ParseQueryFrom(TokenParser* p) {
+  std::vector<Term> free_vars;
+  // Optional head: "Q(x, y)" or "(x, y)".
+  if (p->Peek().kind == TokKind::kIdent ||
+      p->Peek().kind == TokKind::kLParen) {
+    if (p->Peek().kind == TokKind::kIdent) p->Next();  // query name
+    Status status = p->Expect(TokKind::kLParen, "'(' in query head");
+    if (!status.ok()) return status;
+    if (!p->Accept(TokKind::kRParen)) {
+      while (true) {
+        Result<Term> term = p->ParseTerm();
+        if (!term.ok()) return term.status();
+        free_vars.push_back(*term);
+        if (p->Accept(TokKind::kRParen)) break;
+        status = p->Expect(TokKind::kComma, "',' or ')'");
+        if (!status.ok()) return status;
+      }
+    }
+  }
+  Status status = p->Expect(TokKind::kTurnstile, "':-'");
+  if (!status.ok()) return status;
+  Result<std::vector<Atom>> body = p->ParseAtomList();
+  if (!body.ok()) return body.status();
+  return ConjunctiveQuery::Make(std::move(free_vars), std::move(*body));
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenParser p(std::move(*tokens), TermContext::kFormula);
+  Result<ConjunctiveQuery> query = ParseQueryFrom(&p);
+  if (!query.ok()) return query.status();
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing input after query near '" +
+                                   p.Peek().text + "'");
+  }
+  return query;
+}
+
+Result<UnionQuery> ParseUnionQuery(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  TokenParser p(std::move(*tokens), TermContext::kFormula);
+  std::vector<ConjunctiveQuery> disjuncts;
+  while (true) {
+    Result<ConjunctiveQuery> query = ParseQueryFrom(&p);
+    if (!query.ok()) return query.status();
+    disjuncts.push_back(std::move(*query));
+    if (!p.Accept(TokKind::kPipe)) break;
+  }
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing input after UCQ near '" +
+                                   p.Peek().text + "'");
+  }
+  return UnionQuery::Make(std::move(disjuncts));
+}
+
+}  // namespace dxrec

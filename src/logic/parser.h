@@ -1,0 +1,48 @@
+// A small text language for dependencies, instances and queries, so that
+// examples, tools and tests can be data-driven.
+//
+// Grammar sketch (see README for the full description):
+//
+//   tgd       :=  atoms "->" [ "exists" varlist ":" ] atoms
+//   tgd set   :=  tgd (";" | newline) ...       ("#" starts a comment)
+//   instance  :=  "{" atom ("," atom)* "}"  |  atom ("," atom)*
+//   cq        :=  [Name] "(" varlist ")" ":-" atoms   |   ":-" atoms
+//   ucq       :=  cq ("|" cq)*
+//
+// Term conventions:
+//   - In dependencies and queries, bare identifiers are variables;
+//     'quoted' identifiers and numeric literals are constants.
+//   - In instances, bare identifiers and numbers are constants; identifiers
+//     starting with "_" are labeled nulls (the same name denotes the same
+//     null within one ParseInstance call).
+#ifndef DXREC_LOGIC_PARSER_H_
+#define DXREC_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "logic/dependency_set.h"
+#include "logic/query.h"
+#include "logic/tgd.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+// "R(x, y) -> exists z: S(x, z)".
+Result<Tgd> ParseTgd(std::string_view text);
+
+// Multiple tgds separated by ";" or newlines; "#" comments to end of line.
+Result<DependencySet> ParseTgdSet(std::string_view text);
+
+// "{S(a), P(b), T(_X)}" (braces optional).
+Result<Instance> ParseInstance(std::string_view text);
+
+// "Q(x) :- R(x, 'b')" or "(x) :- R(x, 'b')" or ":- R(x, y)" (Boolean).
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+// Disjuncts separated by "|": "Q(x) :- R(x) | Q(x) :- M(x)".
+Result<UnionQuery> ParseUnionQuery(std::string_view text);
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_PARSER_H_

@@ -1,0 +1,40 @@
+#include "logic/printer.h"
+
+#include "relational/instance_ops.h"
+
+namespace dxrec {
+
+std::string ToString(const AnswerTuple& tuple) {
+  std::string out = "(";
+  bool first = true;
+  for (Term t : tuple) {
+    if (!first) out += ", ";
+    first = false;
+    out += t.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string ToString(const AnswerSet& answers) {
+  std::string out = "{";
+  bool first = true;
+  for (const AnswerTuple& tuple : answers) {
+    if (!first) out += ", ";
+    first = false;
+    out += ToString(tuple);
+  }
+  out += "}";
+  return out;
+}
+
+std::string ToString(const std::vector<Instance>& instances) {
+  std::string out;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    out += "I" + std::to_string(i) + " = " +
+           CanonicalString(instances[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,33 @@
+// Rendering helpers for composite objects (instance sets, answer sets).
+// Individual types carry their own ToString(); these helpers format the
+// aggregates the recovery API returns.
+#ifndef DXREC_LOGIC_PRINTER_H_
+#define DXREC_LOGIC_PRINTER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/term.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+// Answers of a query: a sorted set of term tuples.
+using AnswerTuple = std::vector<Term>;
+using AnswerSet = std::set<AnswerTuple>;
+
+// "(a, b)".
+std::string ToString(const AnswerTuple& tuple);
+
+// "{(a), (b)}"; "{}" when empty; "true"/"false" for Boolean answer sets
+// would be misleading, so the empty-tuple set prints as "{()}".
+std::string ToString(const AnswerSet& answers);
+
+// One instance per line, each in canonical-null form, sorted, prefixed by
+// "I<k> = ".
+std::string ToString(const std::vector<Instance>& instances);
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_PRINTER_H_

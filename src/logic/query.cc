@@ -1,0 +1,86 @@
+#include "logic/query.h"
+
+#include <unordered_set>
+
+namespace dxrec {
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Make(std::vector<Term> free_vars,
+                                                std::vector<Atom> body) {
+  if (body.empty()) {
+    return Status::InvalidArgument("query body must be non-empty");
+  }
+  std::unordered_set<Term, TermHash> body_vars;
+  for (const Atom& a : body) {
+    for (Term t : a.args()) {
+      if (t.is_variable()) body_vars.insert(t);
+    }
+  }
+  for (Term v : free_vars) {
+    if (!v.is_variable()) {
+      return Status::InvalidArgument("free terms must be variables, got " +
+                                     v.ToString());
+    }
+    if (body_vars.count(v) == 0) {
+      return Status::InvalidArgument("free variable " + v.ToString() +
+                                     " does not occur in the query body");
+    }
+  }
+  ConjunctiveQuery q;
+  q.free_vars_ = std::move(free_vars);
+  q.body_ = std::move(body);
+  return q;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "Q(";
+  bool first = true;
+  for (Term v : free_vars_) {
+    if (!first) out += ", ";
+    first = false;
+    out += v.ToString();
+  }
+  out += ") :- ";
+  first = true;
+  for (const Atom& a : body_) {
+    if (!first) out += ", ";
+    first = false;
+    out += a.ToString();
+  }
+  return out;
+}
+
+Result<UnionQuery> UnionQuery::Make(
+    std::vector<ConjunctiveQuery> disjuncts) {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("a UCQ needs at least one disjunct");
+  }
+  size_t arity = disjuncts[0].free_vars().size();
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    if (cq.free_vars().size() != arity) {
+      return Status::InvalidArgument(
+          "all UCQ disjuncts must have the same arity");
+    }
+  }
+  UnionQuery q;
+  q.disjuncts_ = std::move(disjuncts);
+  return q;
+}
+
+UnionQuery UnionQuery::Of(ConjunctiveQuery cq) {
+  UnionQuery q;
+  q.disjuncts_.push_back(std::move(cq));
+  return q;
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  bool first = true;
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    if (!first) out += "  UNION  ";
+    first = false;
+    out += cq.ToString();
+  }
+  return out;
+}
+
+}  // namespace dxrec

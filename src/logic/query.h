@@ -1,0 +1,67 @@
+// Conjunctive queries and unions of conjunctive queries (paper, Sec. 2).
+//
+// A CQ  (x) :- exists y: alpha(x, y)  is stored as its free-variable tuple
+// and body atoms; every body variable not free is existentially quantified.
+// A UCQ shares one free-variable arity across disjuncts.
+#ifndef DXREC_LOGIC_QUERY_H_
+#define DXREC_LOGIC_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/term.h"
+#include "relational/tuple.h"
+
+namespace dxrec {
+
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  // Builds a CQ. Every free variable must occur in the body (safety);
+  // free terms must be variables.
+  static Result<ConjunctiveQuery> Make(std::vector<Term> free_vars,
+                                       std::vector<Atom> body);
+
+  const std::vector<Term>& free_vars() const { return free_vars_; }
+  const std::vector<Atom>& body() const { return body_; }
+
+  bool IsBoolean() const { return free_vars_.empty(); }
+
+  // "Q(x) :- R(x, y)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Term> free_vars_;
+  std::vector<Atom> body_;
+};
+
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+
+  // Builds a UCQ. All disjuncts must have the same number of free
+  // variables, and there must be at least one disjunct.
+  static Result<UnionQuery> Make(std::vector<ConjunctiveQuery> disjuncts);
+
+  // Wraps a single CQ.
+  static UnionQuery Of(ConjunctiveQuery cq);
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const {
+    return disjuncts_;
+  }
+  size_t arity() const {
+    return disjuncts_.empty() ? 0 : disjuncts_[0].free_vars().size();
+  }
+  bool IsBoolean() const { return arity() == 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_QUERY_H_

@@ -1,0 +1,143 @@
+#include "logic/query_containment.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "base/substitution.h"
+#include "chase/homomorphism.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+namespace {
+
+// Freezes a CQ: body variables become fresh constants. Returns the
+// canonical database and the frozen images of the free variables.
+struct FrozenQuery {
+  Instance canonical;
+  std::vector<Term> frozen_head;
+};
+
+FrozenQuery Freeze(const ConjunctiveQuery& query) {
+  static std::atomic<uint64_t>& counter = *new std::atomic<uint64_t>(0);
+  Substitution freezing;
+  for (const Atom& atom : query.body()) {
+    for (Term t : atom.args()) {
+      if (t.is_variable() && !freezing.Binds(t)) {
+        freezing.Set(t, Term::Constant(
+                            "@q" + std::to_string(counter.fetch_add(1))));
+      }
+    }
+  }
+  FrozenQuery out;
+  for (const Atom& atom : query.body()) {
+    out.canonical.Add(atom.Apply(freezing));
+  }
+  out.frozen_head = freezing.Apply(query.free_vars());
+  return out;
+}
+
+// left subseteq right iff right maps into left's canonical db hitting
+// the frozen head.
+bool ContainedCq(const ConjunctiveQuery& left,
+                 const ConjunctiveQuery& right) {
+  if (left.free_vars().size() != right.free_vars().size()) return false;
+  FrozenQuery frozen = Freeze(left);
+  HomSearchOptions options;
+  for (size_t i = 0; i < right.free_vars().size(); ++i) {
+    // The containment mapping must send right's head onto left's frozen
+    // head, position by position. A repeated head variable with
+    // conflicting targets simply yields no homomorphism.
+    Term v = right.free_vars()[i];
+    if (options.fixed.Binds(v)) {
+      if (options.fixed.Apply(v) != frozen.frozen_head[i]) return false;
+    } else {
+      options.fixed.Set(v, frozen.frozen_head[i]);
+    }
+  }
+  return FindHomomorphism(right.body(), frozen.canonical, options)
+      .has_value();
+}
+
+}  // namespace
+
+bool IsContainedIn(const ConjunctiveQuery& left,
+                   const ConjunctiveQuery& right) {
+  return ContainedCq(left, right);
+}
+
+bool IsContainedIn(const UnionQuery& left, const UnionQuery& right) {
+  if (left.arity() != right.arity()) return false;
+  for (const ConjunctiveQuery& l : left.disjuncts()) {
+    bool covered = false;
+    for (const ConjunctiveQuery& r : right.disjuncts()) {
+      if (ContainedCq(l, r)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool AreEquivalent(const ConjunctiveQuery& left,
+                   const ConjunctiveQuery& right) {
+  return IsContainedIn(left, right) && IsContainedIn(right, left);
+}
+
+bool AreEquivalent(const UnionQuery& left, const UnionQuery& right) {
+  return IsContainedIn(left, right) && IsContainedIn(right, left);
+}
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& query) {
+  ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed && current.body().size() > 1) {
+    changed = false;
+    for (size_t drop = 0; drop < current.body().size(); ++drop) {
+      std::vector<Atom> smaller;
+      for (size_t i = 0; i < current.body().size(); ++i) {
+        if (i != drop) smaller.push_back(current.body()[i]);
+      }
+      Result<ConjunctiveQuery> candidate =
+          ConjunctiveQuery::Make(current.free_vars(), smaller);
+      if (!candidate.ok()) continue;  // dropping would unsafe a head var
+      if (AreEquivalent(current, *candidate)) {
+        current = std::move(*candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+UnionQuery Minimize(const UnionQuery& query) {
+  std::vector<ConjunctiveQuery> minimized;
+  for (const ConjunctiveQuery& cq : query.disjuncts()) {
+    minimized.push_back(Minimize(cq));
+  }
+  // Drop disjuncts contained in another disjunct.
+  std::vector<ConjunctiveQuery> kept;
+  for (size_t i = 0; i < minimized.size(); ++i) {
+    bool redundant = false;
+    for (size_t j = 0; j < minimized.size() && !redundant; ++j) {
+      if (i == j) continue;
+      if (!ContainedCq(minimized[i], minimized[j])) continue;
+      // Contained in j: redundant unless j is mutually contained and
+      // j < i already kept (keep the first representative).
+      if (!ContainedCq(minimized[j], minimized[i]) || j < i) {
+        redundant = true;
+      }
+    }
+    if (!redundant) kept.push_back(minimized[i]);
+  }
+  Result<UnionQuery> out = UnionQuery::Make(std::move(kept));
+  // Every input disjunct is contained in itself, so `kept` is non-empty
+  // and Make cannot fail.
+  return std::move(*out);
+}
+
+}  // namespace dxrec

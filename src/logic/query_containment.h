@@ -1,0 +1,38 @@
+// Conjunctive-query containment, equivalence and minimization.
+//
+// Classic Chandra-Merkurio machinery on top of the homomorphism engine:
+//   Q1 is contained in Q2  iff  the frozen head of Q1 is an answer of Q2
+//   on Q1's canonical database (variables frozen to fresh constants).
+// UCQ containment follows Sagiv-Yannakakis: each disjunct of the left
+// query must be contained in some disjunct of the right one.
+// Minimization computes the core of a CQ: the unique (up to renaming)
+// equivalent query with the fewest atoms.
+//
+// These utilities support query-level reasoning around the recovery
+// engine (e.g. recognizing that two probe queries are equivalent before
+// paying for an exponential certain-answer computation).
+#ifndef DXREC_LOGIC_QUERY_CONTAINMENT_H_
+#define DXREC_LOGIC_QUERY_CONTAINMENT_H_
+
+#include "logic/query.h"
+
+namespace dxrec {
+
+// Q(left) subseteq Q(right) on every instance. Arity must match.
+bool IsContainedIn(const ConjunctiveQuery& left,
+                   const ConjunctiveQuery& right);
+bool IsContainedIn(const UnionQuery& left, const UnionQuery& right);
+
+bool AreEquivalent(const ConjunctiveQuery& left,
+                   const ConjunctiveQuery& right);
+bool AreEquivalent(const UnionQuery& left, const UnionQuery& right);
+
+// The minimal equivalent CQ (drop redundant body atoms).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& query);
+
+// Minimizes every disjunct and drops disjuncts contained in another.
+UnionQuery Minimize(const UnionQuery& query);
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_QUERY_CONTAINMENT_H_

@@ -1,0 +1,164 @@
+#include "logic/unification.h"
+
+#include <cassert>
+
+namespace dxrec {
+
+namespace {
+
+// Representative preference: frozen variables first (they name the class in
+// generated constraints), then premise, then flexible; ties by term order.
+int ClassPriority(VarClass cls) {
+  switch (cls) {
+    case VarClass::kFrozen:
+      return 2;
+    case VarClass::kPremise:
+      return 1;
+    case VarClass::kFlexible:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Unifier::Declare(Term var, VarClass cls) {
+  assert(var.is_variable());
+  auto it = ids_.find(var);
+  if (it != ids_.end()) {
+    assert(nodes_[it->second].cls == cls &&
+           "variable declared twice with different classes");
+    return;
+  }
+  int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.term = var;
+  node.cls = cls;
+  node.frozen_count = (cls == VarClass::kFrozen) ? 1 : 0;
+  node.premise_count = (cls == VarClass::kPremise) ? 1 : 0;
+  nodes_.push_back(node);
+  ids_.emplace(var, id);
+}
+
+int Unifier::NodeFor(Term t) {
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.term = t;
+  if (t.is_constant() || t.is_null()) {
+    // Constants and nulls are rigid: the class is "bound" to them.
+    node.constant = t;
+  }
+  nodes_.push_back(node);
+  ids_.emplace(t, id);
+  return id;
+}
+
+int Unifier::Find(int i) const {
+  while (nodes_[i].parent != -1) {
+    int parent = nodes_[i].parent;
+    if (nodes_[parent].parent != -1) {
+      nodes_[i].parent = nodes_[parent].parent;  // path halving
+    }
+    i = nodes_[i].parent;
+  }
+  return i;
+}
+
+bool Unifier::CheckClassInvariant(const Node& root) const {
+  if (root.frozen_count == 0) return true;
+  return root.frozen_count == 1 && !root.constant.is_valid() &&
+         root.premise_count == 0;
+}
+
+bool Unifier::Unify(Term a, Term b) {
+  if (failed_) return false;
+  int ra = Find(NodeFor(a));
+  int rb = Find(NodeFor(b));
+  if (ra == rb) return true;
+
+  Node& na = nodes_[ra];
+  Node& nb = nodes_[rb];
+
+  // Simulate the merged class summary and validate before committing.
+  Term constant;
+  if (na.constant.is_valid() && nb.constant.is_valid()) {
+    if (na.constant != nb.constant) {
+      failed_ = true;
+      return false;
+    }
+    constant = na.constant;
+  } else {
+    constant = na.constant.is_valid() ? na.constant : nb.constant;
+  }
+  Node merged;
+  merged.constant = constant;
+  merged.frozen_count = na.frozen_count + nb.frozen_count;
+  merged.premise_count = na.premise_count + nb.premise_count;
+  if (!CheckClassInvariant(merged)) {
+    failed_ = true;
+    return false;
+  }
+
+  // Union by rank; keep the representative with the higher priority.
+  int winner = ra, loser = rb;
+  if (na.rank < nb.rank) {
+    winner = rb;
+    loser = ra;
+  }
+  Term rep_a = na.term, rep_b = nb.term;
+  VarClass cls_a = na.cls, cls_b = nb.cls;
+  Term rep = rep_a;
+  if (ClassPriority(cls_b) > ClassPriority(cls_a) ||
+      (ClassPriority(cls_b) == ClassPriority(cls_a) && rep_b < rep_a)) {
+    rep = rep_b;
+  }
+  Node& w = nodes_[winner];
+  Node& l = nodes_[loser];
+  if (w.rank == l.rank) w.rank++;
+  l.parent = winner;
+  w.constant = merged.constant;
+  w.frozen_count = merged.frozen_count;
+  w.premise_count = merged.premise_count;
+  // The root's `term`/`cls` describe the chosen representative.
+  if (rep == rep_b) {
+    w.term = rep_b;
+    w.cls = cls_b;
+  } else {
+    w.term = rep_a;
+    w.cls = cls_a;
+  }
+  return true;
+}
+
+bool Unifier::UnifyAtoms(const Atom& a, const Atom& b) {
+  if (a.relation() != b.relation() || a.arity() != b.arity()) {
+    return false;
+  }
+  for (uint32_t i = 0; i < a.arity(); ++i) {
+    if (!Unify(a.arg(i), b.arg(i))) return false;
+  }
+  return true;
+}
+
+Term Unifier::Resolve(Term t) const {
+  auto it = ids_.find(t);
+  if (it == ids_.end()) return t;
+  const Node& root = nodes_[Find(it->second)];
+  if (root.constant.is_valid()) return root.constant;
+  return root.term;
+}
+
+Substitution Unifier::ToSubstitution() const {
+  Substitution out;
+  for (const auto& [term, id] : ids_) {
+    (void)id;
+    if (!term.is_variable()) continue;
+    Term rep = Resolve(term);
+    if (rep != term) out.Set(term, rep);
+  }
+  return out;
+}
+
+}  // namespace dxrec

@@ -1,0 +1,88 @@
+// Union-find unification with "frozen" variable classes.
+//
+// Definition 6 of the paper (minimal subsumant) requires the theta_i
+// mappings of premise tgds to send each body-only variable to a *unique*
+// variable: the images must stay pairwise distinct and may not be shared
+// with any other premise variable's image (only the subsumed tgd's own
+// variables may map onto them). The same discipline models the distinct
+// fresh nulls a chase step invents, which the maximum-recovery
+// reconstruction (core/max_recovery) also needs.
+//
+// Unifier captures this with three variable classes:
+//   kFlexible  -- may merge with anything (the subsumed tgd's variables),
+//   kPremise   -- premise head variables; may merge with anything except a
+//                 frozen class,
+//   kFrozen    -- body-only premise variables / fresh chase nulls; a class
+//                 may contain at most one frozen variable, no constant, and
+//                 no premise variable.
+// Constants never merge with different constants.
+#ifndef DXREC_LOGIC_UNIFICATION_H_
+#define DXREC_LOGIC_UNIFICATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/substitution.h"
+#include "base/term.h"
+#include "relational/tuple.h"
+
+namespace dxrec {
+
+enum class VarClass : uint8_t {
+  kFlexible = 0,
+  kPremise = 1,
+  kFrozen = 2,
+};
+
+class Unifier {
+ public:
+  Unifier() = default;
+
+  // Declares a variable's class. Variables not declared default to
+  // kFlexible on first use. Declaring twice with different classes is a
+  // programming error (assert).
+  void Declare(Term var, VarClass cls);
+
+  // Unifies two terms; returns false (and marks the unifier failed) on a
+  // class violation or constant clash. Constants are their own nodes.
+  bool Unify(Term a, Term b);
+
+  // Component-wise unification of two atoms. False if relations or arities
+  // differ or any position fails.
+  bool UnifyAtoms(const Atom& a, const Atom& b);
+
+  bool failed() const { return failed_; }
+
+  // The representative term of t's class: the constant if bound, else the
+  // frozen variable if present, else the smallest declared variable by
+  // Term order. Unseen terms resolve to themselves.
+  Term Resolve(Term t) const;
+
+  // The substitution mapping every seen variable to its representative.
+  Substitution ToSubstitution() const;
+
+ private:
+  struct Node {
+    Term term;
+    VarClass cls = VarClass::kFlexible;
+    int parent = -1;  // -1 = root
+    int rank = 0;
+    // Root-only class summary:
+    Term constant;           // invalid if none
+    int frozen_count = 0;    // frozen variables in class
+    int premise_count = 0;   // premise variables in class
+  };
+
+  int NodeFor(Term t);
+  int Find(int i) const;
+  bool CheckClassInvariant(const Node& root) const;
+
+  std::unordered_map<Term, int, TermHash> ids_;
+  mutable std::vector<Node> nodes_;
+  bool failed_ = false;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_LOGIC_UNIFICATION_H_

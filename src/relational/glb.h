@@ -1,0 +1,30 @@
+// Homomorphic greatest lower bound of instances (paper, Sec. 6.2).
+//
+// glb(I1, I2) is an instance K with K -> I1 and K -> I2 such that any L
+// with L -> I1 and L -> I2 also has L -> K. It is computed with the
+// injective pairing function iota:
+//   iota(x, x) = x,
+//   iota(x, y) = a fresh null, consistently per (x, y) pair,
+// taking the product of same-relation tuples. For ground I1, I2 we get
+// Q(glb(I1, I2)) = Q(I1) n Q(I2) for every CQ Q.
+#ifndef DXREC_RELATIONAL_GLB_H_
+#define DXREC_RELATIONAL_GLB_H_
+
+#include <vector>
+
+#include "base/fresh.h"
+#include "relational/instance.h"
+
+namespace dxrec {
+
+// glb of two instances. Fresh pairing nulls come from `source`.
+Instance Glb(const Instance& a, const Instance& b, NullSource* source);
+
+// glb of a non-empty list, folded left to right:
+// glb(I1, ..., In) = glb(glb(I1, ..., In-1), In). An empty list yields the
+// empty instance; a singleton list yields its element unchanged.
+Instance GlbAll(const std::vector<Instance>& instances, NullSource* source);
+
+}  // namespace dxrec
+
+#endif  // DXREC_RELATIONAL_GLB_H_

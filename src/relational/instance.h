@@ -1,0 +1,120 @@
+// Instances: finite sets of facts over constants and nulls (paper, Sec. 2).
+//
+// Instance keeps insertion order for deterministic iteration, hash-set
+// membership for O(1) dedup, and a lazily built (relation, position, term)
+// inverted index that drives the homomorphism search in chase/homomorphism.
+#ifndef DXREC_RELATIONAL_INSTANCE_H_
+#define DXREC_RELATIONAL_INSTANCE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/substitution.h"
+#include "base/term.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace dxrec {
+
+class Instance {
+ public:
+  Instance() = default;
+  Instance(std::initializer_list<Atom> atoms);
+
+  // Adds a fact; returns true if it was new. Variables are allowed (the
+  // paper freely treats conjunctions of atoms as instances).
+  bool Add(const Atom& atom);
+  void AddAll(const Instance& other);
+  void AddAll(const std::vector<Atom>& atoms);
+
+  bool Contains(const Atom& atom) const { return set_.count(atom) > 0; }
+  bool ContainsAll(const Instance& other) const;
+
+  // Number of tuples (paper notation |I|).
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  // All atoms in insertion order.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  // Indices (into atoms()) of the atoms of relation `rel`.
+  const std::vector<uint32_t>& AtomsFor(RelationId rel) const;
+
+  // Indices of atoms of `rel` whose argument at `pos` equals `term`.
+  // Backed by the lazily built inverted index.
+  const std::vector<uint32_t>& AtomsWith(RelationId rel, uint32_t pos,
+                                         Term term) const;
+
+  // Builds the inverted index now. Instances are not thread-safe in
+  // general, but after WarmIndex() concurrent *readers* are safe (the
+  // lazy build is the only mutation a const read can trigger).
+  void WarmIndex() const { EnsureIndex(); }
+
+  // dom(I): all constants and nulls (and variables, if present) occurring
+  // in the instance, deduplicated, in first-occurrence order.
+  std::vector<Term> Dom() const;
+
+  // The terms of the given kind occurring in the instance, deduplicated.
+  std::vector<Term> TermsOfKind(TermKind kind) const;
+
+  // True if dom(I) contains only constants.
+  bool IsGround() const;
+
+  // The set of relation ids with at least one atom.
+  std::vector<RelationId> Relations() const;
+
+  // Applies `s` to every atom (sets may merge).
+  Instance Apply(const Substitution& s) const;
+
+  // The sub-instance of atoms whose relation is in `schema`.
+  Instance Restrict(const Schema& schema) const;
+
+  // Set union / difference.
+  static Instance Union(const Instance& a, const Instance& b);
+  static Instance Difference(const Instance& a, const Instance& b);
+
+  // Set semantics: equal as sets of atoms.
+  friend bool operator==(const Instance& a, const Instance& b);
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+
+  // Deterministic sorted rendering "{R(a, b), S(a)}".
+  std::string ToString() const;
+
+ private:
+  void InvalidateIndex();
+  void EnsureIndex() const;
+
+  std::vector<Atom> atoms_;
+  std::unordered_set<Atom, AtomHash> set_;
+  std::unordered_map<RelationId, std::vector<uint32_t>> by_relation_;
+
+  // Inverted index: key encodes (relation, position, term).
+  struct PosKey {
+    RelationId rel;
+    uint32_t pos;
+    Term term;
+    friend bool operator==(const PosKey& a, const PosKey& b) {
+      return a.rel == b.rel && a.pos == b.pos && a.term == b.term;
+    }
+  };
+  struct PosKeyHash {
+    size_t operator()(const PosKey& k) const {
+      size_t h = std::hash<uint64_t>()(
+          (static_cast<uint64_t>(k.rel) << 32) | k.pos);
+      return h ^ (TermHash()(k.term) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  mutable std::unordered_map<PosKey, std::vector<uint32_t>, PosKeyHash>
+      index_;
+  mutable bool index_valid_ = false;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_RELATIONAL_INSTANCE_H_

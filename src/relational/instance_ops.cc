@@ -1,0 +1,55 @@
+#include "relational/instance_ops.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dxrec {
+
+RenamedInstance RenameNullsFresh(const Instance& input, NullSource* source) {
+  Substitution renaming;
+  for (Term t : input.TermsOfKind(TermKind::kNull)) {
+    renaming.Set(t, source->Fresh());
+  }
+  return RenamedInstance{input.Apply(renaming), std::move(renaming)};
+}
+
+RenamedInstance FreezeNulls(const Instance& input) {
+  static std::atomic<uint64_t>& counter = *new std::atomic<uint64_t>(0);
+  Substitution freezing;
+  for (Term t : input.TermsOfKind(TermKind::kNull)) {
+    freezing.Set(
+        t, Term::Constant("@N" + std::to_string(counter.fetch_add(1))));
+  }
+  return RenamedInstance{input.Apply(freezing), std::move(freezing)};
+}
+
+RenamedInstance VariablesToNulls(const Instance& input, NullSource* source) {
+  Substitution renaming;
+  for (Term t : input.TermsOfKind(TermKind::kVariable)) {
+    renaming.Set(t, source->Fresh());
+  }
+  return RenamedInstance{input.Apply(renaming), std::move(renaming)};
+}
+
+Instance CanonicalizeNullLabels(const Instance& input) {
+  std::vector<Atom> sorted = input.atoms();
+  std::sort(sorted.begin(), sorted.end());
+  Substitution renumbering;
+  uint32_t next = 0;
+  for (const Atom& a : sorted) {
+    for (Term t : a.args()) {
+      if (t.is_null() && !renumbering.Binds(t)) {
+        renumbering.Set(t, Term::Null(next++));
+      }
+    }
+  }
+  Instance out;
+  for (const Atom& a : sorted) out.Add(a.Apply(renumbering));
+  return out;
+}
+
+std::string CanonicalString(const Instance& input) {
+  return CanonicalizeNullLabels(input).ToString();
+}
+
+}  // namespace dxrec

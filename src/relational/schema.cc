@@ -1,0 +1,64 @@
+#include "relational/schema.h"
+
+#include <cassert>
+
+#include "base/symbol_table.h"
+
+namespace dxrec {
+
+RelationId InternRelation(std::string_view name) {
+  return Symbols().relations.Intern(name);
+}
+
+std::string RelationName(RelationId rel) {
+  return Symbols().relations.Name(rel);
+}
+
+Result<RelationId> Schema::AddRelation(std::string_view name,
+                                       uint32_t arity) {
+  RelationId rel = InternRelation(name);
+  auto it = arity_.find(rel);
+  if (it != arity_.end()) {
+    if (it->second != arity) {
+      return Status::InvalidArgument(
+          "relation " + std::string(name) + " redeclared with arity " +
+          std::to_string(arity) + " (was " + std::to_string(it->second) +
+          ")");
+    }
+    return rel;
+  }
+  arity_.emplace(rel, arity);
+  order_.push_back(rel);
+  return rel;
+}
+
+uint32_t Schema::Arity(RelationId rel) const {
+  auto it = arity_.find(rel);
+  assert(it != arity_.end() && "relation not in schema");
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (RelationId rel : order_) {
+    if (!first) out += ", ";
+    first = false;
+    out += RelationName(rel) + "/" + std::to_string(Arity(rel));
+  }
+  out += "}";
+  return out;
+}
+
+Status MappingSchema::Validate() const {
+  for (RelationId rel : source_.relations()) {
+    if (target_.Contains(rel)) {
+      return Status::InvalidArgument("relation " + RelationName(rel) +
+                                     " occurs in both source and target "
+                                     "schema");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dxrec

@@ -1,0 +1,76 @@
+// Relational schemas: finite sets of relation symbols with fixed arities
+// (paper, Sec. 2). A data exchange mapping uses two disjoint schemas, the
+// source schema S and the target schema T; MappingSchema bundles them.
+#ifndef DXREC_RELATIONAL_SCHEMA_H_
+#define DXREC_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace dxrec {
+
+// Globally interned relation symbol id (see Symbols().relations).
+using RelationId = uint32_t;
+
+// Interns a relation name and returns its global id. Arity is tracked by
+// Schema, not by the symbol itself.
+RelationId InternRelation(std::string_view name);
+
+// Returns the name of a relation id.
+std::string RelationName(RelationId rel);
+
+// A finite set of relation symbols, each with a fixed arity.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Adds a relation. Re-adding with the same arity is a no-op; re-adding
+  // with a different arity is an error.
+  Result<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  bool Contains(RelationId rel) const { return arity_.count(rel) > 0; }
+
+  // Arity of `rel`; `rel` must be in the schema.
+  uint32_t Arity(RelationId rel) const;
+
+  // All relation ids, in insertion order.
+  const std::vector<RelationId>& relations() const { return order_; }
+
+  size_t size() const { return order_.size(); }
+
+  // "{R/2, S/1}" in insertion order.
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<RelationId, uint32_t> arity_;
+  std::vector<RelationId> order_;
+};
+
+// A source schema and a target schema with disjoint relation symbols.
+class MappingSchema {
+ public:
+  MappingSchema() = default;
+  MappingSchema(Schema source, Schema target)
+      : source_(std::move(source)), target_(std::move(target)) {}
+
+  const Schema& source() const { return source_; }
+  const Schema& target() const { return target_; }
+  Schema& mutable_source() { return source_; }
+  Schema& mutable_target() { return target_; }
+
+  // Ok iff no relation symbol appears in both schemas.
+  Status Validate() const;
+
+ private:
+  Schema source_;
+  Schema target_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_RELATIONAL_SCHEMA_H_

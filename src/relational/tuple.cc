@@ -1,0 +1,45 @@
+#include "relational/tuple.h"
+
+namespace dxrec {
+
+Atom Atom::Make(std::string_view relation, std::vector<Term> args) {
+  return Atom(InternRelation(relation), std::move(args));
+}
+
+bool Atom::IsFact() const {
+  for (Term t : args_) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+bool Atom::IsGround() const {
+  for (Term t : args_) {
+    if (!t.is_constant()) return false;
+  }
+  return true;
+}
+
+Atom Atom::Apply(const Substitution& s) const {
+  return Atom(rel_, s.Apply(args_));
+}
+
+void Atom::CollectTerms(TermKind kind, std::vector<Term>* out) const {
+  for (Term t : args_) {
+    if (t.kind() == kind) out->push_back(t);
+  }
+}
+
+std::string Atom::ToString() const {
+  std::string out = RelationName(rel_) + "(";
+  bool first = true;
+  for (Term t : args_) {
+    if (!first) out += ", ";
+    first = false;
+    out += t.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dxrec

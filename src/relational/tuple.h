@@ -1,0 +1,80 @@
+// Atoms: a relation symbol applied to a vector of terms.
+//
+// The same type serves two roles, mirroring the paper's convention of
+// viewing a conjunction of atoms as an instance (Sec. 2):
+//   - a *fact* (tuple) in an instance, whose terms are constants and nulls;
+//   - a formula atom in a tgd body/head or query, whose terms are constants
+//     and variables.
+#ifndef DXREC_RELATIONAL_TUPLE_H_
+#define DXREC_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/substitution.h"
+#include "base/term.h"
+#include "relational/schema.h"
+
+namespace dxrec {
+
+class Atom {
+ public:
+  Atom() : rel_(0) {}
+  Atom(RelationId rel, std::vector<Term> args)
+      : rel_(rel), args_(std::move(args)) {}
+
+  // Convenience: interns `relation` and builds the atom.
+  static Atom Make(std::string_view relation, std::vector<Term> args);
+
+  RelationId relation() const { return rel_; }
+  const std::vector<Term>& args() const { return args_; }
+  uint32_t arity() const { return static_cast<uint32_t>(args_.size()); }
+  Term arg(size_t i) const { return args_[i]; }
+
+  // True if no argument is a variable (i.e. this is a fact).
+  bool IsFact() const;
+  // True if every argument is a constant.
+  bool IsGround() const;
+
+  // Applies `s` to every argument.
+  Atom Apply(const Substitution& s) const;
+
+  // Collects argument terms of the given kind into `out` (deduplicated by
+  // the caller if needed).
+  void CollectTerms(TermKind kind, std::vector<Term>* out) const;
+
+  // "R(a, x, _N3)".
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.rel_ == b.rel_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.rel_ != b.rel_) return a.rel_ < b.rel_;
+    return a.args_ < b.args_;
+  }
+
+ private:
+  RelationId rel_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const {
+    size_t h = std::hash<uint32_t>()(a.relation());
+    for (Term t : a.args()) {
+      h ^= TermHash()(t) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// In instance context an atom is a tuple; the alias keeps call sites close
+// to the paper's vocabulary.
+using Tuple = Atom;
+
+}  // namespace dxrec
+
+#endif  // DXREC_RELATIONAL_TUPLE_H_

@@ -1,0 +1,39 @@
+// Aligned text tables for bench output: the harness prints rows in the
+// shape an evaluation-section table would have.
+#ifndef DXREC_UTIL_TABLE_H_
+#define DXREC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dxrec {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells
+  // are blank.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatting.
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(const char* s) { return s; }
+  static std::string Cell(size_t v) { return std::to_string(v); }
+  static std::string Cell(int64_t v) { return std::to_string(v); }
+  static std::string Cell(double v, int precision = 3);
+
+  // Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dxrec
+
+#endif  // DXREC_UTIL_TABLE_H_

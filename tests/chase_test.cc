@@ -1,0 +1,210 @@
+// Unit tests for homomorphism search, the chase, and query evaluation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/evaluation.h"
+#include "chase/homomorphism.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+std::vector<Atom> Pattern(const char* tgd_body) {
+  // Reuse the tgd parser to build a variable pattern: "body -> Dummy()".
+  Result<Tgd> tgd = ParseTgd(std::string(tgd_body) + " -> ZDummy(x999x)");
+  if (!tgd.ok()) {
+    // Pattern variables may not include x999x; use a trivially safe head.
+    Result<Tgd> retry =
+        ParseTgd(std::string(tgd_body) + " -> ZDummy2(zzz9)");
+    EXPECT_TRUE(retry.ok());
+    return retry->body();
+  }
+  return tgd->body();
+}
+
+TEST(Homomorphism, AllMatchesFound) {
+  Instance target = I("{Rha(a, b), Rha(a, c), Rha(b, c)}");
+  std::vector<Substitution> homs =
+      FindHomomorphisms(Pattern("Rha(x, y)"), target);
+  EXPECT_EQ(homs.size(), 3u);
+}
+
+TEST(Homomorphism, JoinVariablesRespected) {
+  Instance target = I("{Rhb(a, b), Rhb(b, c), Rhb(b, d)}");
+  // R(x, y), R(y, z): y must join.
+  std::vector<Substitution> homs =
+      FindHomomorphisms(Pattern("Rhb(x, y), Rhb(y, z)"), target);
+  EXPECT_EQ(homs.size(), 2u);  // (a,b,c) and (a,b,d)
+}
+
+TEST(Homomorphism, RepeatedVariablePositions) {
+  Instance target = I("{Rhc(a, a), Rhc(a, b)}");
+  std::vector<Substitution> homs =
+      FindHomomorphisms(Pattern("Rhc(x, x)"), target);
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(homs[0].Apply(Term::Variable("x")), Term::Constant("a"));
+}
+
+TEST(Homomorphism, ConstantsMustMatchExactly) {
+  Instance target = I("{Rhd(a, b)}");
+  Result<Tgd> with_const = ParseTgd("Rhd(x, 'b') -> ZD3(x)");
+  ASSERT_TRUE(with_const.ok());
+  EXPECT_EQ(FindHomomorphisms(with_const->body(), target).size(), 1u);
+  Result<Tgd> wrong_const = ParseTgd("Rhd(x, 'z') -> ZD3(x)");
+  ASSERT_TRUE(wrong_const.ok());
+  EXPECT_TRUE(FindHomomorphisms(wrong_const->body(), target).empty());
+}
+
+TEST(Homomorphism, FixedBindingsPrePin) {
+  Instance target = I("{Rhe(a, b), Rhe(c, d)}");
+  HomSearchOptions options;
+  options.fixed.Set(Term::Variable("hx"), Term::Constant("c"));
+  Result<Tgd> tgd = ParseTgd("Rhe(hx, hy) -> ZD4(hx)");
+  ASSERT_TRUE(tgd.ok());
+  std::vector<Substitution> homs =
+      FindHomomorphisms(tgd->body(), target, options);
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(homs[0].Apply(Term::Variable("hy")), Term::Constant("d"));
+}
+
+TEST(Homomorphism, MaxResultsStopsEarly) {
+  Instance target = I("{Rhf(a), Rhf(b), Rhf(c)}");
+  HomSearchOptions options;
+  options.max_results = 2;
+  EXPECT_EQ(FindHomomorphisms(Pattern("Rhf(x)"), target, options).size(),
+            2u);
+}
+
+TEST(Homomorphism, InstanceLevelNullsMap) {
+  Instance from = I("{Rhg(_X, b)}");
+  Instance to = I("{Rhg(a, b)}");
+  EXPECT_TRUE(HasInstanceHomomorphism(from, to));
+  EXPECT_FALSE(HasInstanceHomomorphism(to, from));  // constants fixed
+}
+
+TEST(Homomorphism, IsomorphismDetectsRelabeling) {
+  EXPECT_TRUE(AreIsomorphic(I("{Rhh(_X, _Y)}"), I("{Rhh(_P, _Q)}")));
+  EXPECT_FALSE(AreIsomorphic(I("{Rhh(_X, _X)}"), I("{Rhh(_P, _Q)}")));
+  EXPECT_FALSE(AreIsomorphic(I("{Rhh(_X, _Y)}"), I("{Rhh(_P, _P)}")));
+  EXPECT_FALSE(AreIsomorphic(I("{Rhh(a, _Y)}"), I("{Rhh(_P, _Q)}")));
+  EXPECT_TRUE(AreIsomorphic(I("{Rhh(a, _Y)}"), I("{Rhh(a, _Q)}")));
+  EXPECT_FALSE(
+      AreIsomorphic(I("{Rhh(a, b)}"), I("{Rhh(a, b), Rhh(b, b)}")));
+}
+
+TEST(Chase, TriggersEnumerated) {
+  DependencySet sigma = S("Rca(x, y) -> Sca(x)");
+  Instance source = I("{Rca(a, b), Rca(a, c)}");
+  std::vector<Trigger> triggers = FindTriggers(sigma, source);
+  EXPECT_EQ(triggers.size(), 2u);
+}
+
+TEST(Chase, FreshNullsPerTrigger) {
+  DependencySet sigma = S("Rcb(x) -> exists z: Scb(x, z)");
+  Instance source = I("{Rcb(a), Rcb(b)}");
+  Instance result = Chase(sigma, source, &FreshNulls());
+  ASSERT_EQ(result.size(), 2u);
+  // The two triggers must not share their existential null.
+  std::set<Term> nulls;
+  for (const Atom& atom : result.atoms()) {
+    EXPECT_TRUE(atom.arg(1).is_null());
+    nulls.insert(atom.arg(1));
+  }
+  EXPECT_EQ(nulls.size(), 2u);
+}
+
+TEST(Chase, GeneratedAtomsOnly) {
+  DependencySet sigma = S("Rcc(x) -> Scc(x)");
+  Instance source = I("{Rcc(a)}");
+  Instance result = Chase(sigma, source, &FreshNulls());
+  EXPECT_EQ(result, I("{Scc(a)}"));
+}
+
+TEST(Chase, RestrictedTriggerSet) {
+  DependencySet sigma =
+      S("Rcd(x) -> exists y: Tcd(x, y); Rcd2(z) -> exists v: Vcd(z, v)");
+  Instance source = I("{Rcd(a), Rcd2(b)}");
+  std::vector<Trigger> all = FindTriggers(sigma, source);
+  ASSERT_EQ(all.size(), 2u);
+  // Fire only the first tgd's trigger.
+  std::vector<Trigger> subset;
+  for (const Trigger& t : all) {
+    if (t.tgd == 0) subset.push_back(t);
+  }
+  Instance result = ChaseTriggers(sigma, source, subset, &FreshNulls());
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.atoms()[0].relation(), InternRelation("Tcd"));
+}
+
+TEST(Chase, SatisfiesDetectsViolations) {
+  DependencySet sigma = S("Rce(x) -> Sce(x)");
+  EXPECT_TRUE(Satisfies(sigma, I("{Rce(a)}"), I("{Sce(a)}")));
+  EXPECT_FALSE(Satisfies(sigma, I("{Rce(a)}"), I("{Sce(b)}")));
+  EXPECT_TRUE(Satisfies(sigma, I("{}"), I("{Sce(b)}")));
+  // Existentials may bind to anything present.
+  DependencySet ex = S("Rcf(x) -> exists z: Scf(x, z)");
+  EXPECT_TRUE(Satisfies(ex, I("{Rcf(a)}"), I("{Scf(a, q)}")));
+  EXPECT_FALSE(Satisfies(ex, I("{Rcf(a)}"), I("{Scf(b, q)}")));
+}
+
+TEST(Chase, SatisfiesWithMultiAtomHead) {
+  DependencySet sigma = S("Rcg(x, y) -> Scg(x), Pcg(y)");
+  EXPECT_TRUE(Satisfies(sigma, I("{Rcg(a, b)}"), I("{Scg(a), Pcg(b)}")));
+  EXPECT_FALSE(Satisfies(sigma, I("{Rcg(a, b)}"), I("{Scg(a)}")));
+}
+
+TEST(Evaluate, AnswersWithAndWithoutNulls) {
+  Result<ConjunctiveQuery> q = ParseQuery("Q(x, y) :- Rev(x, y)");
+  ASSERT_TRUE(q.ok());
+  Instance inst = I("{Rev(a, b), Rev(a, _X)}");
+  AnswerSet all = Evaluate(*q, inst);
+  EXPECT_EQ(all.size(), 2u);
+  AnswerSet clean = EvaluateNullFree(*q, inst);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_EQ(*clean.begin(),
+            (AnswerTuple{Term::Constant("a"), Term::Constant("b")}));
+}
+
+TEST(Evaluate, UnionCombinesDisjuncts) {
+  Result<UnionQuery> q =
+      ParseUnionQuery("Q(x) :- Rew(x) | Q(x) :- Sew(x)");
+  ASSERT_TRUE(q.ok());
+  Instance inst = I("{Rew(a), Sew(b)}");
+  EXPECT_EQ(Evaluate(*q, inst).size(), 2u);
+}
+
+TEST(Evaluate, CertainAnswersIntersect) {
+  Result<UnionQuery> q = ParseUnionQuery("Q(x) :- Rex(x)");
+  ASSERT_TRUE(q.ok());
+  std::vector<Instance> instances = {I("{Rex(a), Rex(b)}"),
+                                     I("{Rex(b), Rex(c)}")};
+  AnswerSet cert = CertainAnswersOver(*q, instances);
+  ASSERT_EQ(cert.size(), 1u);
+  EXPECT_EQ(*cert.begin(), (AnswerTuple{Term::Constant("b")}));
+  EXPECT_TRUE(CertainAnswersOver(*q, {}).empty());
+}
+
+TEST(Evaluate, BooleanHolds) {
+  Result<UnionQuery> q = ParseUnionQuery(":- Rey(x, x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(Holds(*q, I("{Rey(a, a)}")));
+  EXPECT_FALSE(Holds(*q, I("{Rey(a, b)}")));
+}
+
+}  // namespace
+}  // namespace dxrec

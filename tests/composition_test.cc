@@ -1,0 +1,228 @@
+// Unit tests for mapping composition (full Sigma12 o Sigma23), plus
+// Prop.-1 decision procedures.
+#include <gtest/gtest.h>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "core/composition.h"
+#include "core/inverse_chase.h"
+#include "core/recovery.h"
+#include "datagen/generators.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(Compose, SimpleRelay) {
+  DependencySet s12 = S("Aco(x, y) -> Bco(x, y)");
+  DependencySet s23 = S("Bco(u, v) -> exists g: Cco(u, v, g)");
+  Result<DependencySet> composed = Compose(s12, s23);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  ASSERT_EQ(composed->size(), 1u);
+  const Tgd& tgd = composed->at(0);
+  EXPECT_EQ(tgd.body()[0].relation(), InternRelation("Aco"));
+  EXPECT_EQ(tgd.head()[0].relation(), InternRelation("Cco"));
+  EXPECT_EQ(tgd.head_existential_vars().size(), 1u);
+}
+
+TEST(Compose, JoinAcrossProducers) {
+  DependencySet s12 = S(
+      "Aco2(x) -> Bco2(x); Dco2(y) -> Eco2(y)");
+  DependencySet s23 = S("Bco2(u), Eco2(u) -> Cco2(u)");
+  Result<DependencySet> composed = Compose(s12, s23);
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->size(), 1u);
+  // Body joins A and D on the same variable.
+  const Tgd& tgd = composed->at(0);
+  ASSERT_EQ(tgd.body().size(), 2u);
+  EXPECT_EQ(tgd.body()[0].arg(0), tgd.body()[1].arg(0));
+}
+
+TEST(Compose, UnproducibleMidAtomDropsTgd) {
+  DependencySet s12 = S("Aco3(x) -> Bco3(x)");
+  DependencySet s23 = S("Zco3(u) -> Cco3(u)");  // nothing makes Zco3
+  Result<DependencySet> composed = Compose(s12, s23);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->size(), 0u);
+}
+
+TEST(Compose, MultipleProducersMultiplyOut) {
+  DependencySet s12 = S("Aco4(x) -> Bco4(x); Dco4(y) -> Bco4(y)");
+  DependencySet s23 = S("Bco4(u) -> Cco4(u)");
+  Result<DependencySet> composed = Compose(s12, s23);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed->size(), 2u);
+}
+
+TEST(Compose, RequiresFullFirstMapping) {
+  DependencySet s12 = S("Aco5(x) -> exists z: Bco5(x, z)");
+  DependencySet s23 = S("Bco5(u, v) -> Cco5(v)");
+  Result<DependencySet> composed = Compose(s12, s23);
+  EXPECT_FALSE(composed.ok());
+  EXPECT_EQ(composed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Compose, SemanticsMatchesTwoStepChase) {
+  DependencySet s12 = S(
+      "Aco6(x, y) -> Bco6(x, y), Fco6(y); Dco6(u) -> Fco6(u)");
+  DependencySet s23 = S(
+      "Bco6(p, q), Fco6(q) -> exists r: Cco6(p, r); Fco6(s) -> Gco6(s)");
+  Result<DependencySet> composed = Compose(s12, s23);
+  ASSERT_TRUE(composed.ok());
+
+  for (const char* source_text :
+       {"{Aco6(a, b)}", "{Aco6(a, b), Dco6(b), Dco6(c)}",
+        "{Dco6(c), Aco6(c, c)}"}) {
+    Instance source = I(source_text);
+    Instance mid = Chase(s12, source, &FreshNulls());
+    Instance two_step = Chase(s23, mid, &FreshNulls());
+    Instance one_step = Chase(*composed, source, &FreshNulls());
+    // The composed chase is homomorphically equivalent to the two-step
+    // chase (both are universal for the composition).
+    EXPECT_TRUE(HasInstanceHomomorphism(one_step, two_step))
+        << source_text << ": " << one_step.ToString() << " vs "
+        << two_step.ToString();
+    EXPECT_TRUE(HasInstanceHomomorphism(two_step, one_step))
+        << source_text << ": " << two_step.ToString() << " vs "
+        << one_step.ToString();
+  }
+}
+
+// Randomized composition property: for random full Sigma12 and random
+// Sigma23 over its target schema, the composed chase is homomorphically
+// equivalent to the two-step chase.
+class ComposeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComposeProperty, MatchesTwoStepChaseOnRandomMappings) {
+  Rng rng(GetParam() * 9176 + 11);
+  std::string tag = "cp" + std::to_string(GetParam()) + "_";
+  MappingSpec spec12;
+  spec12.num_tgds = 1 + rng.Index(3);
+  spec12.frontier_prob = 1.0;  // full tgds: no head existentials
+  spec12.max_arity = 2;
+  DependencySet s12 = RandomMapping(spec12, tag, &rng);
+  for (const Tgd& tgd : s12.tgds()) {
+    if (!tgd.IsFull()) GTEST_SKIP() << "generator produced existentials";
+  }
+  Result<MappingSchema> schema12 = s12.InferSchema();
+  if (!schema12.ok() || schema12->target().size() == 0) GTEST_SKIP();
+
+  // Sigma23: bodies over Sigma12's target schema, heads over fresh
+  // C-relations.
+  DependencySet s23;
+  size_t num23 = 1 + rng.Index(2);
+  const std::vector<RelationId>& mids = schema12->target().relations();
+  for (size_t t = 0; t < num23; ++t) {
+    std::vector<Atom> body;
+    std::vector<Term> vars;
+    size_t atoms = 1 + rng.Index(2);
+    size_t next_var = 0;
+    for (size_t b = 0; b < atoms; ++b) {
+      RelationId rel = mids[rng.Index(mids.size())];
+      std::vector<Term> args;
+      for (uint32_t p = 0; p < schema12->target().Arity(rel); ++p) {
+        if (!vars.empty() && rng.Chance(0.4)) {
+          args.push_back(rng.Pick(vars));
+        } else {
+          Term v = Term::Variable(tag + "m" + std::to_string(t) + "_" +
+                                  std::to_string(next_var++));
+          vars.push_back(v);
+          args.push_back(v);
+        }
+      }
+      body.push_back(Atom(rel, args));
+    }
+    std::vector<Term> head_args;
+    size_t arity = 1 + rng.Index(2);
+    for (size_t p = 0; p < arity && p < vars.size(); ++p) {
+      head_args.push_back(rng.Pick(vars));
+    }
+    if (head_args.empty()) head_args.push_back(vars[0]);
+    Result<Tgd> tgd = Tgd::Make(
+        std::move(body),
+        {Atom::Make(tag + "C" + std::to_string(rng.Index(2)), head_args)});
+    if (tgd.ok()) s23.Add(std::move(*tgd));
+  }
+  if (s23.empty()) GTEST_SKIP();
+
+  Result<DependencySet> composed = Compose(s12, s23);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+
+  SourceSpec source_spec;
+  source_spec.num_tuples = 3 + rng.Index(4);
+  source_spec.num_constants = 3;
+  Instance source = RandomSource(s12, source_spec, tag, &rng);
+  Instance mid = Chase(s12, source, &FreshNulls());
+  Instance two_step = Chase(s23, mid, &FreshNulls());
+  Instance one_step = Chase(*composed, source, &FreshNulls());
+  EXPECT_TRUE(HasInstanceHomomorphism(one_step, two_step))
+      << "s12:\n" << s12.ToString() << "s23:\n" << s23.ToString()
+      << "one: " << one_step.ToString() << "\ntwo: "
+      << two_step.ToString();
+  EXPECT_TRUE(HasInstanceHomomorphism(two_step, one_step))
+      << "s12:\n" << s12.ToString() << "s23:\n" << s23.ToString()
+      << "one: " << one_step.ToString() << "\ntwo: "
+      << two_step.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComposeProperty,
+                         ::testing::Range<uint64_t>(1, 29));
+
+TEST(Prop1, UniversalForSomeSource) {
+  // Under R(x) -> exists z S(x, z), a target with a null witness is
+  // universal for {R(a)}; a ground witness is not universal for anything.
+  DependencySet sigma = S("Rp1(x) -> exists z: Sp1(x, z)");
+  Result<bool> with_null =
+      IsUniversalSolutionForSomeSource(sigma, I("{Sp1(a, _Z)}"));
+  ASSERT_TRUE(with_null.ok());
+  EXPECT_TRUE(*with_null);
+  Result<bool> ground =
+      IsUniversalSolutionForSomeSource(sigma, I("{Sp1(a, b)}"));
+  ASSERT_TRUE(ground.ok());
+  EXPECT_FALSE(*ground);
+  // With a full tgd the ground target is universal (and canonical).
+  DependencySet full = S("Rp2(x) -> Sp2(x)");
+  Result<bool> full_ground =
+      IsUniversalSolutionForSomeSource(full, I("{Sp2(a)}"));
+  ASSERT_TRUE(full_ground.ok());
+  EXPECT_TRUE(*full_ground);
+}
+
+TEST(Prop1, CanonicalForSomeSource) {
+  DependencySet sigma = S("Rp3(x) -> exists z: Sp3(x, z)");
+  // The canonical solution has one fresh null per trigger.
+  Result<bool> canonical =
+      IsCanonicalSolutionForSomeSource(sigma, I("{Sp3(a, _Z1), "
+                                                "Sp3(b, _Z2)}"));
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_TRUE(*canonical);
+  // Sharing the null across triggers is universal-ish but not canonical.
+  Result<bool> shared =
+      IsCanonicalSolutionForSomeSource(sigma, I("{Sp3(a, _Z), "
+                                                "Sp3(b, _Z)}"));
+  ASSERT_TRUE(shared.ok());
+  EXPECT_FALSE(*shared);
+  // Invalid targets are neither.
+  DependencySet diamond =
+      S("Rp4(x) -> Tp4(x); Rp4(x2) -> Sp4(x2); Mp4(x3) -> Sp4(x3)");
+  Result<bool> invalid =
+      IsUniversalSolutionForSomeSource(diamond, I("{Tp4(a)}"));
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_FALSE(*invalid);
+}
+
+}  // namespace
+}  // namespace dxrec

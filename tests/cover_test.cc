@@ -1,0 +1,170 @@
+// Unit tests for HOM(Sigma, J) and the covering enumerations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/fresh.h"
+#include "core/cover.h"
+#include "core/hom_set.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(HomSet, HeadHomsEnumerateHeadVariables) {
+  DependencySet sigma = S("Rka(x, y) -> exists z: Ska(x, z)");
+  Instance j = I("{Ska(a, b), Ska(a, c)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  ASSERT_EQ(homs.size(), 2u);
+  for (const HeadHom& h : homs) {
+    // Head vars x and z are bound; body-only y is not.
+    EXPECT_EQ(h.hom.size(), 2u);
+  }
+}
+
+TEST(HomSet, CoveredTuplesAreImageOfHead) {
+  DependencySet sigma = S("Rkb(x, y) -> Skb(x), Pkb(y)");
+  Instance j = I("{Skb(a), Pkb(b)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(homs[0].CoveredTuples(sigma), j);
+}
+
+TEST(HomSet, SourceAtomsUseFreshNullsForBodyOnlyVars) {
+  DependencySet sigma = S("Rkc(x, y) -> Skc(x)");
+  Instance j = I("{Skc(a)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  ASSERT_EQ(homs.size(), 1u);
+  Instance i1 = SourceAtomsFor(sigma, homs[0], &FreshNulls());
+  Instance i2 = SourceAtomsFor(sigma, homs[0], &FreshNulls());
+  ASSERT_EQ(i1.size(), 1u);
+  EXPECT_EQ(i1.atoms()[0].arg(0), Term::Constant("a"));
+  EXPECT_TRUE(i1.atoms()[0].arg(1).is_null());
+  // Distinct invocations produce distinct nulls.
+  EXPECT_NE(i1.atoms()[0].arg(1), i2.atoms()[0].arg(1));
+}
+
+TEST(HomSet, MultipleTgdsMultipleHoms) {
+  DependencySet sigma = S("Rkd(x) -> Tkd(x); Dkd(k, p) -> Tkd(p)");
+  Instance j = I("{Tkd(c), Tkd(d)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  EXPECT_EQ(homs.size(), 4u);  // 2 per tgd
+}
+
+TEST(CoverProblem, CoverageMatrix) {
+  DependencySet sigma = S("Rke(x) -> Tke(x); Dke(k, p) -> Tke(p)");
+  Instance j = I("{Tke(c), Tke(d)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  CoverProblem problem(sigma, j, homs);
+  EXPECT_EQ(problem.num_tuples(), 2u);
+  EXPECT_EQ(problem.num_homs(), 4u);
+  EXPECT_TRUE(problem.AllTuplesCoverable());
+  for (size_t t = 0; t < problem.num_tuples(); ++t) {
+    EXPECT_EQ(problem.covered_by()[t].size(), 2u);
+  }
+}
+
+TEST(CoverProblem, UncoverableTupleDetected) {
+  DependencySet sigma = S("Rkf(x) -> Tkf(x)");
+  Instance j = I("{Tkf(a), Ukf(b)}");  // U has no producing tgd
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  CoverProblem problem(sigma, j, homs);
+  EXPECT_FALSE(problem.AllTuplesCoverable());
+  Result<std::vector<Cover>> covers = problem.AllCovers(CoverOptions());
+  ASSERT_TRUE(covers.ok());
+  EXPECT_TRUE(covers->empty());
+}
+
+TEST(CoverProblem, AllCoversAreExactlyTheCoveringSubsets) {
+  // Two homs cover tuple 1; one hom covers tuple 2. Covers: any subset
+  // containing hom-for-tuple-2 and at least one of the other two.
+  DependencySet sigma = S("Rkg(x) -> Tkg(x); Dkg(k, p) -> Tkg(p)");
+  Instance j = I("{Tkg(c)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  ASSERT_EQ(homs.size(), 2u);
+  CoverProblem problem(sigma, j, homs);
+  Result<std::vector<Cover>> covers = problem.AllCovers(CoverOptions());
+  ASSERT_TRUE(covers.ok());
+  // {h0}, {h1}, {h0, h1}.
+  EXPECT_EQ(covers->size(), 3u);
+  Result<std::vector<Cover>> minimal =
+      problem.MinimalCovers(CoverOptions());
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->size(), 2u);
+}
+
+TEST(CoverProblem, MinimalCoversAreMinimal) {
+  DependencySet sigma =
+      S("Rkh(x) -> Tkh(x); Dkh(k, p) -> Tkh(p); Bkh(u, v) -> Tkh(u), "
+        "Tkh(v)");
+  Instance j = I("{Tkh(c), Tkh(d)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  CoverProblem problem(sigma, j, homs);
+  Result<std::vector<Cover>> minimal =
+      problem.MinimalCovers(CoverOptions());
+  ASSERT_TRUE(minimal.ok());
+  Result<std::vector<Cover>> all = problem.AllCovers(CoverOptions());
+  ASSERT_TRUE(all.ok());
+  std::set<Cover> all_set(all->begin(), all->end());
+  for (const Cover& cover : *minimal) {
+    EXPECT_TRUE(all_set.count(cover) > 0);
+    // Dropping any element breaks coverage.
+    for (size_t drop = 0; drop < cover.size(); ++drop) {
+      Cover smaller;
+      for (size_t i = 0; i < cover.size(); ++i) {
+        if (i != drop) smaller.push_back(cover[i]);
+      }
+      EXPECT_EQ(all_set.count(smaller), 0u);
+    }
+  }
+}
+
+TEST(CoverProblem, BudgetsAreEnforced) {
+  // 8 independent tuples each covered by 2 homs -> 2^8 minimal covers.
+  DependencySet sigma = S("Rki(x) -> Tki(x); Dki(k, p) -> Tki(p)");
+  Instance j;
+  for (int i = 0; i < 8; ++i) {
+    j.Add(Atom::Make("Tki", {Term::Constant("t" + std::to_string(i))}));
+  }
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  CoverProblem problem(sigma, j, homs);
+  CoverOptions tight;
+  tight.max_covers = 10;
+  Result<std::vector<Cover>> covers = problem.AllCovers(tight);
+  EXPECT_FALSE(covers.ok());
+  EXPECT_EQ(covers.status().code(), StatusCode::kResourceExhausted);
+  CoverOptions loose;
+  Result<std::vector<Cover>> minimal = problem.MinimalCovers(loose);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->size(), 256u);
+}
+
+TEST(CoverProblem, MinimalCoversOfSubset) {
+  DependencySet sigma = S("Rkj(x, y) -> Skj(x); Bkj(z, v) -> Skj(z), "
+                          "Tkj(v)");
+  Instance j = I("{Skj(a), Tkj(b)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  ASSERT_EQ(homs.size(), 2u);
+  CoverProblem problem(sigma, j, homs);
+  // Covers of just {S(a)} (tuple 0): either hom alone.
+  Result<std::vector<Cover>> covers =
+      problem.MinimalCoversOf({0}, CoverOptions());
+  ASSERT_TRUE(covers.ok());
+  EXPECT_EQ(covers->size(), 2u);
+  for (const Cover& cover : *covers) EXPECT_EQ(cover.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dxrec

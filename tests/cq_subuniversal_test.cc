@@ -1,0 +1,143 @@
+// Unit tests for the Sec. 6.2 CQ sub-universal construction.
+#include <gtest/gtest.h>
+
+#include "chase/homomorphism.h"
+#include "core/cq_subuniversal.h"
+#include "core/inverse_chase.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+ConjunctiveQuery Q(const char* text) {
+  Result<ConjunctiveQuery> parsed = ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(SubUniversal, CopyMappingIsExact) {
+  DependencySet sigma = S("Rqa(x, y) -> Sqa(x, y)");
+  Instance j = I("{Sqa(a, b)}");
+  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->instance, I("{Rqa(a, b)}"));
+}
+
+TEST(SubUniversal, AmbiguousOriginYieldsNothingForThatTuple) {
+  // S(a) may come from R or M: the glb of {R(a)} and {M(a)} is empty.
+  DependencySet sigma = S("Rqb(x) -> Sqb(x); Mqb(y) -> Sqb(y)");
+  Instance j = I("{Sqb(a)}");
+  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->instance.empty());
+}
+
+TEST(SubUniversal, MapsIntoEveryRecovery) {
+  // Thm. 9 on a workload with non-trivial recovery choices.
+  DependencySet sigma = OverlapScenario::Sigma();
+  Instance j = OverlapScenario::Target(2, 1);
+  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, j);
+  ASSERT_TRUE(sub.ok());
+  Result<InverseChaseResult> recoveries = InverseChase(sigma, j);
+  ASSERT_TRUE(recoveries.ok());
+  ASSERT_FALSE(recoveries->recoveries.empty());
+  for (const Instance& rec : recoveries->recoveries) {
+    EXPECT_TRUE(HasInstanceHomomorphism(sub->instance, rec))
+        << sub->instance.ToString() << " does not map into "
+        << rec.ToString();
+  }
+}
+
+TEST(SubUniversal, SoundCqAnswersAreCertain) {
+  DependencySet sigma = FanScenario::Sigma();
+  Instance j = FanScenario::Target(2);
+  Result<AnswerSet> sound =
+      SoundCqAnswers(Q("Q(x, y) :- Rf(x, y)"), sigma, j);
+  ASSERT_TRUE(sound.ok());
+  // R(a, b1) and R(a, b2) are certain.
+  EXPECT_EQ(sound->size(), 2u);
+  for (const AnswerTuple& t : *sound) {
+    EXPECT_EQ(t[0], Term::Constant("a"));
+  }
+}
+
+TEST(SubUniversal, EquivalenceClassesKeepSizePolynomial) {
+  // Example 10 scaled: COV_h for the xi1-hom grows linearly, but the
+  // class reduction collapses all {h_i} choices into one representative.
+  DependencySet sigma = FanScenario::Sigma();
+  for (size_t n : {4u, 8u, 16u}) {
+    Instance j = FanScenario::Target(n);
+    Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+    ASSERT_TRUE(result.ok());
+    // Pivot S(a): the covers {h} and {h_1}..{h_n} all generalize to the
+    // isomorphic R(a, fresh) and collapse into one class.
+    // Pivot T(b_i): a single class each.
+    EXPECT_EQ(result->num_classes, 1u + n);
+    // And the instance stays linear: R(a, X) + n ground pairs.
+    EXPECT_LE(result->instance.size(), n + 2u);
+  }
+}
+
+TEST(SubUniversal, StatsPopulated) {
+  DependencySet sigma = OverlapScenario::Sigma();
+  Instance j = OverlapScenario::Target(1, 1);
+  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_homs, 4u);  // h1..h4 of Example 12
+  EXPECT_GE(result->num_covers, 4u);
+}
+
+TEST(SubUniversal, SubsumptionFilteredModeStaysSound) {
+  // The opt-in extension must never produce unsound answers on the
+  // paper's workloads.
+  DependencySet sigma = OverlapScenario::Sigma();
+  Instance j = OverlapScenario::Target(1, 2);
+  SubUniversalOptions options;
+  options.filter_covers_by_subsumption = true;
+  Result<SubUniversalResult> filtered =
+      ComputeCqSubUniversal(sigma, j, options);
+  ASSERT_TRUE(filtered.ok());
+  Result<InverseChaseResult> recoveries = InverseChase(sigma, j);
+  ASSERT_TRUE(recoveries.ok());
+  ConjunctiveQuery q = Q("Q(x) :- Uo(x)");
+  AnswerSet answers = EvaluateNullFree(
+      UnionQuery::Of(q).disjuncts()[0], filtered->instance);
+  std::vector<Instance> recs = recoveries->recoveries;
+  AnswerSet cert = CertainAnswersOver(UnionQuery::Of(q), recs);
+  for (const AnswerTuple& t : answers) {
+    EXPECT_TRUE(cert.count(t) > 0);
+  }
+}
+
+TEST(SubUniversal, GroundPartOfInstanceIsCertainAtoms) {
+  // Every ground atom of I_{Sigma,J} is present in every recovery.
+  DependencySet sigma = FanScenario::Sigma();
+  Instance j = FanScenario::Target(3);
+  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, j);
+  ASSERT_TRUE(sub.ok());
+  Result<InverseChaseResult> recoveries = InverseChase(sigma, j);
+  ASSERT_TRUE(recoveries.ok());
+  for (const Atom& atom : sub->instance.atoms()) {
+    if (!atom.IsGround()) continue;
+    for (const Instance& rec : recoveries->recoveries) {
+      EXPECT_TRUE(rec.Contains(atom))
+          << atom.ToString() << " missing from " << rec.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dxrec

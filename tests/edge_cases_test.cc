@@ -1,0 +1,185 @@
+// Edge-case coverage across the whole pipeline: nullary relations,
+// constants inside dependencies, repeated atoms, degenerate mappings.
+#include <gtest/gtest.h>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "core/certain.h"
+#include "core/inverse_chase.h"
+#include "core/max_recovery.h"
+#include "core/recovery.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+UnionQuery U(const char* text) {
+  Result<UnionQuery> parsed = ParseUnionQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(EdgeCases, NullaryRelationsParse) {
+  Instance inst = I("{Flag(), Rz(a)}");
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_TRUE(inst.Contains(Atom::Make("Flag", {})));
+}
+
+TEST(EdgeCases, NullaryThroughChase) {
+  // A propositional trigger: any R-tuple raises the flag.
+  DependencySet sigma = S("Rea(x) -> FlagEa()");
+  Instance chased = Chase(sigma, I("{Rea(a), Rea(b)}"), &FreshNulls());
+  EXPECT_EQ(chased, I("{FlagEa()}"));  // set semantics dedups
+  EXPECT_TRUE(Satisfies(sigma, I("{Rea(a)}"), I("{FlagEa()}")));
+  EXPECT_FALSE(Satisfies(sigma, I("{Rea(a)}"), I("{}")));
+}
+
+TEST(EdgeCases, NullaryRecovery) {
+  DependencySet sigma = S("Reb(x) -> FlagEb()");
+  Result<InverseChaseResult> result =
+      InverseChase(sigma, I("{FlagEb()}"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->recoveries.size(), 1u);
+  // One R-atom with a fresh null.
+  EXPECT_EQ(result->recoveries[0].size(), 1u);
+  EXPECT_TRUE(result->recoveries[0].atoms()[0].arg(0).is_null());
+}
+
+TEST(EdgeCases, ConstantsInTgdHead) {
+  DependencySet sigma = S("Rec(x) -> Sec(x, 'tagged')");
+  // Forward: the constant lands in the target.
+  Instance chased = Chase(sigma, I("{Rec(a)}"), &FreshNulls());
+  EXPECT_EQ(chased, I("{Sec(a, tagged)}"));
+  // Backward: only matching targets are coverable.
+  Result<bool> valid = IsValidForRecovery(sigma, I("{Sec(a, tagged)}"));
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+  Result<bool> invalid = IsValidForRecovery(sigma, I("{Sec(a, other)}"));
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_FALSE(*invalid);
+}
+
+TEST(EdgeCases, ConstantsInTgdBody) {
+  DependencySet sigma = S("Red(x, 'gold') -> Sed(x)");
+  // Only gold rows exchange.
+  Instance chased =
+      Chase(sigma, I("{Red(a, gold), Red(b, silver)}"), &FreshNulls());
+  EXPECT_EQ(chased, I("{Sed(a)}"));
+  // Recovery pins the constant column.
+  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sed(a)}"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->recoveries.size(), 1u);
+  EXPECT_EQ(result->recoveries[0], I("{Red(a, gold)}"));
+}
+
+TEST(EdgeCases, RepeatedHeadAtomsCollapse) {
+  DependencySet sigma = S("Ree(x, y) -> See(x), See(x)");
+  Instance chased = Chase(sigma, I("{Ree(a, b)}"), &FreshNulls());
+  EXPECT_EQ(chased.size(), 1u);
+  Result<bool> valid = IsValidForRecovery(sigma, I("{See(a)}"));
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+}
+
+TEST(EdgeCases, SelfJoinBodySameRelationTwice) {
+  DependencySet sigma = S("Ref(x, y), Ref(y, z) -> Sef(x, z)");
+  Instance chased =
+      Chase(sigma, I("{Ref(a, b), Ref(b, c)}"), &FreshNulls());
+  // (a,b)+(b,c) -> S(a,c); also (a,b) could pair with itself only if
+  // b = a. No loops here.
+  EXPECT_EQ(chased, I("{Sef(a, c)}"));
+  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sef(a, c)}"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->recoveries.empty());
+  for (const Instance& rec : result->recoveries) {
+    // Every recovery contains a two-step R-path from a to c.
+    EXPECT_TRUE(
+        FindHomomorphism(S("Ref(x, y), Ref(y, z) -> Zef(x)").at(0).body(),
+                         rec,
+                         [] {
+                           HomSearchOptions o;
+                           o.fixed.Set(Term::Variable("x"),
+                                       Term::Constant("a"));
+                           o.fixed.Set(Term::Variable("z"),
+                                       Term::Constant("c"));
+                           return o;
+                         }())
+            .has_value())
+        << rec.ToString();
+  }
+}
+
+TEST(EdgeCases, VariableRepeatedAcrossHeadAtoms) {
+  DependencySet sigma = S("Reg(x) -> Seg(x), Teg(x)");
+  Result<AnswerSet> cert = CertainAnswers(
+      U("Q(x) :- Reg(x)"), sigma, I("{Seg(a), Teg(a)}"));
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(*cert, (AnswerSet{{Term::Constant("a")}}));
+  // S(a) with T(b) is not valid: no single x produces both.
+  Result<bool> invalid =
+      IsValidForRecovery(sigma, I("{Seg(a), Teg(b)}"));
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_FALSE(*invalid);
+}
+
+TEST(EdgeCases, WideArityRelation) {
+  DependencySet sigma =
+      S("Reh(a1, a2, a3, a4, a5, a6) -> Seh(a6, a5, a4, a3, a2, a1)");
+  Instance j = I("{Seh(f, e, d, c, b, a)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->recoveries.size(), 1u);
+  EXPECT_EQ(result->recoveries[0], I("{Reh(a, b, c, d, e, f)}"));
+}
+
+TEST(EdgeCases, EmptyMappingHasNoRecoveries) {
+  DependencySet sigma;
+  Result<bool> valid = IsValidForRecovery(sigma, I("{Sei(a)}"));
+  ASSERT_TRUE(valid.ok());
+  EXPECT_FALSE(*valid);
+  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_TRUE(mapping->empty());
+}
+
+TEST(EdgeCases, IsolatedBodyVariableEverywhere) {
+  // y never reaches the head; every recovery carries a fresh null.
+  DependencySet sigma = S("Rej(x, y) -> Sej(x)");
+  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sej(a)}"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->recoveries.size(), 1u);
+  const Atom& atom = result->recoveries[0].atoms()[0];
+  EXPECT_TRUE(atom.arg(1).is_null());
+  // And the same null never leaks into certain answers.
+  Result<AnswerSet> cert =
+      CertainAnswers(U("Q(y) :- Rej(x, y)"), sigma, I("{Sej(a)}"));
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(cert->empty());
+}
+
+TEST(EdgeCases, TargetWithOnlyNulls) {
+  DependencySet sigma = S("Rek(x) -> exists z: Sek(z)");
+  Instance j = I("{Sek(_Z)}");
+  Result<bool> valid = IsValidForRecovery(sigma, j);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->recoveries.empty());
+}
+
+}  // namespace
+}  // namespace dxrec

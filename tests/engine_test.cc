@@ -1,0 +1,203 @@
+// Tests for the RecoveryEngine facade plus datagen/util helpers.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/hom_set.h"
+#include "datagen/generators.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+UnionQuery U(const char* text) {
+  Result<UnionQuery> parsed = ParseUnionQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(Engine, EndToEndFlow) {
+  RecoveryEngine engine(TriangleScenario::Sigma());
+  Instance j = TriangleScenario::Target(1, 2);
+  Result<bool> valid = engine.IsValid(j);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+
+  Result<InverseChaseResult> recovered = engine.Recover(j);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->recoveries.empty());
+
+  Result<AnswerSet> cert =
+      engine.CertainAnswers(U("Q(x) :- Rt(x, x, y)"), j);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(*cert, (AnswerSet{{Term::Constant("a0")}}));
+}
+
+TEST(Engine, TractablePathsAgree) {
+  RecoveryEngine engine(EmployeeScenario::Sigma());
+  Instance j = EmployeeScenario::Target(2, 1, 2);
+  Result<TractabilityReport> report = engine.Analyze(j);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->complete_ucq_recovery_exists());
+  Result<Instance> complete = engine.CompleteUcqRecovery(j);
+  ASSERT_TRUE(complete.ok());
+  UnionQuery q = U("Q(x) :- Bnf('dept0', x)");
+  AnswerSet via_complete = EvaluateNullFree(q, *complete);
+  AnswerSet via_thm7 = engine.SoundUcqAnswers(q, j);
+  Result<AnswerSet> via_cert = engine.CertainAnswers(q, j);
+  ASSERT_TRUE(via_cert.ok());
+  EXPECT_EQ(via_complete, *via_cert);
+  // Thm. 7's sound answers are a subset (here: equal).
+  for (const AnswerTuple& t : via_thm7) {
+    EXPECT_TRUE(via_cert->count(t) > 0);
+  }
+}
+
+TEST(Engine, ValidateChecksSchemas) {
+  RecoveryEngine good(TriangleScenario::Sigma());
+  EXPECT_TRUE(good.Validate().ok());
+
+  // A relation on both sides is rejected.
+  Result<DependencySet> cyclic =
+      ParseTgdSet("Rcy(x) -> Scy(x); Scy(y) -> Rcy(y)");
+  ASSERT_TRUE(cyclic.ok());
+  RecoveryEngine bad(std::move(*cyclic));
+  Status status = bad.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Engine, StatsRenderAllCounters) {
+  RecoveryEngine engine(TriangleScenario::Sigma());
+  Result<InverseChaseResult> result =
+      engine.Recover(TriangleScenario::Target(1, 1));
+  ASSERT_TRUE(result.ok());
+  std::string text = result->stats.ToString();
+  for (const char* field : {"homs=", "covers=", "passing_sub=", "g_homs=",
+                            "candidates=", "rejected="}) {
+    EXPECT_NE(text.find(field), std::string::npos) << text;
+  }
+}
+
+TEST(Engine, RepairThroughFacade) {
+  RecoveryEngine engine(DiamondScenario::Sigma());
+  Instance damaged = DiamondScenario::InvalidTarget(3);
+  Result<RepairResult> repair = engine.Repair(damaged);
+  ASSERT_TRUE(repair.ok());
+  EXPECT_FALSE(repair->maximal_valid_subsets.empty());
+  Result<Instance> greedy = engine.RepairGreedy(damaged);
+  ASSERT_TRUE(greedy.ok());
+  Result<bool> valid = engine.IsValid(*greedy);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+}
+
+TEST(Engine, BaselineAccessible) {
+  RecoveryEngine engine(OverlapScenario::Sigma());
+  Result<DependencySet> mapping = engine.MaximumRecoveryMapping();
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->size(), 1u);
+  Result<Instance> baseline =
+      engine.BaselineRecoveredSource(OverlapScenario::Target(1, 1));
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->size(), 1u);
+}
+
+TEST(Datagen, RandomMappingIsWellFormed) {
+  Rng rng(42);
+  MappingSpec spec;
+  spec.num_tgds = 5;
+  DependencySet sigma = RandomMapping(spec, "g1", &rng);
+  EXPECT_GT(sigma.size(), 0u);
+  Result<MappingSchema> schema = sigma.InferSchema();
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_TRUE(schema->Validate().ok());
+}
+
+TEST(Datagen, RandomMappingIsDeterministicPerSeed) {
+  MappingSpec spec;
+  Rng rng1(7), rng2(7);
+  DependencySet a = RandomMapping(spec, "g2", &rng1);
+  DependencySet b = RandomMapping(spec, "g2", &rng2);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(Datagen, RandomSourceRespectsSchema) {
+  Rng rng(43);
+  MappingSpec spec;
+  DependencySet sigma = RandomMapping(spec, "g3", &rng);
+  SourceSpec source_spec;
+  source_spec.num_tuples = 20;
+  Instance source = RandomSource(sigma, source_spec, "g3", &rng);
+  EXPECT_TRUE(source.IsGround());
+  Result<MappingSchema> schema = sigma.InferSchema();
+  ASSERT_TRUE(schema.ok());
+  for (const Atom& atom : source.atoms()) {
+    EXPECT_TRUE(schema->source().Contains(atom.relation()));
+  }
+}
+
+TEST(Datagen, ChaseTargetIsValidForRecovery) {
+  Rng rng(44);
+  MappingSpec spec;
+  spec.num_tgds = 2;
+  spec.max_body_atoms = 1;
+  DependencySet sigma = RandomMapping(spec, "g4", &rng);
+  SourceSpec source_spec;
+  source_spec.num_tuples = 4;
+  source_spec.num_constants = 3;
+  Instance source = RandomSource(sigma, source_spec, "g4", &rng);
+  Instance target = ChaseTarget(sigma, source, /*ground=*/true);
+  EXPECT_TRUE(target.IsGround());
+  if (!target.empty() && ComputeHomSet(sigma, target).size() <= 10) {
+    EngineOptions options;
+    options.inverse.cover.max_covers = 4096;
+    RecoveryEngine engine(std::move(sigma), options);
+    Result<bool> valid = engine.IsValid(target);
+    if (valid.ok()) {
+      EXPECT_TRUE(*valid);
+    } else {
+      EXPECT_EQ(valid.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+}
+
+TEST(Util, StopwatchAdvances) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sw.ElapsedMicros(), 0);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(Util, TableRendersAligned) {
+  TextTable table({"n", "time", "note"});
+  table.AddRow({TextTable::Cell(size_t{10}), TextTable::Cell(1.5),
+                "fast"});
+  table.AddRow({TextTable::Cell(size_t{1000}), TextTable::Cell(22.125),
+                "slower"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("22.125"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Util, TablePadsShortRows) {
+  TextTable table({"a", "b"});
+  table.AddRow({"only-a"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,206 @@
+// Integration tests: multi-module flows a downstream user would run --
+// parse from text, exchange forward, lose the source, recover, repair,
+// persist, and query -- checked end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/instance_core.h"
+#include "core/engine.h"
+#include "core/recovery.h"
+#include "core/repair.h"
+#include "datagen/generators.h"
+#include "datagen/scenarios.h"
+#include "logic/io.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+UnionQuery U(const char* text) {
+  Result<UnionQuery> parsed = ParseUnionQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+// A small "library catalog" schema evolution: books and their authors
+// are split into a borrower-facing view.
+const char* kLibraryMapping = R"(
+  Book(isbn, title, shelf), Shelf(shelf, room)
+      -> Catalog(isbn, title), Location(isbn, room);
+  Loan(isbn, member) -> Borrowed(isbn);
+)";
+
+TEST(Integration, LibraryExchangeAndRecovery) {
+  DependencySet sigma = S(kLibraryMapping);
+  Instance source = I(
+      "{Book(i1, moby, s1), Book(i2, emma, s1), Shelf(s1, east),"
+      " Loan(i1, m7)}");
+
+  // Forward exchange.
+  Instance target = Chase(sigma, source, &FreshNulls());
+  EXPECT_EQ(target, I("{Catalog(i1, moby), Location(i1, east),"
+                      " Catalog(i2, emma), Location(i2, east),"
+                      " Borrowed(i1)}"));
+
+  // The source is lost; recover from the target.
+  RecoveryEngine engine(std::move(sigma));
+  Result<InverseChaseResult> recovered = engine.Recover(target);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_TRUE(recovered->valid_for_recovery());
+
+  // Certain answers reconstruct the joinable facts: each book's title is
+  // certain, and each book sits in a room even though shelves are gone.
+  Result<AnswerSet> titles =
+      engine.CertainAnswers(U("Q(i, t) :- Book(i, t, s)"), target);
+  ASSERT_TRUE(titles.ok());
+  EXPECT_EQ(titles->size(), 2u);
+  Result<AnswerSet> borrowed =
+      engine.CertainAnswers(U("Q(i) :- Loan(i, m)"), target);
+  ASSERT_TRUE(borrowed.ok());
+  EXPECT_EQ(*borrowed, (AnswerSet{{Term::Constant("i1")}}));
+}
+
+TEST(Integration, RecoverRepairAfterDeletion) {
+  DependencySet sigma = S(kLibraryMapping);
+  // Someone deleted Catalog(i2, emma) from the exchanged data; the
+  // remaining Location(i2, east) is now unjustifiable.
+  Instance damaged = I(
+      "{Catalog(i1, moby), Location(i1, east), Location(i2, east),"
+      " Borrowed(i1)}");
+  Result<bool> valid = IsValidForRecovery(sigma, damaged);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_FALSE(*valid);
+
+  Result<RepairResult> repair = RepairTarget(sigma, damaged);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  ASSERT_FALSE(repair->maximal_valid_subsets.empty());
+  const Instance& best = repair->maximal_valid_subsets[0];
+  EXPECT_EQ(best, I("{Catalog(i1, moby), Location(i1, east),"
+                    " Borrowed(i1)}"));
+  Result<bool> best_valid = IsValidForRecovery(sigma, best);
+  ASSERT_TRUE(best_valid.ok());
+  EXPECT_TRUE(*best_valid);
+}
+
+TEST(Integration, PersistRecoverReload) {
+  std::string sigma_path = testing::TempDir() + "/integration.tgds";
+  std::string target_path = testing::TempDir() + "/integration.inst";
+  std::string recovered_path = testing::TempDir() + "/recovered.inst";
+
+  {
+    DependencySet sigma = S(kLibraryMapping);
+    ASSERT_TRUE(SaveTgdSetFile(sigma_path, sigma).ok());
+    Instance target = I("{Catalog(i9, dune), Location(i9, west)}");
+    ASSERT_TRUE(SaveInstanceFile(target_path, target).ok());
+  }
+
+  // A separate "session": everything reloaded from disk.
+  Result<DependencySet> sigma = LoadTgdSetFile(sigma_path);
+  ASSERT_TRUE(sigma.ok()) << sigma.status().ToString();
+  Result<Instance> target = LoadInstanceFile(target_path);
+  ASSERT_TRUE(target.ok());
+
+  RecoveryEngine engine(std::move(*sigma));
+  Result<InverseChaseResult> recovered = engine.Recover(*target);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->recoveries.size(), 1u);
+  ASSERT_TRUE(
+      SaveInstanceFile(recovered_path, recovered->recoveries[0]).ok());
+
+  Result<Instance> reloaded = LoadInstanceFile(recovered_path);
+  ASSERT_TRUE(reloaded.ok());
+  // The round-tripped recovery still justifies the target.
+  Result<bool> is_recovery =
+      IsRecovery(engine.sigma(), *reloaded, *target);
+  ASSERT_TRUE(is_recovery.ok());
+  EXPECT_TRUE(*is_recovery);
+
+  std::remove(sigma_path.c_str());
+  std::remove(target_path.c_str());
+  std::remove(recovered_path.c_str());
+}
+
+TEST(Integration, RandomWorkloadFullPipeline) {
+  // Generate, exchange, recover with cores in parallel, and check the
+  // original source's facts against the certain answers.
+  Rng rng(20260706);
+  MappingSpec spec;
+  spec.num_tgds = 2;
+  spec.max_body_atoms = 1;
+  spec.max_head_atoms = 2;
+  spec.max_arity = 2;
+  DependencySet sigma = RandomMapping(spec, "int1_", &rng);
+  SourceSpec source_spec;
+  source_spec.num_tuples = 4;
+  source_spec.num_constants = 3;
+  Instance source = RandomSource(sigma, source_spec, "int1_", &rng);
+  Instance target = ChaseTarget(sigma, source, /*ground=*/true);
+  if (target.empty()) GTEST_SKIP() << "degenerate workload";
+
+  EngineOptions options;
+  options.inverse.core_recoveries = true;
+  options.inverse.num_threads = 4;
+  options.inverse.cover.max_covers = 4096;
+  RecoveryEngine engine(std::move(sigma), options);
+  Result<InverseChaseResult> recovered = engine.Recover(target);
+  if (!recovered.ok()) GTEST_SKIP() << recovered.status().ToString();
+  EXPECT_TRUE(recovered->valid_for_recovery());
+  for (const Instance& rec : recovered->recoveries) {
+    EXPECT_TRUE(IsCore(rec));
+    EXPECT_TRUE(SatisfiesPair(engine.sigma(), rec, target));
+  }
+}
+
+TEST(Integration, EngineOnAllScenariosSmoke) {
+  struct Case {
+    DependencySet sigma;
+    Instance j;
+  };
+  std::vector<Case> cases;
+  cases.push_back({ProjectionScenario::Sigma(),
+                   ProjectionScenario::Target(2)});
+  cases.push_back({DiamondScenario::Sigma(),
+                   DiamondScenario::ValidTarget(2)});
+  cases.push_back({TriangleScenario::Sigma(),
+                   TriangleScenario::Target(1, 1)});
+  cases.push_back({SelfJoinScenario::Sigma(),
+                   SelfJoinScenario::Target(1, 1)});
+  cases.push_back({EmployeeScenario::Sigma(),
+                   EmployeeScenario::Target(1, 1, 1)});
+  cases.push_back({FanScenario::Sigma(), FanScenario::Target(2)});
+  cases.push_back({PairScenario::Sigma(), PairScenario::Target(2, 1)});
+  cases.push_back({OverlapScenario::Sigma(),
+                   OverlapScenario::Target(1, 1)});
+  cases.push_back({BlowupScenario::Sigma(), BlowupScenario::Target(1, 1)});
+  for (Case& c : cases) {
+    RecoveryEngine engine(std::move(c.sigma));
+    Result<InverseChaseResult> recovered = engine.Recover(c.j);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_TRUE(recovered->valid_for_recovery());
+    Result<TractabilityReport> report = engine.Analyze(c.j);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->all_coverable);
+    Result<SubUniversalResult> sub = engine.SubUniversal(c.j);
+    ASSERT_TRUE(sub.ok());
+    Result<DependencySet> mapping = engine.MaximumRecoveryMapping();
+    ASSERT_TRUE(mapping.ok());
+  }
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,236 @@
+// Unit tests for Chase^{-1} (Def. 9) and certain answers beyond the
+// paper's worked examples.
+#include <gtest/gtest.h>
+
+#include "chase/homomorphism.h"
+#include "core/certain.h"
+#include "core/inverse_chase.h"
+#include "core/recovery.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+UnionQuery U(const char* text) {
+  Result<UnionQuery> parsed = ParseUnionQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(InverseChase, CopyMappingRoundTrip) {
+  DependencySet sigma = S("Ria(x, y) -> Sia(x, y)");
+  Instance j = I("{Sia(a, b), Sia(c, d)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->recoveries.size(), 1u);
+  EXPECT_EQ(result->recoveries[0], I("{Ria(a, b), Ria(c, d)}"));
+}
+
+TEST(InverseChase, EmptyTargetHasEmptyRecovery) {
+  DependencySet sigma = S("Rib(x) -> Sib(x)");
+  Result<InverseChaseResult> result = InverseChase(sigma, I("{}"));
+  ASSERT_TRUE(result.ok());
+  // The empty source justifies the empty target.
+  ASSERT_EQ(result->recoveries.size(), 1u);
+  EXPECT_TRUE(result->recoveries[0].empty());
+  Result<bool> valid = IsValidForRecovery(sigma, I("{}"));
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+}
+
+TEST(InverseChase, AlternativeSourcesEnumerated) {
+  // First case from the intro (eq. before Sec. 2 discussion):
+  // R(x) -> S(x); M(y) -> S(y). J = {S(a)} has recoveries {R(a)},
+  // {M(a)}, {R(a), M(a)}.
+  DependencySet sigma = S("Ric(x) -> Sic(x); Mic(y) -> Sic(y)");
+  Instance j = I("{Sic(a)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->recoveries.size(), 3u);
+  auto contains = [&](const char* text) {
+    Instance expected = I(text);
+    for (const Instance& r : result->recoveries) {
+      if (r == expected) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("{Ric(a)}"));
+  EXPECT_TRUE(contains("{Mic(a)}"));
+  EXPECT_TRUE(contains("{Ric(a), Mic(a)}"));
+}
+
+TEST(InverseChase, GCollapseCannotSmuggleUnsoundTriggers) {
+  // The head-existential of tgd 1 can be specialized by g onto a value
+  // that would create a *new* trigger of tgd 2. The final verification
+  // must reject candidates whose fresh triggers escape J.
+  DependencySet sigma =
+      S("Rid(x) -> exists z: Sid(x, z); Pid(u, u) -> Tid(u)");
+  // S's second column comes from a null; specializing it to `a` does not
+  // create a P-pattern, so this is fine -- but the engine must also never
+  // emit a source containing Pid(a, a) unless Tid(a) is in J.
+  Instance j = I("{Sid(a, b)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->valid_for_recovery());
+  for (const Instance& rec : result->recoveries) {
+    for (const Atom& atom : rec.atoms()) {
+      EXPECT_NE(atom.relation(), InternRelation("Pid"))
+          << rec.ToString();
+    }
+  }
+}
+
+TEST(InverseChase, SharedFrontierForcesJoin) {
+  // Intro example (1): J = {S(a), P(b1), P(b2)} under
+  // R(x,y) -> S(x), P(y) forces every recovery to pair a with each bi.
+  DependencySet sigma = S("Rie(x, y) -> Sie(x), Pie(y)");
+  Instance j = I("{Sie(a), Pie(b1), Pie(b2)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->valid_for_recovery());
+  for (const Instance& rec : result->recoveries) {
+    EXPECT_TRUE(rec.Contains(I("{Rie(a, b1)}").atoms()[0]))
+        << rec.ToString();
+    EXPECT_TRUE(rec.Contains(I("{Rie(a, b2)}").atoms()[0]))
+        << rec.ToString();
+  }
+  // And S(a2) unmatched by any P: invalid.
+  Result<bool> invalid =
+      IsValidForRecovery(sigma, I("{Sie(a), Sie(a2)}"));
+  ASSERT_TRUE(invalid.ok());
+  // {S(a), S(a2)}: R-tuples would add P-atoms; no P in J -> invalid.
+  EXPECT_FALSE(*invalid);
+}
+
+TEST(InverseChase, EveryEmittedInstanceIsARecovery) {
+  DependencySet sigma =
+      S("Rif(x, y) -> Sif(x), Tif(y); Mif(z) -> Tif(z)");
+  Instance j = I("{Sif(a), Tif(b), Tif(c)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->valid_for_recovery());
+  for (const Instance& rec : result->recoveries) {
+    Result<bool> is_rec = IsRecovery(sigma, rec, j);
+    ASSERT_TRUE(is_rec.ok());
+    EXPECT_TRUE(*is_rec) << rec.ToString();
+  }
+}
+
+TEST(InverseChase, StatsArepopulated) {
+  DependencySet sigma = S("Rig(x) -> Sig(x); Mig(y) -> Sig(y)");
+  Instance j = I("{Sig(a)}");
+  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.num_homs, 2u);
+  EXPECT_EQ(result->stats.num_covers, 3u);
+  EXPECT_GE(result->stats.num_covers_passing_sub, 3u);
+  EXPECT_GE(result->stats.num_g_homs, 3u);
+}
+
+TEST(InverseChase, RecoveryBudgetEnforced) {
+  DependencySet sigma = S("Rih(x) -> Sih(x); Mih(y) -> Sih(y)");
+  Instance j = I("{Sih(a), Sih(b), Sih(c), Sih(d)}");
+  InverseChaseOptions tight;
+  tight.max_recoveries = 2;
+  Result<InverseChaseResult> result = InverseChase(sigma, j, tight);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Certain, InvalidTargetIsFailedPrecondition) {
+  DependencySet sigma = S("Rii(x) -> Sii(x), Tii(x)");
+  Instance j = I("{Sii(a)}");  // T(a) missing: invalid
+  Result<AnswerSet> cert = CertainAnswers(U("Q(x) :- Rii(x)"), sigma, j);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_EQ(cert.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Certain, UnionQueriesAcrossRecoveries) {
+  // Under R->S; M->S every recovery provides a or-answer via R or M.
+  DependencySet sigma = S("Rij(x) -> Sij(x); Mij(y) -> Sij(y)");
+  Instance j = I("{Sij(a)}");
+  // Neither R(a) nor M(a) alone is certain...
+  Result<AnswerSet> r_only = CertainAnswers(U("Q(x) :- Rij(x)"), sigma, j);
+  ASSERT_TRUE(r_only.ok());
+  EXPECT_TRUE(r_only->empty());
+  // ...but their union is.
+  Result<AnswerSet> either =
+      CertainAnswers(U("Q(x) :- Rij(x) | Q(x) :- Mij(x)"), sigma, j);
+  ASSERT_TRUE(either.ok());
+  EXPECT_EQ(*either, (AnswerSet{{Term::Constant("a")}}));
+}
+
+TEST(Certain, IsCertainDecision) {
+  DependencySet sigma = S("Rik(x, y) -> Sik(x), Pik(y)");
+  Instance j = I("{Sik(a), Pik(b)}");
+  Result<bool> yes = IsCertain({Term::Constant("a")},
+                               U("Q(x) :- Rik(x, y)"), sigma, j);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  Result<bool> no = IsCertain({Term::Constant("b")},
+                              U("Q(x) :- Rik(x, y)"), sigma, j);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(InverseChase, ParallelMatchesSequential) {
+  DependencySet sigma =
+      S("Rim(x, y) -> Sim(x), Tim(y); Mim(z) -> Tim(z); Nim(w) -> Sim(w)");
+  Instance j = I("{Sim(a), Sim(b), Tim(c), Tim(d)}");
+  Result<InverseChaseResult> sequential = InverseChase(sigma, j);
+  ASSERT_TRUE(sequential.ok());
+  InverseChaseOptions parallel_options;
+  parallel_options.num_threads = 4;
+  Result<InverseChaseResult> parallel =
+      InverseChase(sigma, j, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  // Same stats and the same recovery set up to null relabeling.
+  EXPECT_EQ(parallel->stats.num_covers, sequential->stats.num_covers);
+  EXPECT_EQ(parallel->stats.num_g_homs, sequential->stats.num_g_homs);
+  ASSERT_EQ(parallel->recoveries.size(), sequential->recoveries.size());
+  for (size_t i = 0; i < parallel->recoveries.size(); ++i) {
+    EXPECT_TRUE(
+        AreIsomorphic(parallel->recoveries[i], sequential->recoveries[i]))
+        << i;
+  }
+}
+
+TEST(InverseChase, ParallelCertainAnswersMatch) {
+  DependencySet sigma = S("Rin(x, y) -> Sin(x), Pin(y)");
+  Instance j = I("{Sin(a), Pin(b1), Pin(b2), Pin(b3)}");
+  UnionQuery q = U("Q(x, y) :- Rin(x, y)");
+  Result<AnswerSet> sequential = CertainAnswers(q, sigma, j);
+  ASSERT_TRUE(sequential.ok());
+  InverseChaseOptions parallel_options;
+  parallel_options.num_threads = 3;
+  Result<AnswerSet> parallel =
+      CertainAnswers(q, sigma, j, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(*sequential, *parallel);
+}
+
+TEST(Certain, BooleanQueryCertainty) {
+  DependencySet sigma = S("Ril(x, y) -> Sil(x), Pil(y)");
+  Instance j = I("{Sil(a), Pil(b)}");
+  Result<AnswerSet> cert =
+      CertainAnswers(U(":- Ril(x, y)"), sigma, j);
+  ASSERT_TRUE(cert.ok());
+  // Boolean certain-true is the singleton empty tuple.
+  EXPECT_EQ(cert->size(), 1u);
+  EXPECT_TRUE(cert->begin()->empty());
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,143 @@
+// Unit tests for file persistence and provenance explanations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "chase/homomorphism.h"
+#include "core/inverse_chase.h"
+#include "logic/io.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(Io, ReadMissingFileIsNotFound) {
+  Result<std::string> text = ReadFile("/nonexistent/definitely/missing");
+  EXPECT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Io, WriteThenReadRoundTrip) {
+  std::string path = TempPath("io_roundtrip.txt");
+  ASSERT_TRUE(WriteFile(path, "hello\nworld").ok());
+  Result<std::string> text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(Io, InstanceRoundTripGround) {
+  Instance original = I("{Ioa(a, b), Iob(c)}");
+  std::string path = TempPath("io_ground.inst");
+  ASSERT_TRUE(SaveInstanceFile(path, original).ok());
+  Result<Instance> loaded = LoadInstanceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(Io, InstanceRoundTripWithNulls) {
+  Instance original = I("{Ioc(a, _X), Ioc(_X, _Y), Iod(_Y)}");
+  std::string path = TempPath("io_nulls.inst");
+  ASSERT_TRUE(SaveInstanceFile(path, original).ok());
+  Result<Instance> loaded = LoadInstanceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  // Nulls are renamed on load but the structure is preserved.
+  EXPECT_TRUE(AreIsomorphic(*loaded, original));
+  std::remove(path.c_str());
+}
+
+TEST(Io, InstanceWithAwkwardConstantNames) {
+  Instance original;
+  original.Add(Atom::Make("Ioe", {Term::Constant("_starts_underscore"),
+                                  Term::Constant("has space")}));
+  std::string path = TempPath("io_awkward.inst");
+  ASSERT_TRUE(SaveInstanceFile(path, original).ok());
+  Result<Instance> loaded = LoadInstanceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(Io, TgdSetRoundTrip) {
+  DependencySet sigma = S(
+      "Iof(x, y) -> exists z: Iog(x, z); Ioh(u, 'k') -> Ioi(u, 42)");
+  std::string path = TempPath("io_sigma.tgd");
+  ASSERT_TRUE(SaveTgdSetFile(path, sigma).ok());
+  Result<DependencySet> loaded = LoadTgdSetFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  // Structure preserved: same relations, same variable classes, and the
+  // constant 'k' stayed a constant.
+  EXPECT_EQ(loaded->at(0).head_existential_vars().size(), 1u);
+  EXPECT_EQ(loaded->at(1).body()[0].arg(1), Term::Constant("k"));
+  EXPECT_EQ(loaded->at(1).head()[0].arg(1), Term::Constant("42"));
+  std::remove(path.c_str());
+}
+
+TEST(Io, SerializedInstanceIsDeterministic) {
+  Instance a = I("{Ioj(b), Ioj(a)}");
+  Instance b = I("{Ioj(a), Ioj(b)}");
+  EXPECT_EQ(SerializeInstance(a), SerializeInstance(b));
+}
+
+TEST(Explain, ProvenanceCoversEveryAtom) {
+  DependencySet sigma = S("Rex1(x, y) -> Sex1(x), Pex1(y)");
+  Instance j = I("{Sex1(a), Pex1(b)}");
+  InverseChaseOptions options;
+  options.explain = true;
+  Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->recoveries.size(), result->explanations.size());
+  ASSERT_FALSE(result->recoveries.empty());
+  for (size_t i = 0; i < result->recoveries.size(); ++i) {
+    const Instance& rec = result->recoveries[i];
+    const RecoveryExplanation& ex = result->explanations[i];
+    // Every recovered atom appears in the provenance...
+    for (const Atom& atom : rec.atoms()) {
+      bool found = false;
+      for (const SourceAtomProvenance& p : ex.atoms) {
+        if (p.atom == atom) found = true;
+      }
+      EXPECT_TRUE(found) << atom.ToString();
+    }
+    // ...and every provenance entry supports real target tuples.
+    for (const SourceAtomProvenance& p : ex.atoms) {
+      EXPECT_FALSE(p.supports.empty());
+      for (const Atom& t : p.supports.atoms()) {
+        EXPECT_TRUE(j.Contains(t));
+      }
+    }
+    // The rendering mentions the covering and g.
+    std::string text = ex.ToString(sigma);
+    EXPECT_NE(text.find("covering"), std::string::npos);
+    EXPECT_NE(text.find("g ="), std::string::npos);
+  }
+}
+
+TEST(Explain, DisabledByDefault) {
+  DependencySet sigma = S("Rex2(x) -> Sex2(x)");
+  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sex2(a)}"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->explanations.empty());
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,97 @@
+// Robustness tests for the parser: pseudo-random token soup must never
+// crash or hang -- every input yields either a value or an error Status.
+// Also round-trips randomly generated mappings and instances through the
+// serializers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chase/homomorphism.h"
+#include "base/fresh.h"
+#include "datagen/generators.h"
+#include "datagen/random.h"
+#include "logic/io.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomSoup(Rng* rng, size_t length) {
+  static const char* kFragments[] = {
+      "R",   "S1",  "(",  ")",   ",",   ";",    "->", ":-",  "|",
+      "{",   "}",   "x",  "y",   "z9",  "'q'",  "'",  "_N1", "_",
+      "42",  "exists", ":", "#c\n", " ", "\n",  "a",  "@",   "$v",
+  };
+  std::string out;
+  for (size_t i = 0; i < length; ++i) {
+    out += kFragments[rng->Index(sizeof(kFragments) /
+                                 sizeof(kFragments[0]))];
+  }
+  return out;
+}
+
+TEST_P(ParserFuzz, NeverCrashesOnTokenSoup) {
+  Rng rng(GetParam() * 1337 + 7);
+  for (int round = 0; round < 40; ++round) {
+    std::string soup = RandomSoup(&rng, 1 + rng.Index(30));
+    // Each parse either succeeds or returns an error; both are fine.
+    (void)ParseTgd(soup);
+    (void)ParseTgdSet(soup);
+    (void)ParseInstance(soup);
+    (void)ParseQuery(soup);
+    (void)ParseUnionQuery(soup);
+  }
+  SUCCEED();
+}
+
+TEST_P(ParserFuzz, RandomMappingSerializationRoundTrips) {
+  Rng rng(GetParam() * 31 + 5);
+  MappingSpec spec;
+  spec.num_tgds = 1 + rng.Index(4);
+  spec.max_body_atoms = 3;
+  spec.max_head_atoms = 3;
+  std::string tag = "fz" + std::to_string(GetParam()) + "_";
+  DependencySet sigma = RandomMapping(spec, tag, &rng);
+  Result<DependencySet> reparsed = ParseTgdSet(SerializeTgdSet(sigma));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << SerializeTgdSet(sigma);
+  ASSERT_EQ(reparsed->size(), sigma.size());
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    // Structurally identical: same atom counts and variable classes.
+    EXPECT_EQ(reparsed->at(i).body().size(), sigma.at(i).body().size());
+    EXPECT_EQ(reparsed->at(i).head().size(), sigma.at(i).head().size());
+    EXPECT_EQ(reparsed->at(i).frontier_vars().size(),
+              sigma.at(i).frontier_vars().size());
+    EXPECT_EQ(reparsed->at(i).head_existential_vars().size(),
+              sigma.at(i).head_existential_vars().size());
+  }
+}
+
+TEST_P(ParserFuzz, RandomInstanceSerializationRoundTrips) {
+  Rng rng(GetParam() * 77 + 3);
+  std::string tag = "fzi" + std::to_string(GetParam()) + "_";
+  MappingSpec spec;
+  DependencySet sigma = RandomMapping(spec, tag, &rng);
+  SourceSpec source_spec;
+  source_spec.num_tuples = 1 + rng.Index(12);
+  Instance original = RandomSource(sigma, source_spec, tag, &rng);
+  Result<Instance> reparsed = ParseInstance(SerializeInstance(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(*reparsed, original);  // ground: exact equality
+  // With nulls: isomorphic round trip.
+  Instance with_nulls = original;
+  with_nulls.Add(Atom::Make(tag + "N", {FreshNulls().Fresh(),
+                                        FreshNulls().Fresh()}));
+  Result<Instance> reparsed2 =
+      ParseInstance(SerializeInstance(with_nulls));
+  ASSERT_TRUE(reparsed2.ok());
+  EXPECT_TRUE(AreIsomorphic(*reparsed2, with_nulls));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace dxrec

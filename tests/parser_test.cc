@@ -1,0 +1,143 @@
+// Unit tests for the text language parser.
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace dxrec {
+namespace {
+
+TEST(ParseTgd, BasicFullTgd) {
+  Result<Tgd> tgd = ParseTgd("Rpa(x, y) -> Spa(x), Ppa(y)");
+  ASSERT_TRUE(tgd.ok()) << tgd.status().ToString();
+  EXPECT_EQ(tgd->body().size(), 1u);
+  EXPECT_EQ(tgd->head().size(), 2u);
+  EXPECT_TRUE(tgd->IsFull());
+}
+
+TEST(ParseTgd, ExistentialHead) {
+  Result<Tgd> tgd = ParseTgd("Rpb(x) -> exists z1, z2: Spb(x, z1, z2)");
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->head_existential_vars().size(), 2u);
+}
+
+TEST(ParseTgd, QuotedAndNumericConstantsInFormulas) {
+  Result<Tgd> tgd = ParseTgd("Rpc(x, 'k') -> Spc(x, 42)");
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(tgd->body()[0].arg(1), Term::Constant("k"));
+  EXPECT_EQ(tgd->head()[0].arg(1), Term::Constant("42"));
+}
+
+TEST(ParseTgd, Errors) {
+  EXPECT_FALSE(ParseTgd("Rpd(x)").ok());                 // no arrow
+  EXPECT_FALSE(ParseTgd("Rpd(x) -> ").ok());             // no head
+  EXPECT_FALSE(ParseTgd("-> Spd(x)").ok());              // no body
+  EXPECT_FALSE(ParseTgd("Rpd(x -> Spd(x)").ok());        // paren
+  EXPECT_FALSE(ParseTgd("Rpd(_N1) -> Spd(x)").ok());     // null in formula
+  EXPECT_FALSE(ParseTgd("Rpd(x) -> Spd(x) junk(").ok()); // trailing
+}
+
+TEST(ParseTgdSet, MultipleSeparatorsAndComments) {
+  Result<DependencySet> sigma = ParseTgdSet(R"(
+    # a comment line
+    Rpe(x) -> Spe(x);
+    Tpe(y) -> Upe(y)   # trailing comment
+    ; ;
+  )");
+  ASSERT_TRUE(sigma.ok()) << sigma.status().ToString();
+  EXPECT_EQ(sigma->size(), 2u);
+}
+
+TEST(ParseTgdSet, EmptyInputGivesEmptySet) {
+  Result<DependencySet> sigma = ParseTgdSet("  # nothing\n");
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_TRUE(sigma->empty());
+}
+
+TEST(ParseInstance, BracedAndBare) {
+  Result<Instance> braced = ParseInstance("{Rpf(a), Spf(b, c)}");
+  ASSERT_TRUE(braced.ok());
+  EXPECT_EQ(braced->size(), 2u);
+  Result<Instance> bare = ParseInstance("Rpf(a), Spf(b, c)");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(*braced, *bare);
+}
+
+TEST(ParseInstance, NullsShareIdentityWithinOneParse) {
+  Result<Instance> inst = ParseInstance("{Rpg(_X, _X), Rpg(_X, _Y)}");
+  ASSERT_TRUE(inst.ok());
+  const Atom& first = inst->atoms()[0];
+  EXPECT_EQ(first.arg(0), first.arg(1));
+  const Atom& second = inst->atoms()[1];
+  EXPECT_EQ(first.arg(0), second.arg(0));
+  EXPECT_NE(second.arg(0), second.arg(1));
+  // Distinct parses produce distinct nulls.
+  Result<Instance> other = ParseInstance("{Rpg(_X, _X)}");
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other->atoms()[0].arg(0), first.arg(0));
+}
+
+TEST(ParseInstance, EmptyForms) {
+  Result<Instance> empty = ParseInstance("{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  Result<Instance> blank = ParseInstance("   ");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_TRUE(blank->empty());
+}
+
+TEST(ParseInstance, BareIdentifiersAreConstants) {
+  Result<Instance> inst = ParseInstance("{Rph(x, y)}");
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(inst->IsGround());
+}
+
+TEST(ParseQuery, HeadForms) {
+  EXPECT_TRUE(ParseQuery("Q(x) :- Rpi(x, y)").ok());
+  EXPECT_TRUE(ParseQuery("(x) :- Rpi(x, y)").ok());
+  Result<ConjunctiveQuery> boolean = ParseQuery(":- Rpi(x, y)");
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean->IsBoolean());
+}
+
+TEST(ParseQuery, ConstantsInBody) {
+  Result<ConjunctiveQuery> q = ParseQuery("Q(x) :- Rpj(x, 'b2')");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->body()[0].arg(1), Term::Constant("b2"));
+}
+
+TEST(ParseQuery, UnsafeRejected) {
+  EXPECT_FALSE(ParseQuery("Q(w) :- Rpk(x)").ok());
+}
+
+TEST(ParseUnionQuery, Disjuncts) {
+  Result<UnionQuery> q =
+      ParseUnionQuery("Q(x) :- Rpl(x) | Q(x) :- Spl(x) | Q(x) :- Tpl(x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->disjuncts().size(), 3u);
+  EXPECT_EQ(q->arity(), 1u);
+}
+
+TEST(ParseUnionQuery, MixedArityRejected) {
+  EXPECT_FALSE(
+      ParseUnionQuery("Q(x) :- Rpm(x) | Q(x, y) :- Spm(x, y)").ok());
+}
+
+TEST(Printer, RoundTripTgdThroughToString) {
+  Result<Tgd> tgd = ParseTgd("Rpn(x, y) -> exists z: Spn(x, z)");
+  ASSERT_TRUE(tgd.ok());
+  Result<Tgd> reparsed = ParseTgd(tgd->ToString());
+  ASSERT_TRUE(reparsed.ok()) << "printed: " << tgd->ToString();
+  EXPECT_EQ(reparsed->ToString(), tgd->ToString());
+}
+
+TEST(Printer, AnswerSetRendering) {
+  AnswerSet answers;
+  answers.insert({Term::Constant("a")});
+  answers.insert({Term::Constant("b")});
+  EXPECT_EQ(ToString(answers), "{(a), (b)}");
+  EXPECT_EQ(ToString(AnswerSet{}), "{}");
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,298 @@
+// Property-based tests: the paper's theorems, checked as executable
+// invariants over randomized workloads (parameterized by seed).
+//
+// Workloads are kept small on purpose -- the exact engine is exponential
+// (Thms. 3-4) -- but every seed exercises the full pipeline end to end.
+#include <gtest/gtest.h>
+
+#include "base/fresh.h"
+#include "chase/chase.h"
+#include "chase/evaluation.h"
+#include "chase/homomorphism.h"
+#include "chase/instance_core.h"
+#include "core/certain.h"
+#include "core/cq_subuniversal.h"
+#include "core/inverse_chase.h"
+#include "core/max_recovery.h"
+#include "core/recovery.h"
+#include "core/tractable.h"
+#include "datagen/generators.h"
+#include "relational/glb.h"
+#include "relational/instance_ops.h"
+
+namespace dxrec {
+namespace {
+
+struct Workload {
+  DependencySet sigma;
+  Instance source;
+  Instance target;
+  bool usable = false;
+};
+
+// Tight budgets: a seed that would blow up skips quickly instead of
+// burning the default budget.
+InverseChaseOptions TightOptions() {
+  InverseChaseOptions options;
+  options.cover.max_covers = 2048;
+  options.cover.max_nodes = 1u << 18;
+  options.max_recoveries = 4096;
+  options.max_g_homs_per_cover = 512;
+  return options;
+}
+
+Workload MakeWorkload(uint64_t seed) {
+  Rng rng(seed);
+  MappingSpec spec;
+  spec.num_tgds = 1 + rng.Index(3);
+  spec.num_source_relations = 2;
+  spec.num_target_relations = 2;
+  spec.max_arity = 2;
+  spec.max_body_atoms = 2;
+  spec.max_head_atoms = 2;
+  Workload w;
+  w.sigma = RandomMapping(spec, "pw" + std::to_string(seed) + "_", &rng);
+  SourceSpec source_spec;
+  source_spec.num_tuples = 2 + rng.Index(3);
+  source_spec.num_constants = 3;
+  w.source =
+      RandomSource(w.sigma, source_spec, "pw" + std::to_string(seed) + "_",
+                   &rng);
+  w.target = ChaseTarget(w.sigma, w.source, /*ground=*/true);
+  // Keep the exact engine feasible: bail out on large hom sets.
+  std::vector<HeadHom> homs = ComputeHomSet(w.sigma, w.target);
+  w.usable =
+      !w.target.empty() && homs.size() <= 10 && w.target.size() <= 8;
+  return w;
+}
+
+// A UCQ probing each source relation of the workload.
+UnionQuery ProbeQuery(const DependencySet& sigma) {
+  Result<MappingSchema> schema = sigma.InferSchema();
+  EXPECT_TRUE(schema.ok());
+  std::vector<ConjunctiveQuery> disjuncts;
+  for (RelationId rel : schema->source().relations()) {
+    uint32_t arity = schema->source().Arity(rel);
+    if (arity == 0) continue;
+    std::vector<Term> vars;
+    for (uint32_t i = 0; i < arity; ++i) {
+      vars.push_back(Term::Variable("pq" + std::to_string(i)));
+    }
+    Result<ConjunctiveQuery> q = ConjunctiveQuery::Make(
+        {vars[0]}, {Atom(rel, vars)});
+    EXPECT_TRUE(q.ok());
+    disjuncts.push_back(std::move(*q));
+  }
+  Result<UnionQuery> q = UnionQuery::Make(std::move(disjuncts));
+  EXPECT_TRUE(q.ok());
+  return std::move(*q);
+}
+
+class RecoveryProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoveryProperties, ChasedTargetIsValid) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP() << "workload too large for exact engine";
+  Result<bool> valid = IsValidForRecovery(w.sigma, w.target, TightOptions());
+  if (!valid.ok()) GTEST_SKIP() << valid.status().ToString();
+  EXPECT_TRUE(*valid) << "sigma:\n"
+                      << w.sigma.ToString() << "source: "
+                      << w.source.ToString() << "\ntarget: "
+                      << w.target.ToString();
+}
+
+TEST_P(RecoveryProperties, EmittedInstancesAreRecoveries) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  Result<InverseChaseResult> result =
+      InverseChase(w.sigma, w.target, TightOptions());
+  if (!result.ok()) GTEST_SKIP() << result.status().ToString();
+  for (const Instance& rec : result->recoveries) {
+    // Independent check via the brute-force Def. 2 search.
+    Result<bool> justified = IsJustifiedSolution(w.sigma, rec, w.target);
+    if (!justified.ok()) continue;  // budget; skip this instance
+    EXPECT_TRUE(*justified)
+        << "sigma:\n"
+        << w.sigma.ToString() << "target: " << w.target.ToString()
+        << "\nnon-recovery emitted: " << rec.ToString();
+    // And the forward direction: (I, J) |= Sigma always.
+    EXPECT_TRUE(Satisfies(w.sigma, rec, w.target));
+  }
+}
+
+TEST_P(RecoveryProperties, SubUniversalMapsIntoAllRecoveries) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  Result<SubUniversalResult> sub = ComputeCqSubUniversal(w.sigma, w.target);
+  if (!sub.ok()) GTEST_SKIP() << sub.status().ToString();
+  Result<InverseChaseResult> result =
+      InverseChase(w.sigma, w.target, TightOptions());
+  if (!result.ok()) GTEST_SKIP();
+  for (const Instance& rec : result->recoveries) {
+    EXPECT_TRUE(HasInstanceHomomorphism(sub->instance, rec))
+        << "sigma:\n"
+        << w.sigma.ToString() << "I_{Sigma,J}: "
+        << sub->instance.ToString() << "\nrecovery: " << rec.ToString();
+  }
+  // Thm. 9 in particular for the original source whenever it is itself a
+  // recovery.
+  Result<bool> original = IsRecovery(w.sigma, w.source, w.target);
+  if (original.ok() && *original) {
+    EXPECT_TRUE(HasInstanceHomomorphism(sub->instance, w.source));
+  }
+}
+
+TEST_P(RecoveryProperties, BaselineChaseMapsIntoSubUniversal) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  Result<Instance> baseline = MaxRecoveryChase(w.sigma, w.target);
+  if (!baseline.ok()) GTEST_SKIP() << baseline.status().ToString();
+  Result<SubUniversalResult> sub = ComputeCqSubUniversal(w.sigma, w.target);
+  if (!sub.ok()) GTEST_SKIP();
+  EXPECT_TRUE(HasInstanceHomomorphism(*baseline, sub->instance))
+      << "sigma:\n"
+      << w.sigma.ToString() << "baseline: " << baseline->ToString()
+      << "\nI_{Sigma,J}: " << sub->instance.ToString();
+}
+
+TEST_P(RecoveryProperties, SoundAnswersAreCertain) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  UnionQuery q = ProbeQuery(w.sigma);
+  Result<AnswerSet> cert = CertainAnswers(q, w.sigma, w.target, TightOptions());
+  if (!cert.ok()) GTEST_SKIP() << cert.status().ToString();
+
+  // Thm. 7's sound UCQ answers.
+  AnswerSet thm7 = SoundUcqAnswers(q, w.sigma, w.target);
+  for (const AnswerTuple& t : thm7) {
+    EXPECT_TRUE(cert->count(t) > 0)
+        << "unsound Thm.7 answer on sigma:\n"
+        << w.sigma.ToString();
+  }
+
+  // Sec. 6.2's sound CQ answers, per disjunct.
+  for (const ConjunctiveQuery& cq : q.disjuncts()) {
+    Result<AnswerSet> sound = SoundCqAnswers(cq, w.sigma, w.target);
+    if (!sound.ok()) continue;
+    Result<AnswerSet> cq_cert = CertainAnswers(UnionQuery::Of(cq), w.sigma,
+                                               w.target, TightOptions());
+    if (!cq_cert.ok()) continue;
+    for (const AnswerTuple& t : *sound) {
+      EXPECT_TRUE(cq_cert->count(t) > 0)
+          << "unsound Sec 6.2 answer on sigma:\n"
+          << w.sigma.ToString();
+    }
+  }
+
+  // Certain answers hold in the original source when it is a recovery.
+  Result<bool> original = IsRecovery(w.sigma, w.source, w.target);
+  if (original.ok() && *original) {
+    AnswerSet in_source = EvaluateNullFree(q, w.source);
+    for (const AnswerTuple& t : *cert) {
+      EXPECT_TRUE(in_source.count(t) > 0)
+          << "certain answer missing from the true source; sigma:\n"
+          << w.sigma.ToString();
+    }
+  }
+}
+
+TEST_P(RecoveryProperties, MinimalCoverModeOverApproximates) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  UnionQuery q = ProbeQuery(w.sigma);
+  Result<AnswerSet> exact =
+      CertainAnswers(q, w.sigma, w.target, TightOptions());
+  if (!exact.ok()) GTEST_SKIP();
+  InverseChaseOptions approx = TightOptions();
+  approx.minimal_covers_only = true;
+  Result<AnswerSet> upper = CertainAnswers(q, w.sigma, w.target, approx);
+  if (!upper.ok()) GTEST_SKIP();
+  for (const AnswerTuple& t : *exact) {
+    EXPECT_TRUE(upper->count(t) > 0);
+  }
+}
+
+TEST_P(RecoveryProperties, GlbIsALowerBound) {
+  Rng rng(GetParam() * 7919 + 13);
+  // Random ground instances over one binary relation.
+  auto random_instance = [&rng](const char* rel, size_t n) {
+    Instance out;
+    for (size_t i = 0; i < n; ++i) {
+      out.Add(Atom::Make(
+          rel, {Term::Constant("g" + std::to_string(rng.Index(4))),
+                Term::Constant("g" + std::to_string(rng.Index(4)))}));
+    }
+    return out;
+  };
+  Instance a = random_instance("Rglb", 2 + rng.Index(4));
+  Instance b = random_instance("Rglb", 2 + rng.Index(4));
+  Instance g = Glb(a, b, &FreshNulls());
+  EXPECT_TRUE(HasInstanceHomomorphism(g, a));
+  EXPECT_TRUE(HasInstanceHomomorphism(g, b));
+  // For ground a, b: Q(glb) = Q(a) n Q(b) for the atomic CQ.
+  Result<ConjunctiveQuery> q = ConjunctiveQuery::Make(
+      {Term::Variable("ga"), Term::Variable("gb")},
+      {Atom::Make("Rglb", {Term::Variable("ga"), Term::Variable("gb")})});
+  ASSERT_TRUE(q.ok());
+  AnswerSet left = EvaluateNullFree(*q, g);
+  AnswerSet qa = EvaluateNullFree(*q, a);
+  AnswerSet qb = EvaluateNullFree(*q, b);
+  AnswerSet expected;
+  for (const AnswerTuple& t : qa) {
+    if (qb.count(t) > 0) expected.insert(t);
+  }
+  EXPECT_EQ(left, expected);
+}
+
+TEST_P(RecoveryProperties, CoresPreserveCertainAnswers) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  UnionQuery q = ProbeQuery(w.sigma);
+  Result<AnswerSet> plain = CertainAnswers(q, w.sigma, w.target,
+                                           TightOptions());
+  if (!plain.ok()) GTEST_SKIP();
+  InverseChaseOptions cored = TightOptions();
+  cored.core_recoveries = true;
+  Result<AnswerSet> with_cores =
+      CertainAnswers(q, w.sigma, w.target, cored);
+  if (!with_cores.ok()) GTEST_SKIP();
+  EXPECT_EQ(*plain, *with_cores) << "sigma:\n" << w.sigma.ToString();
+}
+
+TEST_P(RecoveryProperties, ParallelMatchesSequential) {
+  Workload w = MakeWorkload(GetParam());
+  if (!w.usable) GTEST_SKIP();
+  Result<InverseChaseResult> sequential =
+      InverseChase(w.sigma, w.target, TightOptions());
+  if (!sequential.ok()) GTEST_SKIP();
+  InverseChaseOptions parallel_options = TightOptions();
+  parallel_options.num_threads = 4;
+  Result<InverseChaseResult> parallel =
+      InverseChase(w.sigma, w.target, parallel_options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(parallel->recoveries.size(), sequential->recoveries.size());
+  for (size_t i = 0; i < parallel->recoveries.size(); ++i) {
+    EXPECT_TRUE(
+        AreIsomorphic(parallel->recoveries[i], sequential->recoveries[i]))
+        << "sigma:\n" << w.sigma.ToString();
+  }
+}
+
+TEST_P(RecoveryProperties, CoreIsIdempotentAndEquivalent) {
+  Workload w = MakeWorkload(GetParam());
+  if (w.target.empty()) GTEST_SKIP();
+  // The (non-frozen) chase result usually has foldable null padding.
+  Instance chased = Chase(w.sigma, w.source, &FreshNulls());
+  if (chased.empty()) GTEST_SKIP();
+  Instance core = ComputeCore(chased);
+  EXPECT_TRUE(IsCore(core));
+  EXPECT_EQ(ComputeCore(core), core);
+  EXPECT_TRUE(HasInstanceHomomorphism(chased, core));
+  EXPECT_TRUE(HasInstanceHomomorphism(core, chased));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryProperties,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,111 @@
+// Unit tests for CQ/UCQ containment, equivalence and minimization.
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "logic/query_containment.h"
+
+namespace dxrec {
+namespace {
+
+ConjunctiveQuery Q(const char* text) {
+  Result<ConjunctiveQuery> parsed = ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+UnionQuery UQ(const char* text) {
+  Result<UnionQuery> parsed = ParseUnionQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(Containment, ReflexiveAndRenamingInvariant) {
+  ConjunctiveQuery q1 = Q("Q(x) :- Rcq(x, y)");
+  ConjunctiveQuery q2 = Q("Q(u) :- Rcq(u, v)");
+  EXPECT_TRUE(IsContainedIn(q1, q1));
+  EXPECT_TRUE(AreEquivalent(q1, q2));
+}
+
+TEST(Containment, MoreJoinsMeansSmaller) {
+  // Q(x) :- R(x,y), R(y,x)  is contained in  Q(x) :- R(x,y).
+  ConjunctiveQuery tight = Q("Q(x) :- Rcq2(x, y), Rcq2(y, x)");
+  ConjunctiveQuery loose = Q("Q(x) :- Rcq2(x, y)");
+  EXPECT_TRUE(IsContainedIn(tight, loose));
+  EXPECT_FALSE(IsContainedIn(loose, tight));
+}
+
+TEST(Containment, ConstantsNarrow) {
+  ConjunctiveQuery with_const = Q("Q(x) :- Rcq3(x, 'b')");
+  ConjunctiveQuery without = Q("Q(x) :- Rcq3(x, y)");
+  EXPECT_TRUE(IsContainedIn(with_const, without));
+  EXPECT_FALSE(IsContainedIn(without, with_const));
+}
+
+TEST(Containment, HeadPositionsMatter) {
+  ConjunctiveQuery first = Q("Q(x) :- Rcq4(x, y)");
+  ConjunctiveQuery second = Q("Q(y) :- Rcq4(x, y)");
+  EXPECT_FALSE(IsContainedIn(first, second));
+  EXPECT_FALSE(IsContainedIn(second, first));
+}
+
+TEST(Containment, DifferentArityNeverContained) {
+  EXPECT_FALSE(IsContainedIn(Q("Q(x) :- Rcq5(x, y)"),
+                             Q("Q(x, y) :- Rcq5(x, y)")));
+}
+
+TEST(Containment, ClassicSelfJoinCollapse) {
+  // Q(x) :- R(x,y), R(x,z) is equivalent to Q(x) :- R(x,y).
+  ConjunctiveQuery doubled = Q("Q(x) :- Rcq6(x, y), Rcq6(x, z)");
+  ConjunctiveQuery single = Q("Q(x) :- Rcq6(x, y)");
+  EXPECT_TRUE(AreEquivalent(doubled, single));
+}
+
+TEST(Containment, UnionSagivYannakakis) {
+  UnionQuery left = UQ("Q(x) :- Rcq7(x, 'a') | Q(x) :- Rcq7(x, 'b')");
+  UnionQuery right = UQ("Q(x) :- Rcq7(x, y)");
+  EXPECT_TRUE(IsContainedIn(left, right));
+  EXPECT_FALSE(IsContainedIn(right, left));
+  // A disjunct with no counterpart breaks containment.
+  UnionQuery extra = UQ("Q(x) :- Rcq7(x, y) | Q(x) :- Scq7(x)");
+  EXPECT_TRUE(IsContainedIn(right, extra));
+  EXPECT_FALSE(IsContainedIn(extra, right));
+}
+
+TEST(Minimize, DropsRedundantAtoms) {
+  ConjunctiveQuery doubled = Q("Q(x) :- Rcq8(x, y), Rcq8(x, z)");
+  ConjunctiveQuery minimized = Minimize(doubled);
+  EXPECT_EQ(minimized.body().size(), 1u);
+  EXPECT_TRUE(AreEquivalent(minimized, doubled));
+}
+
+TEST(Minimize, KeepsGenuineJoins) {
+  ConjunctiveQuery path = Q("Q(x, z) :- Rcq9(x, y), Rcq9(y, z)");
+  EXPECT_EQ(Minimize(path).body().size(), 2u);
+}
+
+TEST(Minimize, TriangleIsItsOwnCore) {
+  ConjunctiveQuery triangle =
+      Q(":- Rc10(x, y), Rc10(y, z), Rc10(z, x)");
+  EXPECT_EQ(Minimize(triangle).body().size(), 3u);
+  // But a triangle with a loop atom collapses onto the loop.
+  ConjunctiveQuery with_loop =
+      Q(":- Rc10(x, y), Rc10(y, z), Rc10(z, x), Rc10(w, w)");
+  EXPECT_EQ(Minimize(with_loop).body().size(), 1u);
+}
+
+TEST(Minimize, UnionDropsSubsumedDisjuncts) {
+  UnionQuery q = UQ(
+      "Q(x) :- Rc11(x, 'a') | Q(x) :- Rc11(x, y) | Q(x) :- Sc11(x)");
+  UnionQuery minimized = Minimize(q);
+  EXPECT_EQ(minimized.disjuncts().size(), 2u);
+  EXPECT_TRUE(AreEquivalent(q, minimized));
+}
+
+TEST(Minimize, EquivalentDisjunctsKeepOneCopy) {
+  UnionQuery q = UQ("Q(x) :- Rc12(x, y) | Q(u) :- Rc12(u, v)");
+  UnionQuery minimized = Minimize(q);
+  EXPECT_EQ(minimized.disjuncts().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dxrec

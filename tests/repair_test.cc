@@ -1,0 +1,170 @@
+// Unit tests for target repair (maximal valid-for-recovery subsets).
+#include <gtest/gtest.h>
+
+#include "core/certain.h"
+#include "core/inverse_chase.h"
+#include "core/repair.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(Repair, ValidTargetIsItsOwnRepair) {
+  DependencySet sigma = S("Rwa(x) -> Swa(x)");
+  Instance j = I("{Swa(a), Swa(b)}");
+  Result<RepairResult> result = RepairTarget(sigma, j);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
+  EXPECT_EQ(result->maximal_valid_subsets[0], j);
+  EXPECT_TRUE(result->uncoverable.empty());
+}
+
+TEST(Repair, UncoverableTuplesPruned) {
+  DependencySet sigma = S("Rwb(x) -> Swb(x)");
+  Instance j = I("{Swb(a), Xwb(q)}");  // nothing produces Xwb
+  Result<RepairResult> result = RepairTarget(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->uncoverable, I("{Xwb(q)}"));
+  ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
+  EXPECT_EQ(result->maximal_valid_subsets[0], I("{Swb(a)}"));
+}
+
+TEST(Repair, DiamondDropsOrphanTAtom) {
+  // After "deleting" S(a) from a valid {T(a), S(a)}, the rest is
+  // unrecoverable; the repair removes T(a).
+  DependencySet sigma = DiamondScenario::Sigma();
+  Instance j = I("{Td(a), Sd(b)}");
+  Result<RepairResult> result = RepairTarget(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
+  EXPECT_EQ(result->maximal_valid_subsets[0], I("{Sd(b)}"));
+}
+
+TEST(Repair, KeepsConsistentPairTogether) {
+  DependencySet sigma = DiamondScenario::Sigma();
+  Instance j = I("{Td(a), Sd(a), Td(b)}");  // T(b) lacks its S(b)
+  Result<RepairResult> result = RepairTarget(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
+  EXPECT_EQ(result->maximal_valid_subsets[0], I("{Td(a), Sd(a)}"));
+}
+
+TEST(Repair, MultipleIncomparableRepairs) {
+  // R(x,y) -> S(x), P(y): after deletions J = {S(a), S(b), P(c)}.
+  // Valid subsets need every S paired with some P and vice versa:
+  // {S(a), P(c)}, {S(b), P(c)}, {S(a), S(b), P(c)}.
+  // The full pruned target IS valid ({R(a,c), R(b,c)}), so it is the
+  // single maximal repair.
+  DependencySet sigma = S("Rwc(x, y) -> Swc(x), Pwc(y)");
+  Instance j = I("{Swc(a), Swc(b), Pwc(c)}");
+  Result<RepairResult> result = RepairTarget(sigma, j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
+  EXPECT_EQ(result->maximal_valid_subsets[0], j);
+
+  // Now make the pair side empty: {S(a), S(b)} alone is invalid and the
+  // only valid subset is empty.
+  Instance j2 = I("{Swc(a), Swc(b)}");
+  Result<RepairResult> result2 = RepairTarget(sigma, j2);
+  ASSERT_TRUE(result2.ok());
+  ASSERT_EQ(result2->maximal_valid_subsets.size(), 1u);
+  EXPECT_TRUE(result2->maximal_valid_subsets[0].empty());
+}
+
+TEST(Repair, AntichainOfRepairs) {
+  // Two "modes" that cannot mix: xi generates A(x) with witness B(x);
+  // rho generates B(y) with witness A'(y)... construct incomparable
+  // maximal subsets via a mapping where keeping T(a) forces dropping
+  // U(a) and vice versa.
+  DependencySet sigma = S(
+      "Rwd(x) -> Twd(x), Uwd(x); "  // producing T(a) also produces U(a)
+      "Mwd(y) -> Twd(y); "
+      "Nwd(z) -> Uwd(z)");
+  // {T(a), U(b)}: valid via M(a), N(b). Full set valid -> one repair.
+  Instance j = I("{Twd(a), Uwd(b)}");
+  Result<RepairResult> result = RepairTarget(sigma, j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->maximal_valid_subsets.size(), 1u);
+}
+
+TEST(Repair, GreedyRepairReturnsValidSubset) {
+  DependencySet sigma = DiamondScenario::Sigma();
+  Instance j = I("{Td(a), Sd(a), Td(b), Td(c), Sd(d)}");
+  Result<Instance> repaired = GreedyRepair(sigma, j);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  Result<bool> valid = IsValidForRecovery(sigma, *repaired);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_TRUE(*valid);
+  // T(a), S(a) and S(d) survive; orphan T(b), T(c) go.
+  EXPECT_TRUE(repaired->Contains(I("{Sd(d)}").atoms()[0]));
+}
+
+TEST(Repair, BudgetEnforced) {
+  DependencySet sigma = DiamondScenario::Sigma();
+  Instance j = I("{Td(a), Td(b), Td(c), Td(d), Td(e)}");
+  RepairOptions tight;
+  tight.max_validity_checks = 2;
+  Result<RepairResult> result = RepairTarget(sigma, j, tight);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Repair, RepairCertainAnswersOnValidTargetMatchCert) {
+  DependencySet sigma = S("Rwe(x, y) -> Swe(x), Pwe(y)");
+  Instance j = I("{Swe(a), Pwe(b)}");
+  Result<UnionQuery> q = ParseUnionQuery("Q(x, y) :- Rwe(x, y)");
+  ASSERT_TRUE(q.ok());
+  Result<AnswerSet> plain = CertainAnswers(*q, sigma, j);
+  ASSERT_TRUE(plain.ok());
+  Result<AnswerSet> via_repair = RepairCertainAnswers(*q, sigma, j);
+  ASSERT_TRUE(via_repair.ok());
+  EXPECT_EQ(*plain, *via_repair);
+}
+
+TEST(Repair, RepairCertainAnswersOnDamagedTarget) {
+  // Diamond with an orphan T: the single maximal repair keeps the
+  // consistent S-atoms, so M-or-R answers survive.
+  DependencySet sigma = DiamondScenario::Sigma();
+  Instance j = I("{Td(orphan), Sd(a), Sd(b)}");
+  Result<UnionQuery> q =
+      ParseUnionQuery("Q(x) :- Rd(x) | Q(x) :- Md(x)");
+  ASSERT_TRUE(q.ok());
+  Result<AnswerSet> answers = RepairCertainAnswers(*q, sigma, j);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(*answers, (AnswerSet{{Term::Constant("a")},
+                                 {Term::Constant("b")}}));
+}
+
+TEST(Repair, RepairCertainAnswersNoRepairIsError) {
+  DependencySet sigma = DiamondScenario::Sigma();
+  Instance j = I("{Td(a)}");  // only repair is empty
+  Result<UnionQuery> q = ParseUnionQuery("Q(x) :- Rd(x)");
+  ASSERT_TRUE(q.ok());
+  Result<AnswerSet> answers = RepairCertainAnswers(*q, sigma, j);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Repair, EmptyTargetTrivially) {
+  DependencySet sigma = DiamondScenario::Sigma();
+  Result<RepairResult> result = RepairTarget(sigma, I("{}"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
+  EXPECT_TRUE(result->maximal_valid_subsets[0].empty());
+}
+
+}  // namespace
+}  // namespace dxrec

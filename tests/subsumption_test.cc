@@ -1,0 +1,284 @@
+// Unit tests for SUB(Sigma) generation and model checking (Defs. 6-8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/subsumption.h"
+#include "datagen/scenarios.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+DependencySet S(const char* text) {
+  Result<DependencySet> parsed = ParseTgdSet(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+Instance I(const char* text) {
+  Result<Instance> parsed = ParseInstance(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+std::vector<SubsumptionConstraint> Sub(const DependencySet& sigma) {
+  Result<std::vector<SubsumptionConstraint>> sub =
+      ComputeSubsumption(sigma);
+  EXPECT_TRUE(sub.ok()) << sub.status().ToString();
+  return *sub;
+}
+
+TEST(Subsumption, SingleTgdSelfCoverIsTautological) {
+  // R(x, y) -> S(x): the only cover of its body is (a copy of) itself
+  // with the same frontier image -> tautology -> empty SUB.
+  DependencySet sigma = S("Rsa(x, y) -> Ssa(x)");
+  EXPECT_TRUE(Sub(sigma).empty());
+}
+
+TEST(Subsumption, DisjointRelationsNoConstraints) {
+  DependencySet sigma = S("Rsb(x) -> Ssb(x); Dsb(y) -> Tsb(y)");
+  EXPECT_TRUE(Sub(sigma).empty());
+}
+
+TEST(Subsumption, SharedBodyRelationCreatesConstraints) {
+  // Both tgds read R: each trigger of one implies a trigger of the other.
+  DependencySet sigma = S("Rsc(x, y) -> Ssc(x); Rsc(u, v) -> Tsc(v)");
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  // Constraints in both directions.
+  bool to_first = false, to_second = false;
+  for (const SubsumptionConstraint& c : sub) {
+    if (c.conclusion == 0) to_first = true;
+    if (c.conclusion == 1) to_second = true;
+  }
+  EXPECT_TRUE(to_first);
+  EXPECT_TRUE(to_second);
+}
+
+TEST(Subsumption, RepeatedVariableBlocksFrozenMerge) {
+  // Example 4's remark: rho = R(u,v,w) -> T(w) cannot subsume
+  // xi = R(x,x,y) -> exists z: S(x,z) because x,x would force rho's
+  // body-only u to merge with its frontier... transposed to the
+  // triangle scenario: no constraint concludes in xi from premise rho.
+  DependencySet sigma = TriangleScenario::Sigma();
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  for (const SubsumptionConstraint& c : sub) {
+    if (c.conclusion == 0) {  // xi is tgd 0 in the scenario
+      for (const SubPremise& p : c.premises) {
+        EXPECT_NE(p.tgd, 1u)
+            << "rho must not subsume xi: " << c.ToString(sigma);
+      }
+    }
+  }
+}
+
+TEST(Subsumption, TriangleConstraintShape) {
+  // The paper's SUB(Sigma) for Example 2 contains exactly the xi->rho
+  // constraint (after tautology removal) and nothing concluding sigma
+  // from D-free premises.
+  DependencySet sigma = TriangleScenario::Sigma();
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  bool xi_to_rho = false;
+  for (const SubsumptionConstraint& c : sub) {
+    if (c.conclusion == 1 && c.premises.size() == 1 &&
+        c.premises[0].tgd == 0) {
+      xi_to_rho = true;
+    }
+    // sigma-tgd (2) reads D, which no other tgd writes-or-reads, so its
+    // only possible subsumant is itself (tautological).
+    EXPECT_NE(c.conclusion, 2u);
+  }
+  EXPECT_TRUE(xi_to_rho);
+}
+
+TEST(Subsumption, EmployeeTwoCopyConstraint) {
+  // Example 8: two copies of the single tgd subsume it with mixed
+  // benefit bindings.
+  DependencySet sigma = EmployeeScenario::Sigma();
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  bool found = false;
+  for (const SubsumptionConstraint& c : sub) {
+    if (c.premises.size() == 2 && c.premises[0].tgd == 0 &&
+        c.premises[1].tgd == 0 && c.conclusion == 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Subsumption, ModelsRespectsPinnedConclusion) {
+  DependencySet sigma = TriangleScenario::Sigma();
+  Instance j = I("{St(a, b), Tt(c)}");
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  // homs: xi {x/a,z/b}; rho {w/c}; sigma {p/c}.
+  ASSERT_EQ(homs.size(), 3u);
+  HeadHom xi_hom, rho_hom, sigma_hom;
+  for (const HeadHom& h : homs) {
+    if (h.tgd == 0) xi_hom = h;
+    if (h.tgd == 1) rho_hom = h;
+    if (h.tgd == 2) sigma_hom = h;
+  }
+  // {xi} alone: violates xi->rho (no rho hom at all).
+  EXPECT_FALSE(ModelsAll({xi_hom}, sub, sigma));
+  // {xi, rho}: satisfied (the unpinned frozen image is chosen
+  // existentially, any rho hom works).
+  EXPECT_TRUE(ModelsAll({xi_hom, rho_hom}, sub, sigma));
+  // {xi, sigma}: still violated -- sigma's hom is for the wrong tgd.
+  EXPECT_FALSE(ModelsAll({xi_hom, sigma_hom}, sub, sigma));
+  // {rho, sigma}: no xi premise matches, vacuously satisfied.
+  EXPECT_TRUE(ModelsAll({rho_hom, sigma_hom}, sub, sigma));
+  // The empty set models everything.
+  EXPECT_TRUE(ModelsAll({}, sub, sigma));
+}
+
+TEST(Subsumption, ModelsEmployeeScenario) {
+  DependencySet sigma = EmployeeScenario::Sigma();
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  // J: one employee in each of two departments; the second department's
+  // benefit differs.
+  Instance j = I(
+      "{EmpDept(joe, hr), EmpBnf(joe, medical), "
+      " EmpDept(amy, it), EmpBnf(amy, pension)}");
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  // Full hom set must model SUB (it is realized by the obvious source).
+  EXPECT_TRUE(ModelsAll(homs, sub, sigma));
+}
+
+// A direct transcription of Def. 8, used to cross-validate the
+// join-indexed ModelChecker on randomized hom sets.
+bool BruteForceModels(const std::vector<HeadHom>& homs,
+                      const SubsumptionConstraint& c,
+                      const DependencySet& sigma) {
+  std::vector<size_t> choice(c.premises.size(), 0);
+  // Enumerate all assignments of homs to premises.
+  std::vector<std::vector<size_t>> candidates(c.premises.size());
+  for (size_t i = 0; i < c.premises.size(); ++i) {
+    for (size_t h = 0; h < homs.size(); ++h) {
+      if (homs[h].tgd == c.premises[i].tgd) candidates[i].push_back(h);
+    }
+    if (candidates[i].empty()) return true;  // vacuous
+  }
+  std::vector<size_t> idx(c.premises.size(), 0);
+  while (true) {
+    // Build m from this assignment; check consistency.
+    std::unordered_map<Term, Term, TermHash> m;
+    bool consistent = true;
+    for (size_t i = 0; i < c.premises.size() && consistent; ++i) {
+      const HeadHom& h = homs[candidates[i][idx[i]]];
+      const Tgd& tgd = sigma.at(c.premises[i].tgd);
+      for (size_t k = 0; k < tgd.head_vars().size() && consistent; ++k) {
+        Term image = c.premises[i].head_images[k];
+        Term value = h.hom.Apply(tgd.head_vars()[k]);
+        if (!image.is_variable()) {
+          consistent = (value == image);
+        } else {
+          auto [it, inserted] = m.emplace(image, value);
+          if (!inserted) consistent = (it->second == value);
+        }
+      }
+    }
+    if (consistent) {
+      // Conclusion: exists h0 matching pinned positions.
+      const Tgd& t0 = sigma.at(c.conclusion);
+      bool found = false;
+      for (const HeadHom& h0 : homs) {
+        if (h0.tgd != c.conclusion) continue;
+        std::unordered_map<Term, Term, TermHash> local;
+        bool ok = true;
+        for (size_t k = 0; k < t0.frontier_vars().size() && ok; ++k) {
+          Term image = c.conclusion_images[k];
+          Term value = h0.hom.Apply(t0.frontier_vars()[k]);
+          if (!image.is_variable()) {
+            ok = (value == image);
+          } else if (m.count(image) > 0) {
+            ok = (m[image] == value);
+          } else {
+            auto [it, inserted] = local.emplace(image, value);
+            if (!inserted) ok = (it->second == value);
+          }
+        }
+        if (ok) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    // Next assignment.
+    size_t pos = 0;
+    while (pos < idx.size() && ++idx[pos] == candidates[pos].size()) {
+      idx[pos++] = 0;
+    }
+    if (pos == idx.size()) break;
+  }
+  return true;
+}
+
+TEST(Subsumption, ModelCheckerMatchesBruteForce) {
+  // Randomized hom subsets on the employee scenario, where constraints
+  // have two premises joined on the department variable.
+  DependencySet sigma = EmployeeScenario::Sigma();
+  Result<std::vector<SubsumptionConstraint>> sub =
+      ComputeSubsumption(sigma);
+  ASSERT_TRUE(sub.ok());
+  Instance j = EmployeeScenario::Target(2, 2, 2);
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  ASSERT_GE(homs.size(), 4u);
+  // All 2^min(n,12) subsets of the hom set.
+  size_t n = std::min<size_t>(homs.size(), 12);
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<HeadHom> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.push_back(homs[i]);
+    }
+    for (const SubsumptionConstraint& c : *sub) {
+      EXPECT_EQ(Models(subset, c, sigma),
+                BruteForceModels(subset, c, sigma))
+          << "mask=" << mask << " constraint " << c.ToString(sigma);
+    }
+  }
+}
+
+TEST(Subsumption, ModelCheckerMatchesBruteForceOnTriangle) {
+  DependencySet sigma = TriangleScenario::Sigma();
+  Result<std::vector<SubsumptionConstraint>> sub =
+      ComputeSubsumption(sigma);
+  ASSERT_TRUE(sub.ok());
+  Instance j = TriangleScenario::Target(2, 2);
+  std::vector<HeadHom> homs = ComputeHomSet(sigma, j);
+  size_t n = std::min<size_t>(homs.size(), 10);
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<HeadHom> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.push_back(homs[i]);
+    }
+    for (const SubsumptionConstraint& c : *sub) {
+      EXPECT_EQ(Models(subset, c, sigma),
+                BruteForceModels(subset, c, sigma))
+          << "mask=" << mask << " constraint " << c.ToString(sigma);
+    }
+  }
+}
+
+TEST(Subsumption, BudgetEnforced) {
+  DependencySet sigma = TriangleScenario::Sigma();
+  SubsumptionOptions tight;
+  tight.max_nodes = 2;
+  Result<std::vector<SubsumptionConstraint>> sub =
+      ComputeSubsumption(sigma, tight);
+  EXPECT_FALSE(sub.ok());
+  EXPECT_EQ(sub.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Subsumption, ToStringMentionsTgds) {
+  DependencySet sigma = TriangleScenario::Sigma();
+  std::vector<SubsumptionConstraint> sub = Sub(sigma);
+  ASSERT_FALSE(sub.empty());
+  std::string text = sub[0].ToString(sigma);
+  EXPECT_NE(text.find("tgd"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -1,0 +1,129 @@
+// Tests for view-based query answering as instance recovery.
+#include <gtest/gtest.h>
+
+#include "core/view_recovery.h"
+#include "logic/parser.h"
+
+namespace dxrec {
+namespace {
+
+ConjunctiveQuery Q(const char* text) {
+  Result<ConjunctiveQuery> parsed = ParseQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+UnionQuery UQ(const char* text) {
+  Result<UnionQuery> parsed = ParseUnionQuery(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+Term C(const char* name) { return Term::Constant(name); }
+
+// Two views over Emp(name, dept, city):
+//   ByDept(n, d) :- Emp(n, d, c)
+//   ByCity(n, c) :- Emp(n, d, c)
+std::vector<ViewDefinition> EmpViews() {
+  return {{"VByDept", Q("Q(n, d) :- EmpV(n, d, c)")},
+          {"VByCity", Q("Q(n, c) :- EmpV(n, d, c)")}};
+}
+
+TEST(ViewRecovery, MakeValidation) {
+  EXPECT_FALSE(ViewRecovery::Make({}).ok());
+  // Duplicate names rejected.
+  std::vector<ViewDefinition> dup = {{"VDup", Q("Q(x) :- RduV(x)")},
+                                     {"VDup", Q("Q(x) :- RduV(x)")}};
+  EXPECT_FALSE(ViewRecovery::Make(std::move(dup)).ok());
+  // View name colliding with a base relation rejected.
+  std::vector<ViewDefinition> collide = {
+      {"RcolV", Q("Q(x) :- RcolV(x)")}};
+  EXPECT_FALSE(ViewRecovery::Make(std::move(collide)).ok());
+  // Well-formed views compile to one full tgd each.
+  Result<ViewRecovery> vr = ViewRecovery::Make(EmpViews());
+  ASSERT_TRUE(vr.ok()) << vr.status().ToString();
+  EXPECT_EQ(vr->sigma().size(), 2u);
+  for (const Tgd& tgd : vr->sigma().tgds()) {
+    EXPECT_TRUE(tgd.IsFull());
+  }
+}
+
+TEST(ViewRecovery, ExtentArityChecked) {
+  Result<ViewRecovery> vr = ViewRecovery::Make(EmpViews());
+  ASSERT_TRUE(vr.ok());
+  ViewExtents bad = {{"VByDept", {{C("joe")}}}};  // arity 1, expects 2
+  EXPECT_FALSE(vr->TargetFromExtents(bad).ok());
+  ViewExtents unknown = {{"VGhost", {{C("a"), C("b")}}}};
+  Result<Instance> missing = vr->TargetFromExtents(unknown);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ViewRecovery, ConsistencyIsJValidity) {
+  Result<ViewRecovery> vr = ViewRecovery::Make(EmpViews());
+  ASSERT_TRUE(vr.ok());
+  // Joe appears in the dept view and the city view: consistent (one base
+  // row explains both).
+  ViewExtents good = {{"VByDept", {{C("joe"), C("hr")}}},
+                      {"VByCity", {{C("joe"), C("oslo")}}}};
+  Result<bool> consistent = vr->AreExtentsConsistent(good);
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_TRUE(*consistent);
+  // Joe in the dept view but missing from the city view: inconsistent
+  // (any base row for Joe would also appear in ByCity).
+  ViewExtents bad = {{"VByDept", {{C("joe"), C("hr")}}},
+                     {"VByCity", {}}};
+  Result<bool> inconsistent = vr->AreExtentsConsistent(bad);
+  ASSERT_TRUE(inconsistent.ok());
+  EXPECT_FALSE(*inconsistent);
+}
+
+TEST(ViewRecovery, CertainAnswersJoinViews) {
+  Result<ViewRecovery> vr = ViewRecovery::Make(EmpViews());
+  ASSERT_TRUE(vr.ok());
+  ViewExtents extents = {
+      {"VByDept", {{C("joe"), C("hr")}, {C("amy"), C("it")}}},
+      {"VByCity", {{C("joe"), C("oslo")}, {C("amy"), C("berlin")}}}};
+  // The base row joins dept and city through the shared name: Joe's
+  // dept-city pair is certain.
+  Result<AnswerSet> answers = vr->CertainAnswers(
+      UQ("Q(d, c) :- EmpV('joe', d, c)"), extents);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(*answers, (AnswerSet{{C("hr"), C("oslo")}}));
+}
+
+TEST(ViewRecovery, SoundAnswersAreSubsetOfCertain) {
+  Result<ViewRecovery> vr = ViewRecovery::Make(EmpViews());
+  ASSERT_TRUE(vr.ok());
+  ViewExtents extents = {{"VByDept", {{C("joe"), C("hr")}}},
+                         {"VByCity", {{C("joe"), C("oslo")}}}};
+  ConjunctiveQuery q = Q("Q(n) :- EmpV(n, d, c)");
+  Result<AnswerSet> sound = vr->SoundAnswers(q, extents);
+  ASSERT_TRUE(sound.ok());
+  Result<AnswerSet> cert =
+      vr->CertainAnswers(UnionQuery::Of(q), extents);
+  ASSERT_TRUE(cert.ok());
+  for (const AnswerTuple& t : *sound) {
+    EXPECT_TRUE(cert->count(t) > 0);
+  }
+  EXPECT_EQ(*cert, (AnswerSet{{C("joe")}}));
+}
+
+TEST(ViewRecovery, ProjectionViewLosesColumn) {
+  std::vector<ViewDefinition> views = {
+      {"VNames", Q("Q(n) :- EmpW(n, d)")}};
+  Result<ViewRecovery> vr = ViewRecovery::Make(std::move(views));
+  ASSERT_TRUE(vr.ok());
+  ViewExtents extents = {{"VNames", {{C("joe")}}}};
+  Result<bool> consistent = vr->AreExtentsConsistent(extents);
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_TRUE(*consistent);
+  // The department is gone for good: no certain (n, d) pair.
+  Result<AnswerSet> answers =
+      vr->CertainAnswers(UQ("Q(n, d) :- EmpW(n, d)"), extents);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+}  // namespace
+}  // namespace dxrec
