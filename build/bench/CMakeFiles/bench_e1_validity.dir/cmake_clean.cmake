@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_validity.dir/bench_e1_validity.cc.o"
+  "CMakeFiles/bench_e1_validity.dir/bench_e1_validity.cc.o.d"
+  "bench_e1_validity"
+  "bench_e1_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

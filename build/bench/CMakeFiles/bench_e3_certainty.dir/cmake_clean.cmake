@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_certainty.dir/bench_e3_certainty.cc.o"
+  "CMakeFiles/bench_e3_certainty.dir/bench_e3_certainty.cc.o.d"
+  "bench_e3_certainty"
+  "bench_e3_certainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_certainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

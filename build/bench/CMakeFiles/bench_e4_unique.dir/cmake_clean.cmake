@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_unique.dir/bench_e4_unique.cc.o"
+  "CMakeFiles/bench_e4_unique.dir/bench_e4_unique.cc.o.d"
+  "bench_e4_unique"
+  "bench_e4_unique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_unique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_maximal_subset.dir/bench_e5_maximal_subset.cc.o"
+  "CMakeFiles/bench_e5_maximal_subset.dir/bench_e5_maximal_subset.cc.o.d"
+  "bench_e5_maximal_subset"
+  "bench_e5_maximal_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_maximal_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_subuniversal.dir/bench_e6_subuniversal.cc.o"
+  "CMakeFiles/bench_e6_subuniversal.dir/bench_e6_subuniversal.cc.o.d"
+  "bench_e6_subuniversal"
+  "bench_e6_subuniversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_subuniversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_vs_maxrecovery.dir/bench_e7_vs_maxrecovery.cc.o"
+  "CMakeFiles/bench_e7_vs_maxrecovery.dir/bench_e7_vs_maxrecovery.cc.o.d"
+  "bench_e7_vs_maxrecovery"
+  "bench_e7_vs_maxrecovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_vs_maxrecovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

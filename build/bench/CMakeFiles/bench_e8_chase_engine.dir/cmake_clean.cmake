@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_chase_engine.dir/bench_e8_chase_engine.cc.o"
+  "CMakeFiles/bench_e8_chase_engine.dir/bench_e8_chase_engine.cc.o.d"
+  "bench_e8_chase_engine"
+  "bench_e8_chase_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_chase_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_justification.dir/bench_e9_justification.cc.o"
+  "CMakeFiles/bench_e9_justification.dir/bench_e9_justification.cc.o.d"
+  "bench_e9_justification"
+  "bench_e9_justification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_justification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

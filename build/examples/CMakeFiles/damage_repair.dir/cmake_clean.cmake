@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/damage_repair.dir/damage_repair.cpp.o"
+  "CMakeFiles/damage_repair.dir/damage_repair.cpp.o.d"
+  "damage_repair"
+  "damage_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/damage_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

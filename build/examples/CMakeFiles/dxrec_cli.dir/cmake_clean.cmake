@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dxrec_cli.dir/dxrec_cli.cpp.o"
+  "CMakeFiles/dxrec_cli.dir/dxrec_cli.cpp.o.d"
+  "dxrec_cli"
+  "dxrec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dxrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

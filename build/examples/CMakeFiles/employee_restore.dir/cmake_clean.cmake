@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_restore.dir/employee_restore.cpp.o"
+  "CMakeFiles/employee_restore.dir/employee_restore.cpp.o.d"
+  "employee_restore"
+  "employee_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

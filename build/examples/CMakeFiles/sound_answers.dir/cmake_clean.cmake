@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sound_answers.dir/sound_answers.cpp.o"
+  "CMakeFiles/sound_answers.dir/sound_answers.cpp.o.d"
+  "sound_answers"
+  "sound_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sound_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/fresh.cc" "src/CMakeFiles/dxrec.dir/base/fresh.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/base/fresh.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/dxrec.dir/base/status.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/base/status.cc.o.d"
+  "/root/repo/src/base/substitution.cc" "src/CMakeFiles/dxrec.dir/base/substitution.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/base/substitution.cc.o.d"
+  "/root/repo/src/base/symbol_table.cc" "src/CMakeFiles/dxrec.dir/base/symbol_table.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/base/symbol_table.cc.o.d"
+  "/root/repo/src/base/term.cc" "src/CMakeFiles/dxrec.dir/base/term.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/base/term.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/dxrec.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/chase/chase.cc.o.d"
+  "/root/repo/src/chase/evaluation.cc" "src/CMakeFiles/dxrec.dir/chase/evaluation.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/chase/evaluation.cc.o.d"
+  "/root/repo/src/chase/homomorphism.cc" "src/CMakeFiles/dxrec.dir/chase/homomorphism.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/chase/homomorphism.cc.o.d"
+  "/root/repo/src/chase/instance_core.cc" "src/CMakeFiles/dxrec.dir/chase/instance_core.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/chase/instance_core.cc.o.d"
+  "/root/repo/src/core/certain.cc" "src/CMakeFiles/dxrec.dir/core/certain.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/certain.cc.o.d"
+  "/root/repo/src/core/composition.cc" "src/CMakeFiles/dxrec.dir/core/composition.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/composition.cc.o.d"
+  "/root/repo/src/core/cover.cc" "src/CMakeFiles/dxrec.dir/core/cover.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/cover.cc.o.d"
+  "/root/repo/src/core/cq_subuniversal.cc" "src/CMakeFiles/dxrec.dir/core/cq_subuniversal.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/cq_subuniversal.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/dxrec.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/extended_recovery.cc" "src/CMakeFiles/dxrec.dir/core/extended_recovery.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/extended_recovery.cc.o.d"
+  "/root/repo/src/core/hom_set.cc" "src/CMakeFiles/dxrec.dir/core/hom_set.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/hom_set.cc.o.d"
+  "/root/repo/src/core/inverse_chase.cc" "src/CMakeFiles/dxrec.dir/core/inverse_chase.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/inverse_chase.cc.o.d"
+  "/root/repo/src/core/max_recovery.cc" "src/CMakeFiles/dxrec.dir/core/max_recovery.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/max_recovery.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/dxrec.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/CMakeFiles/dxrec.dir/core/recovery.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/recovery.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/CMakeFiles/dxrec.dir/core/repair.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/repair.cc.o.d"
+  "/root/repo/src/core/subsumption.cc" "src/CMakeFiles/dxrec.dir/core/subsumption.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/subsumption.cc.o.d"
+  "/root/repo/src/core/tractable.cc" "src/CMakeFiles/dxrec.dir/core/tractable.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/tractable.cc.o.d"
+  "/root/repo/src/core/view_recovery.cc" "src/CMakeFiles/dxrec.dir/core/view_recovery.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/core/view_recovery.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/dxrec.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/datagen/random.cc" "src/CMakeFiles/dxrec.dir/datagen/random.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/datagen/random.cc.o.d"
+  "/root/repo/src/datagen/scenarios.cc" "src/CMakeFiles/dxrec.dir/datagen/scenarios.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/datagen/scenarios.cc.o.d"
+  "/root/repo/src/logic/dependency_set.cc" "src/CMakeFiles/dxrec.dir/logic/dependency_set.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/dependency_set.cc.o.d"
+  "/root/repo/src/logic/disjunctive.cc" "src/CMakeFiles/dxrec.dir/logic/disjunctive.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/disjunctive.cc.o.d"
+  "/root/repo/src/logic/io.cc" "src/CMakeFiles/dxrec.dir/logic/io.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/io.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/CMakeFiles/dxrec.dir/logic/parser.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/parser.cc.o.d"
+  "/root/repo/src/logic/printer.cc" "src/CMakeFiles/dxrec.dir/logic/printer.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/printer.cc.o.d"
+  "/root/repo/src/logic/query.cc" "src/CMakeFiles/dxrec.dir/logic/query.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/query.cc.o.d"
+  "/root/repo/src/logic/query_containment.cc" "src/CMakeFiles/dxrec.dir/logic/query_containment.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/query_containment.cc.o.d"
+  "/root/repo/src/logic/tgd.cc" "src/CMakeFiles/dxrec.dir/logic/tgd.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/tgd.cc.o.d"
+  "/root/repo/src/logic/unification.cc" "src/CMakeFiles/dxrec.dir/logic/unification.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/logic/unification.cc.o.d"
+  "/root/repo/src/relational/glb.cc" "src/CMakeFiles/dxrec.dir/relational/glb.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/relational/glb.cc.o.d"
+  "/root/repo/src/relational/instance.cc" "src/CMakeFiles/dxrec.dir/relational/instance.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/relational/instance.cc.o.d"
+  "/root/repo/src/relational/instance_ops.cc" "src/CMakeFiles/dxrec.dir/relational/instance_ops.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/relational/instance_ops.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/dxrec.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/dxrec.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/dxrec.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/dxrec.dir/util/table.cc.o" "gcc" "src/CMakeFiles/dxrec.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

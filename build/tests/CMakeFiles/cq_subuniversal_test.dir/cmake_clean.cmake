@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_subuniversal_test.dir/cq_subuniversal_test.cc.o"
+  "CMakeFiles/cq_subuniversal_test.dir/cq_subuniversal_test.cc.o.d"
+  "cq_subuniversal_test"
+  "cq_subuniversal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_subuniversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

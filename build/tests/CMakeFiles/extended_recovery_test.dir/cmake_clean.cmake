@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_recovery_test.dir/extended_recovery_test.cc.o"
+  "CMakeFiles/extended_recovery_test.dir/extended_recovery_test.cc.o.d"
+  "extended_recovery_test"
+  "extended_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_index_property_test.dir/hom_index_property_test.cc.o"
+  "CMakeFiles/hom_index_property_test.dir/hom_index_property_test.cc.o.d"
+  "hom_index_property_test"
+  "hom_index_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_index_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

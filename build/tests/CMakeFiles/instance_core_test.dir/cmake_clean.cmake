@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_core_test.dir/instance_core_test.cc.o"
+  "CMakeFiles/instance_core_test.dir/instance_core_test.cc.o.d"
+  "instance_core_test"
+  "instance_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

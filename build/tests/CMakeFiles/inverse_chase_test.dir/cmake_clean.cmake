@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_chase_test.dir/inverse_chase_test.cc.o"
+  "CMakeFiles/inverse_chase_test.dir/inverse_chase_test.cc.o.d"
+  "inverse_chase_test"
+  "inverse_chase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

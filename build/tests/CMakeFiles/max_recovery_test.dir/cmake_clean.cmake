@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/max_recovery_test.dir/max_recovery_test.cc.o"
+  "CMakeFiles/max_recovery_test.dir/max_recovery_test.cc.o.d"
+  "max_recovery_test"
+  "max_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

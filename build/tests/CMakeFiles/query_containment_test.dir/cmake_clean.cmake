@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_containment_test.dir/query_containment_test.cc.o"
+  "CMakeFiles/query_containment_test.dir/query_containment_test.cc.o.d"
+  "query_containment_test"
+  "query_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tractable_test.dir/tractable_test.cc.o"
+  "CMakeFiles/tractable_test.dir/tractable_test.cc.o.d"
+  "tractable_test"
+  "tractable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tractable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
