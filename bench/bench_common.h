@@ -1,12 +1,20 @@
-// Shared helpers for the experiment harness (E1-E10, see DESIGN.md and
+// Shared helpers for the experiment harness (E1-E13, see DESIGN.md and
 // EXPERIMENTS.md). Each binary prints the experiment's table(s); several
-// additionally register google-benchmark timings.
+// additionally register google-benchmark timings. JsonReporter mirrors the
+// text tables into a machine-readable BENCH_<id>.json so perf trajectories
+// can be compared across commits (schema: docs/OBSERVABILITY.md).
 #ifndef DXREC_BENCH_BENCH_COMMON_H_
 #define DXREC_BENCH_BENCH_COMMON_H_
 
-#include <cstdio>
-#include <string>
+#include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -22,6 +30,117 @@ inline void PrintHeader(const char* id, const char* title,
 inline std::string Ms(double seconds) {
   return TextTable::Cell(seconds * 1e3, 3);
 }
+
+// Accumulates rows of key/value pairs and writes BENCH_<id>.json into
+// $DXREC_BENCH_JSON_DIR (or the working directory). Values are typed JSON
+// (strings escaped, numbers raw), one row per measured configuration:
+//
+//   JsonReporter json("E1");
+//   json.NewRow().Put("n", n).Put("valid", true).Put("time_ms", ms);
+//   ...
+//   json.Write();
+class JsonReporter {
+ public:
+  class Row {
+   public:
+    Row& Put(const char* key, const std::string& value) {
+      return PutRaw(key, "\"" + obs::JsonEscape(value) + "\"");
+    }
+    Row& Put(const char* key, const char* value) {
+      return Put(key, std::string(value));
+    }
+    Row& Put(const char* key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      return PutRaw(key, buf);
+    }
+    Row& Put(const char* key, size_t value) {
+      return PutRaw(key, std::to_string(value));
+    }
+    Row& Put(const char* key, int value) {
+      return PutRaw(key, std::to_string(value));
+    }
+    Row& Put(const char* key, bool value) {
+      return PutRaw(key, value ? "true" : "false");
+    }
+
+   private:
+    friend class JsonReporter;
+    Row& PutRaw(const char* key, const std::string& json_value) {
+      fields_.emplace_back(key, json_value);
+      return *this;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReporter(std::string id) : id_(std::move(id)) {}
+
+  // References stay valid across later NewRow calls (deque storage).
+  Row& NewRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"experiment\":\"" + obs::JsonEscape(id_) + "\",";
+    out += "\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n{";
+      const auto& fields = rows_[i].fields_;
+      for (size_t k = 0; k < fields.size(); ++k) {
+        if (k > 0) out += ",";
+        out += "\"" + obs::JsonEscape(fields[k].first) +
+               "\":" + fields[k].second;
+      }
+      out += "}";
+    }
+    out += "\n],\"metrics\":";
+    out += obs::MetricsJson(obs::MetricsRegistry::Global().Read());
+    out += "}\n";
+    return out;
+  }
+
+  // Writes BENCH_<id>.json; returns the path ("" on failure).
+  std::string Write() const {
+    const char* dir = std::getenv("DXREC_BENCH_JSON_DIR");
+    std::string path = dir == nullptr || dir[0] == '\0'
+                           ? "BENCH_" + id_ + ".json"
+                           : std::string(dir) + "/BENCH_" + id_ + ".json";
+    std::string json = ToJson();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string id_;
+  std::deque<Row> rows_;
+};
+
+// Console reporter that also tees every google-benchmark run into a
+// JsonReporter row, for the BENCHMARK()-based binaries.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(JsonReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      json_->NewRow()
+          .Put("name", run.benchmark_name())
+          .Put("iterations", static_cast<size_t>(run.iterations))
+          .Put("real_time", run.GetAdjustedRealTime())
+          .Put("cpu_time", run.GetAdjustedCPUTime())
+          .Put("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonReporter* json_;
+};
 
 }  // namespace dxrec
 

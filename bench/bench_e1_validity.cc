@@ -17,6 +17,7 @@ void Run() {
   PrintHeader("E1", "J-validity decision", "Theorem 3 / intro eq. (4)");
   DependencySet sigma = DiamondScenario::Sigma();
   TextTable table({"|J|", "valid?", "decided", "covers", "time_ms"});
+  JsonReporter json("E1");
   for (size_t n : {1, 2, 4, 6, 8, 10}) {
     for (bool valid : {true, false}) {
       Instance j = valid ? DiamondScenario::ValidTarget(n)
@@ -26,11 +27,19 @@ void Run() {
       Stopwatch sw;
       Result<InverseChaseResult> result = InverseChase(sigma, j, options);
       double elapsed = sw.ElapsedSeconds();
+      JsonReporter::Row& row = json.NewRow()
+                                   .Put("target_atoms", j.size())
+                                   .Put("constructed_valid", valid)
+                                   .Put("time_ms", elapsed * 1e3);
       if (!result.ok()) {
+        row.Put("status", "budget");
         table.AddRow({TextTable::Cell(j.size()), valid ? "yes" : "no",
                       "budget", "-", Ms(elapsed)});
         continue;
       }
+      row.Put("status", "ok")
+          .Put("decided_valid", result->valid_for_recovery())
+          .Put("covers", result->stats.num_covers);
       table.AddRow({TextTable::Cell(j.size()), valid ? "yes" : "no",
                     result->valid_for_recovery() ? "valid" : "invalid",
                     TextTable::Cell(result->stats.num_covers),
@@ -38,6 +47,8 @@ void Run() {
     }
   }
   table.Print();
+  std::string path = json.Write();
+  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
   std::printf(
       "\nShape check: time grows exponentially with |J| (3 covering\n"
       "choices per S-atom); 'decided' must equal the 'valid?' column.\n");

@@ -20,6 +20,7 @@ void Run() {
   DependencySet sigma = BlowupScenario::Sigma();
   TextTable table(
       {"p", "q", "|J|", "|COV|", "|Chase^-1|", "g_homs", "time_ms"});
+  JsonReporter json("E2");
   for (size_t q : {1, 2, 3, 4, 5}) {
     size_t p = 2;
     Instance j = BlowupScenario::Target(p, q);
@@ -33,19 +34,31 @@ void Run() {
     Stopwatch sw;
     Result<InverseChaseResult> result = InverseChase(sigma, j, options);
     double elapsed = sw.ElapsedSeconds();
+    JsonReporter::Row& row = json.NewRow()
+                                 .Put("p", p)
+                                 .Put("q", q)
+                                 .Put("target_atoms", j.size())
+                                 .Put("covers", num_covers)
+                                 .Put("time_ms", elapsed * 1e3);
     if (!result.ok()) {
+      row.Put("status", "budget");
       table.AddRow({TextTable::Cell(p), TextTable::Cell(q),
                     TextTable::Cell(j.size()),
                     TextTable::Cell(num_covers), "budget", "-",
                     Ms(elapsed)});
       continue;
     }
+    row.Put("status", "ok")
+        .Put("recoveries", result->recoveries.size())
+        .Put("g_homs", result->stats.num_g_homs);
     table.AddRow({TextTable::Cell(p), TextTable::Cell(q),
                   TextTable::Cell(j.size()), TextTable::Cell(num_covers),
                   TextTable::Cell(result->recoveries.size()),
                   TextTable::Cell(result->stats.num_g_homs), Ms(elapsed)});
   }
   table.Print();
+  std::string path = json.Write();
+  if (!path.empty()) std::printf("\njson report: %s\n", path.c_str());
   std::printf(
       "\nShape check: |COV| = 1 throughout; p = q = 2 reproduces the\n"
       "paper's 7 recoveries; counts grow exponentially in q.\n");

@@ -2,8 +2,10 @@
 //
 // Forward-chase and homomorphism-search throughput on random workloads,
 // with the (relation, position, term) index ablation: the indexed search
-// should win by a growing factor as instances grow.
-#include <benchmark/benchmark.h>
+// should win by a growing factor as instances grow. Results are teed into
+// BENCH_E8.json so the perf trajectory is machine-comparable; this binary
+// also guards the "observability disabled costs < 2%" budget.
+#include "bench/bench_common.h"
 
 #include "base/fresh.h"
 #include "chase/chase.h"
@@ -113,4 +115,14 @@ BENCHMARK(BM_QueryEvaluation)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace dxrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dxrec::JsonReporter json("E8");
+  dxrec::JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::string path = json.Write();
+  if (!path.empty()) std::printf("json report: %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,12 @@
 //   savetarget <path>           save the target to a file
 //   help | quit
 //
+// Command-line flags (observability, see docs/OBSERVABILITY.md):
+//   --trace[=<file>]         record phase spans; write Chrome trace-event
+//                            JSON on exit (default dxrec_trace.json)
+//   --metrics-json[=<file>]  write the metrics/span run report on exit
+//                            (default dxrec_metrics.json)
+//
 // Example session:
 //   sigma R(x, y) -> S(x), P(y)
 //   target {S(a), P(b1), P(b2)}
@@ -35,6 +41,7 @@
 #include "logic/io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "obs/report.h"
 #include "relational/instance_ops.h"
 
 namespace {
@@ -47,7 +54,11 @@ void PrintHelp() {
       "          recover | explain | cert <ucq> | sound <ucq> |\n"
       "          soundcq <cq> | subuniversal | mapping | baseline |\n"
       "          repair | greedyrepair | loadsigma <path> |\n"
-      "          loadtarget <path> | savetarget <path> | help | quit\n");
+      "          loadtarget <path> | savetarget <path> | help | quit\n"
+      "flags:    --trace[=<file>]        Chrome trace-event JSON on exit\n"
+      "                                  (default dxrec_trace.json)\n"
+      "          --metrics-json[=<file>] metrics/span run report on exit\n"
+      "                                  (default dxrec_metrics.json)\n");
 }
 
 class Shell {
@@ -246,9 +257,66 @@ class Shell {
   Instance target_;
 };
 
+// `--flag` or `--flag=<value>`; returns false if `arg` is a different
+// flag, true (with `*value` set to the payload or `fallback`) otherwise.
+bool MatchFlag(const std::string& arg, const std::string& name,
+               const char* fallback, std::string* value) {
+  if (arg == name) {
+    *value = fallback;
+    return true;
+  }
+  if (arg.rfind(name + "=", 0) == 0) {
+    *value = arg.substr(name.size() + 1);
+    if (value->empty()) *value = fallback;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (MatchFlag(arg, "--trace", "dxrec_trace.json", &trace_path) ||
+        MatchFlag(arg, "--metrics-json", "dxrec_metrics.json",
+                  &metrics_path)) {
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+    return 1;
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::SetEnabled(true);
+  }
+
   Shell().Run();
-  return 0;
+
+  int exit_code = 0;
+  if (!trace_path.empty()) {
+    Status status = obs::WriteChromeTrace(trace_path);
+    if (status.ok()) {
+      std::printf("trace written to %s (%zu spans)\n", trace_path.c_str(),
+                  obs::Tracer::Global().size());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    Status status = obs::WriteRunReport(metrics_path);
+    if (status.ok()) {
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds and tests every configuration a PR must keep green:
+#   default        RelWithDebInfo, full ctest suite
+#   asan           address+undefined sanitizers
+#   tsan           thread sanitizer (races in the threaded inverse chase
+#                  and the obs tracing/metrics collectors)
+#
+# Usage: scripts/check.sh [default|asan|tsan ...]
+# With no arguments, runs all three. Requires cmake >= 3.24 (presets).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan tsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset" >/dev/null
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] ctest ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All requested configurations passed: ${presets[*]}"

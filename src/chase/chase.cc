@@ -1,6 +1,8 @@
 #include "chase/chase.h"
 
 #include "chase/homomorphism.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dxrec {
 
@@ -17,6 +19,11 @@ std::vector<Trigger> FindTriggers(const DependencySet& sigma,
          FindHomomorphisms(sigma.at(id).body(), input)) {
       out.push_back(Trigger{id, std::move(h)});
     }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* found =
+        obs::MetricsRegistry::Global().GetCounter("chase.triggers_found");
+    found->Add(out.size());
   }
   return out;
 }
@@ -46,6 +53,11 @@ Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
   Instance out;
   for (const Trigger& trigger : triggers) {
     FireTrigger(sigma, trigger, nulls, &out);
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* fired =
+        obs::MetricsRegistry::Global().GetCounter("chase.triggers_fired");
+    fired->Add(triggers.size());
   }
   return out;
 }

@@ -4,6 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dxrec {
 
 namespace {
@@ -26,17 +29,38 @@ class Matcher {
       for (Term t : a.args()) {
         if (!IsPlaceholder(t) || binding_.count(t) > 0) continue;
         if (options_.fixed.Binds(t)) {
-          if (!TryBind(t, options_.fixed.Apply(t))) return;
+          if (!TryBind(t, options_.fixed.Apply(t))) {
+            FlushCounters();
+            return;
+          }
         }
       }
     }
     order_ = ChooseOrder();
     Recurse(0);
+    FlushCounters();
   }
 
  private:
   bool IsPlaceholder(Term t) const {
     return t.is_variable() || (options_.map_nulls && t.is_null());
+  }
+
+  // Local tallies are kept unconditionally (an increment is noise next to
+  // the per-candidate map work) and flushed to the registry only when
+  // observability is on, so the disabled path stays counter-free.
+  void FlushCounters() const {
+    if (!obs::Enabled()) return;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static obs::Counter* searches = registry.GetCounter("hom.searches");
+    static obs::Counter* candidates =
+        registry.GetCounter("hom.candidates_tried");
+    static obs::Counter* backtracks = registry.GetCounter("hom.backtracks");
+    static obs::Counter* results = registry.GetCounter("hom.results");
+    searches->Add(1);
+    candidates->Add(candidates_tried_);
+    backtracks->Add(backtracks_);
+    results->Add(results_);
   }
 
   // Binds placeholder -> image if admissible; returns whether it bound.
@@ -139,6 +163,7 @@ class Matcher {
     for (uint32_t idx : *candidates) {
       const Atom& tuple = target_.atoms()[idx];
       if (tuple.arity() != atom.arity()) continue;
+      ++candidates_tried_;
       std::vector<std::pair<Term, Term>> newly_bound;
       bool ok = true;
       for (uint32_t pos = 0; pos < atom.arity() && ok; ++pos) {
@@ -153,7 +178,11 @@ class Matcher {
           ok = false;
         }
       }
-      if (ok) Recurse(depth + 1);
+      if (ok) {
+        Recurse(depth + 1);
+      } else {
+        ++backtracks_;
+      }
       for (auto it = newly_bound.rbegin(); it != newly_bound.rend(); ++it) {
         Unbind(it->first, it->second);
       }
@@ -170,6 +199,8 @@ class Matcher {
   std::unordered_map<Term, Term, TermHash> binding_;
   std::unordered_set<Term, TermHash> used_images_;
   size_t results_ = 0;
+  uint64_t candidates_tried_ = 0;
+  uint64_t backtracks_ = 0;
   bool stopped_ = false;
 };
 

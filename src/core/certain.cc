@@ -1,17 +1,29 @@
 #include "core/certain.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dxrec {
 
 Result<AnswerSet> CertainAnswers(const UnionQuery& query,
                                  const DependencySet& sigma,
                                  const Instance& target,
                                  const InverseChaseOptions& options) {
+  obs::Span span("certain_answers");
+  if (obs::Enabled()) {
+    static obs::Counter* queries =
+        obs::MetricsRegistry::Global().GetCounter("certain.queries");
+    queries->Add(1);
+  }
   Result<InverseChaseResult> inverse = InverseChase(sigma, target, options);
   if (!inverse.ok()) return inverse.status();
   if (!inverse->valid_for_recovery()) {
     return Status::FailedPrecondition(
         "target instance is not valid for recovery under Sigma");
   }
+  span.AddArg("recoveries",
+              static_cast<int64_t>(inverse->recoveries.size()));
+  obs::Span intersect_span("certain_intersect");
   return CertainAnswersOver(query, inverse->recoveries);
 }
 

@@ -5,6 +5,8 @@
 
 #include "base/fresh.h"
 #include "chase/homomorphism.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/glb.h"
 
 namespace dxrec {
@@ -53,7 +55,15 @@ Result<SubUniversalResult> ComputeCqSubUniversal(
   SubUniversalResult result;
   NullSource* nulls = &FreshNulls();
 
-  std::vector<HeadHom> homs = ComputeHomSet(sigma, target);
+  obs::Span pipeline_span("sub_universal");
+  pipeline_span.AddArg("target_atoms", static_cast<int64_t>(target.size()));
+
+  std::vector<HeadHom> homs;
+  {
+    obs::Span span("subuni_hom_enum");
+    homs = ComputeHomSet(sigma, target);
+    span.AddArg("homs", static_cast<int64_t>(homs.size()));
+  }
   result.num_homs = homs.size();
   CoverProblem problem(sigma, target, homs);
 
@@ -72,6 +82,7 @@ Result<SubUniversalResult> ComputeCqSubUniversal(
   }
 
   for (const HeadHom& h : homs) {
+    obs::Span pivot_span("subuni_pivot");
     Instance j_h = h.CoveredTuples(sigma);
     std::vector<uint32_t> j_h_indices;
     for (const Atom& a : j_h.atoms()) {
@@ -107,10 +118,21 @@ Result<SubUniversalResult> ComputeCqSubUniversal(
     }
     result.num_classes += representatives.size();
 
+    pivot_span.AddArg("classes", static_cast<int64_t>(representatives.size()));
+
     // glb over the representatives; union into I_{Sigma,J}.
     if (!representatives.empty()) {
+      obs::Span glb_span("subuni_glb");
       result.instance.AddAll(GlbAll(representatives, nulls));
     }
+  }
+  pipeline_span.AddArg("homs", static_cast<int64_t>(result.num_homs));
+  pipeline_span.AddArg("covers", static_cast<int64_t>(result.num_covers));
+  pipeline_span.AddArg("classes", static_cast<int64_t>(result.num_classes));
+  if (obs::Enabled()) {
+    static obs::Counter* runs =
+        obs::MetricsRegistry::Global().GetCounter("sub_universal.runs");
+    runs->Add(1);
   }
   return result;
 }

@@ -27,6 +27,7 @@
 #include "core/tractable.h"
 #include "logic/dependency_set.h"
 #include "logic/query.h"
+#include "obs/trace.h"
 #include "relational/instance.h"
 
 namespace dxrec {
@@ -35,13 +36,20 @@ struct EngineOptions {
   InverseChaseOptions inverse;
   SubUniversalOptions sub_universal;
   MaxRecoveryOptions max_recovery;
+  // Observability (src/obs/): off by default; when enabled, pipeline
+  // phases emit spans into obs::Tracer and counters into the global
+  // metrics registry. Disabled instrumentation costs one relaxed atomic
+  // load per site.
+  obs::ObsOptions obs;
 };
 
 class RecoveryEngine {
  public:
   explicit RecoveryEngine(DependencySet sigma,
                           EngineOptions options = EngineOptions())
-      : sigma_(std::move(sigma)), options_(std::move(options)) {}
+      : sigma_(std::move(sigma)), options_(std::move(options)) {
+    obs::Apply(options_.obs);
+  }
 
   const DependencySet& sigma() const { return sigma_; }
 

@@ -1,6 +1,7 @@
 #include "core/inverse_chase.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <set>
 #include <string>
@@ -12,7 +13,10 @@
 #include "chase/homomorphism.h"
 #include "chase/instance_core.h"
 #include "core/recovery.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/instance_ops.h"
+#include "util/stopwatch.h"
 
 namespace dxrec {
 
@@ -47,6 +51,12 @@ struct CoverOutcome {
   size_t num_candidates = 0;
   size_t num_rejected = 0;
   size_t num_unverified = 0;
+  // Phase wall time within this cover (steps 4-7); summed into the
+  // top-level stats at the (sequential) merge.
+  double seconds_reverse_chase = 0;
+  double seconds_forward_chase = 0;
+  double seconds_g_hom_search = 0;
+  double seconds_verify = 0;
   std::vector<VerifiedCandidate> candidates;
 };
 
@@ -61,31 +71,59 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   CoverOutcome outcome;
   NullSource* nulls = &FreshNulls();
 
+  // Per-cover span: on worker threads this is a root on that thread's
+  // timeline, so traces remain well-nested under num_threads > 1.
+  obs::Span cover_span("cover");
+  cover_span.AddArg("index", static_cast<int64_t>(cover_index));
+  cover_span.AddArg("size", static_cast<int64_t>(cover.size()));
+
   std::vector<HeadHom> h_set;
   h_set.reserve(cover.size());
   for (size_t idx : cover) h_set.push_back(homs[idx]);
 
   if (options.use_subsumption_filter && !ModelsAll(h_set, sub, sigma)) {
+    cover_span.AddArg("passed_sub", 0);
     return outcome;
   }
   outcome.passed_sub = true;
+
+  Stopwatch phase_sw;
 
   // 4. I_H = Chase_H(Sigma^{-1}, J); per-hom atom sets are kept when
   // provenance is requested.
   Instance source;
   std::vector<Instance> per_hom_sources;
-  for (const HeadHom& h : h_set) {
-    Instance atoms = SourceAtomsFor(sigma, h, nulls);
-    source.AddAll(atoms);
-    if (options.explain) per_hom_sources.push_back(std::move(atoms));
+  {
+    obs::Span span("step4_reverse_chase");
+    for (const HeadHom& h : h_set) {
+      Instance atoms = SourceAtomsFor(sigma, h, nulls);
+      source.AddAll(atoms);
+      if (options.explain) per_hom_sources.push_back(std::move(atoms));
+    }
+    span.AddArg("source_atoms", static_cast<int64_t>(source.size()));
   }
+  outcome.seconds_reverse_chase = phase_sw.ElapsedSeconds();
+  phase_sw.Reset();
 
   // 5. J_H = Chase(Sigma, I_H).
-  Instance chased = Chase(sigma, source, nulls);
+  Instance chased;
+  {
+    obs::Span span("step5_forward_chase");
+    chased = Chase(sigma, source, nulls);
+    span.AddArg("chased_atoms", static_cast<int64_t>(chased.size()));
+  }
+  outcome.seconds_forward_chase = phase_sw.ElapsedSeconds();
+  phase_sw.Reset();
 
   // 6. g : J_H -> J, identity on dom(J).
-  std::vector<Substitution> gs =
-      BackHomomorphisms(chased, target, options.max_g_homs_per_cover);
+  std::vector<Substitution> gs;
+  {
+    obs::Span span("step6_g_hom_search");
+    gs = BackHomomorphisms(chased, target, options.max_g_homs_per_cover);
+    span.AddArg("g_homs", static_cast<int64_t>(gs.size()));
+  }
+  outcome.seconds_g_hom_search = phase_sw.ElapsedSeconds();
+  phase_sw.Reset();
   outcome.num_g_homs = gs.size();
 
   // 7. Emit g(I_H) -- after verifying the recovery condition. The
@@ -96,6 +134,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   // I*, the cover realized by I* and its induced g yield a candidate
   // contained in I* that passes this check.
   const bool target_ground = target.IsGround();
+  obs::Span verify_span("step7_verify_emit");
   for (size_t g_index = 0; g_index < gs.size(); ++g_index) {
     const Substitution& g = gs[g_index];
     Instance recovery = source.Apply(g);
@@ -136,7 +175,23 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     candidate.recovery = std::move(recovery);
     outcome.candidates.push_back(std::move(candidate));
   }
+  outcome.seconds_verify = phase_sw.ElapsedSeconds();
+  verify_span.AddArg("candidates", static_cast<int64_t>(outcome.num_candidates));
+  verify_span.AddArg("rejected", static_cast<int64_t>(outcome.num_rejected));
+  cover_span.AddArg("passed_sub", 1);
+  cover_span.AddArg("emitted",
+                    static_cast<int64_t>(outcome.candidates.size()));
   return outcome;
+}
+
+}  // namespace
+
+namespace {
+
+std::string Ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds * 1e3);
+  return buf;
 }
 
 }  // namespace
@@ -149,7 +204,16 @@ std::string InverseChaseStats::ToString() const {
          " g_homs=" + std::to_string(num_g_homs) +
          " candidates=" + std::to_string(num_recoveries_before_dedup) +
          " rejected=" + std::to_string(num_candidates_rejected) +
-         " unverified=" + std::to_string(num_candidates_unverified);
+         " unverified=" + std::to_string(num_candidates_unverified) +
+         " | ms: hom=" + Ms(seconds_hom_enum) +
+         " cov=" + Ms(seconds_cover_enum) +
+         " sub=" + Ms(seconds_subsumption) +
+         " rchase=" + Ms(seconds_reverse_chase) +
+         " fchase=" + Ms(seconds_forward_chase) +
+         " ghom=" + Ms(seconds_g_hom_search) +
+         " verify=" + Ms(seconds_verify) +
+         " merge=" + Ms(seconds_merge) +
+         " total=" + Ms(seconds_total);
 }
 
 std::string RecoveryExplanation::ToString(const DependencySet& sigma) const {
@@ -170,60 +234,96 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
                                         const Instance& target,
                                         const InverseChaseOptions& options) {
   InverseChaseResult result;
+  obs::Span pipeline_span("inverse_chase");
+  pipeline_span.AddArg("target_atoms", static_cast<int64_t>(target.size()));
+  Stopwatch total_sw;
+  Stopwatch phase_sw;
 
   // 1. HOM(Sigma, J).
-  std::vector<HeadHom> homs = ComputeHomSet(sigma, target);
+  std::vector<HeadHom> homs;
+  {
+    obs::Span span("step1_hom_enum");
+    homs = ComputeHomSet(sigma, target);
+    span.AddArg("homs", static_cast<int64_t>(homs.size()));
+  }
   result.stats.num_homs = homs.size();
+  result.stats.seconds_hom_enum = phase_sw.ElapsedSeconds();
+  phase_sw.Reset();
 
   // 2. COV(Sigma, J).
-  CoverProblem problem(sigma, target, homs);
-  if (!problem.AllTuplesCoverable()) {
-    return result;  // some tuple of J is not coverable: invalid.
+  std::vector<Cover> covers;
+  {
+    obs::Span span("step2_cover_enum");
+    CoverProblem problem(sigma, target, homs);
+    if (!problem.AllTuplesCoverable()) {
+      result.stats.seconds_cover_enum = phase_sw.ElapsedSeconds();
+      result.stats.seconds_total = total_sw.ElapsedSeconds();
+      return result;  // some tuple of J is not coverable: invalid.
+    }
+    Result<std::vector<Cover>> enumerated =
+        options.minimal_covers_only ? problem.MinimalCovers(options.cover)
+                                    : problem.AllCovers(options.cover);
+    if (!enumerated.ok()) return enumerated.status();
+    covers = std::move(*enumerated);
+    span.AddArg("covers", static_cast<int64_t>(covers.size()));
   }
-  Result<std::vector<Cover>> covers =
-      options.minimal_covers_only ? problem.MinimalCovers(options.cover)
-                                  : problem.AllCovers(options.cover);
-  if (!covers.ok()) return covers.status();
-  result.stats.num_covers = covers->size();
+  result.stats.num_covers = covers.size();
+  result.stats.seconds_cover_enum = phase_sw.ElapsedSeconds();
+  phase_sw.Reset();
 
   // 3. SUB(Sigma).
   std::vector<SubsumptionConstraint> sub;
   if (options.use_subsumption_filter) {
+    obs::Span span("step3_subsumption");
     Result<std::vector<SubsumptionConstraint>> computed =
         ComputeSubsumption(sigma, options.subsumption);
     if (!computed.ok()) return computed.status();
     sub = std::move(*computed);
+    span.AddArg("constraints", static_cast<int64_t>(sub.size()));
   }
+  result.stats.seconds_subsumption = phase_sw.ElapsedSeconds();
+  phase_sw.Reset();
 
   // Steps 4-7, per cover; optionally across threads. Outcomes are merged
   // in cover order so the result is deterministic up to null labels.
-  std::vector<CoverOutcome> outcomes(covers->size());
+  std::vector<CoverOutcome> outcomes(covers.size());
   size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
-  num_threads = std::min(num_threads, covers->size() + 1);
-  if (num_threads <= 1 || covers->size() < 2) {
-    for (size_t i = 0; i < covers->size(); ++i) {
-      outcomes[i] = ProcessCover(sigma, target, homs, (*covers)[i], i, sub,
-                                 options);
+  num_threads = std::min(num_threads, covers.size() + 1);
+  {
+    obs::Span span("steps4_7_covers");
+    span.AddArg("covers", static_cast<int64_t>(covers.size()));
+    span.AddArg("threads", static_cast<int64_t>(num_threads));
+    if (num_threads <= 1 || covers.size() < 2) {
+      for (size_t i = 0; i < covers.size(); ++i) {
+        outcomes[i] = ProcessCover(sigma, target, homs, covers[i], i, sub,
+                                   options);
+      }
+    } else {
+      target.WarmIndex();  // concurrent readers need the index pre-built
+      std::vector<std::thread> workers;
+      workers.reserve(num_threads);
+      for (size_t w = 0; w < num_threads; ++w) {
+        workers.emplace_back([&, w]() {
+          for (size_t i = w; i < covers.size(); i += num_threads) {
+            outcomes[i] = ProcessCover(sigma, target, homs, covers[i], i,
+                                       sub, options);
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
     }
-  } else {
-    target.WarmIndex();  // concurrent readers need the index pre-built
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (size_t w = 0; w < num_threads; ++w) {
-      workers.emplace_back([&, w]() {
-        for (size_t i = w; i < covers->size(); i += num_threads) {
-          outcomes[i] = ProcessCover(sigma, target, homs, (*covers)[i], i,
-                                     sub, options);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
   }
+  phase_sw.Reset();
 
   // Merge, dedup, and enforce the recovery budget.
+  obs::Span merge_span("merge_dedup");
   std::set<std::string> seen_exact;
   for (CoverOutcome& outcome : outcomes) {
     if (outcome.passed_sub) result.stats.num_covers_passing_sub++;
+    result.stats.seconds_reverse_chase += outcome.seconds_reverse_chase;
+    result.stats.seconds_forward_chase += outcome.seconds_forward_chase;
+    result.stats.seconds_g_hom_search += outcome.seconds_g_hom_search;
+    result.stats.seconds_verify += outcome.seconds_verify;
     result.stats.num_g_homs += outcome.num_g_homs;
     result.stats.num_recoveries_before_dedup += outcome.num_candidates;
     result.stats.num_candidates_rejected += outcome.num_rejected;
@@ -267,6 +367,28 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
     }
     result.recoveries = std::move(unique);
     result.explanations = std::move(unique_explanations);
+  }
+  result.stats.seconds_merge = phase_sw.ElapsedSeconds();
+  result.stats.seconds_total = total_sw.ElapsedSeconds();
+  merge_span.AddArg("recoveries",
+                    static_cast<int64_t>(result.recoveries.size()));
+  pipeline_span.AddArg("recoveries",
+                       static_cast<int64_t>(result.recoveries.size()));
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static obs::Counter* runs = registry.GetCounter("inverse_chase.runs");
+    static obs::Counter* covers_seen =
+        registry.GetCounter("inverse_chase.covers");
+    static obs::Counter* recoveries =
+        registry.GetCounter("inverse_chase.recoveries");
+    static obs::Histogram* cover_g_homs =
+        registry.GetHistogram("inverse_chase.g_homs_per_cover");
+    runs->Add(1);
+    covers_seen->Add(result.stats.num_covers);
+    recoveries->Add(result.recoveries.size());
+    for (const CoverOutcome& outcome : outcomes) {
+      if (outcome.passed_sub) cover_g_homs->Record(outcome.num_g_homs);
+    }
   }
   return result;
 }

@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace dxrec {
+namespace obs {
+
+namespace {
+
+size_t BucketIndex(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+// Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
+uint64_t BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << bucket) - 1;
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t seen = slot->load(std::memory_order_relaxed);
+  while (seen < value && !slot->compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::Mean() const {
+  uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::BucketCount(size_t bucket) const {
+  return bucket < kNumBuckets
+             ? buckets_[bucket].load(std::memory_order_relaxed)
+             : 0;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->Get());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->Get());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = histogram->Count();
+    snap.sum = histogram->Sum();
+    snap.max = histogram->Max();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t c = histogram->BucketCount(i);
+      if (c > 0) snap.buckets.emplace_back(BucketUpperBound(i), c);
+    }
+    out.histograms.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace dxrec

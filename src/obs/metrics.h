@@ -1,0 +1,120 @@
+// Thread-safe registry of named counters, gauges and histograms.
+//
+// Instruments are created on first lookup and live for the process
+// lifetime, so hot paths can cache the returned pointer in a
+// function-local static and update it lock-free:
+//
+//   if (obs::Enabled()) {
+//     static obs::Counter* fired =
+//         obs::MetricsRegistry::Global().GetCounter("chase.triggers_fired");
+//     fired->Add(triggers.size());
+//   }
+//
+// Counters and gauges are single atomics; histograms use power-of-two
+// buckets with atomic cells, so recording never takes a lock. Lookup by
+// name takes the registry mutex (cold path only).
+#ifndef DXREC_OBS_METRICS_H_
+#define DXREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dxrec {
+namespace obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written point-in-time value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Distribution of non-negative integer samples (sizes, microseconds).
+// Bucket i holds samples whose bit width is i, i.e. value 0 goes to
+// bucket 0 and v > 0 to bucket floor(log2(v)) + 1; bucket upper bounds
+// are 0, 1, 3, 7, 15, ...
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  uint64_t BucketCount(size_t bucket) const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Read-only copy of one histogram, for reporting.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  // (upper bound, count) for non-empty buckets, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+// Read-only copy of the whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Find-or-create. Returned pointers are never invalidated.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Read() const;
+
+  // Zeroes every instrument (pointers stay valid). For tests and for the
+  // CLI's per-run reports.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_METRICS_H_

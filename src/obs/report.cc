@@ -1,0 +1,181 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <map>
+
+namespace dxrec {
+namespace obs {
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  *out += JsonEscape(s);
+  out->push_back('"');
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_err = std::fclose(f);
+  if (written != contents.size() || close_err != 0) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(e.name, &out);
+    out += ",\"cat\":";
+    AppendJsonString(e.category, &out);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.thread_id) +
+           ",\"ts\":" + std::to_string(e.start_us) +
+           ",\"dur\":" + std::to_string(e.duration_us);
+    out += ",\"args\":{\"span_id\":" + std::to_string(e.span_id) +
+           ",\"parent_id\":" + std::to_string(e.parent_id);
+    for (const auto& [key, value] : e.args) {
+      out += ",";
+      AppendJsonString(key, &out);
+      out += ":" + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"histograms\":[";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(h.name, &out);
+    out += ",\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"max\":" + std::to_string(h.max) + ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [le, count] : h.buckets) {
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "{\"le\":" + std::to_string(le) +
+             ",\"count\":" + std::to_string(count) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const TraceEvent& e : events) {
+    SpanAggregate& agg = by_name[e.name];
+    agg.name = e.name;
+    agg.count++;
+    agg.total_us += e.duration_us;
+    if (e.duration_us > agg.max_us) agg.max_us = e.duration_us;
+  }
+  std::vector<SpanAggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  return out;
+}
+
+std::string RunReportJson() {
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  std::string out = "{\"metrics\":";
+  out += MetricsJson(MetricsRegistry::Global().Read());
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const SpanAggregate& agg : AggregateSpans(events)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(agg.name, &out);
+    out += ",\"count\":" + std::to_string(agg.count) +
+           ",\"total_us\":" + std::to_string(agg.total_us) +
+           ",\"max_us\":" + std::to_string(agg.max_us) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteFile(path, ChromeTraceJson(Tracer::Global().Snapshot()));
+}
+
+Status WriteRunReport(const std::string& path) {
+  return WriteFile(path, RunReportJson());
+}
+
+}  // namespace obs
+}  // namespace dxrec

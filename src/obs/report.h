@@ -1,0 +1,54 @@
+// Machine-readable exports of the trace and metrics collectors.
+//
+// Two formats:
+//   - Chrome trace-event JSON (`{"traceEvents": [...]}`) loadable in
+//     chrome://tracing or https://ui.perfetto.dev: one complete ("ph":"X")
+//     event per finished span, span args carried through.
+//   - A run report: metrics snapshot (counters/gauges/histograms) plus a
+//     per-span-name aggregate (count, total/max wall-time) so a single
+//     file answers "where did the run spend its budget".
+// The JSON schema is documented in docs/OBSERVABILITY.md.
+#ifndef DXREC_OBS_REPORT_H_
+#define DXREC_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace obs {
+
+// Escapes a string for inclusion inside a JSON string literal (quotes,
+// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+// Chrome trace-event JSON for the given events.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+// `{"counters": {...}, "gauges": {...}, "histograms": [...]}`.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+// Per-span-name aggregate over a trace.
+struct SpanAggregate {
+  std::string name;
+  uint64_t count = 0;
+  int64_t total_us = 0;
+  int64_t max_us = 0;
+};
+std::vector<SpanAggregate> AggregateSpans(
+    const std::vector<TraceEvent>& events);
+
+// Full run report over the global collectors.
+std::string RunReportJson();
+
+// File writers over the global collectors.
+Status WriteChromeTrace(const std::string& path);
+Status WriteRunReport(const std::string& path);
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_REPORT_H_

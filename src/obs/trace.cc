@@ -1,0 +1,104 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace dxrec {
+namespace obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint32_t> g_next_thread_id{1};
+
+thread_local Span* t_current_span = nullptr;
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Apply(const ObsOptions& options) {
+  if (options.enabled) SetEnabled(true);
+}
+
+Span* CurrentSpan() { return t_current_span; }
+
+uint32_t CurrentThreadId() {
+  thread_local uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives static spans
+  return *tracer;
+}
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNanos()) {}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ns_ = SteadyNowNanos();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t Tracer::NowMicros() const {
+  int64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_ns_;
+  }
+  return (SteadyNowNanos() - epoch) / 1000;
+}
+
+void Tracer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!Enabled()) return;
+  active_ = true;
+  event_.name = name;
+  event_.category = category;
+  event_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.thread_id = CurrentThreadId();
+  parent_ = t_current_span;
+  event_.parent_id = parent_ == nullptr ? 0 : parent_->id();
+  event_.start_us = Tracer::Global().NowMicros();
+  t_current_span = this;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  event_.duration_us = Tracer::Global().NowMicros() - event_.start_us;
+  t_current_span = parent_;
+  Tracer::Global().Record(std::move(event_));
+}
+
+void Span::AddArg(const char* key, int64_t value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, value);
+}
+
+}  // namespace obs
+}  // namespace dxrec

@@ -1,0 +1,122 @@
+// Phase-level tracing for the inverse-chase pipeline.
+//
+// RAII `Span`s form a hierarchical phase tree: a span opened while another
+// span is live on the same thread becomes its child. Finished spans are
+// recorded as trace events (name, wall-time interval, thread, integer
+// attributes) in the process-global `Tracer`, from which obs/report.h
+// renders Chrome trace-event JSON (`chrome://tracing` / Perfetto) and
+// per-phase aggregates.
+//
+// Tracing is off by default. The only cost on the disabled path is one
+// relaxed atomic load and a branch per span, so instrumentation can stay
+// in hot paths permanently (`bench_e8` guards the budget). Worker threads
+// are fully supported: the parent link is thread-local, each thread gets a
+// stable small id, and event recording is mutex-protected.
+#ifndef DXREC_OBS_TRACE_H_
+#define DXREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dxrec {
+namespace obs {
+
+namespace internal {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+// Master switch shared by tracing and metrics flushing. Reading is cheap
+// enough for inner loops.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+// Observability knobs carried by EngineOptions (core/engine.h). Kept here
+// so core/ depends only on obs/, never the other way around.
+struct ObsOptions {
+  // Turns the process-global collectors on. Never turns them off: another
+  // component (the CLI, a test harness) may have enabled them first.
+  bool enabled = false;
+};
+
+// Applies the knobs to the global state (currently: enables collection).
+void Apply(const ObsOptions& options);
+
+// One finished span.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;     // relative to the tracer epoch
+  int64_t duration_us = 0;  // wall time
+  uint32_t thread_id = 0;   // small sequential id, stable per thread
+  uint64_t span_id = 0;     // unique per span, never 0
+  uint64_t parent_id = 0;   // 0 = root of its thread's tree
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+// Process-global sink for finished spans.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Drops all recorded events and restarts the epoch.
+  void Clear();
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+
+  // Microseconds since the epoch (used by Span; public for tests).
+  int64_t NowMicros() const;
+
+  // Called by ~Span. Thread-safe.
+  void Record(TraceEvent event);
+
+ private:
+  Tracer();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  int64_t epoch_ns_ = 0;  // steady_clock origin of the trace
+};
+
+// RAII span. Construct to open a phase, destroy to record it. Inactive
+// (and free apart from the Enabled() check) when tracing is disabled at
+// construction time.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "dxrec");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  // Attaches an integer attribute (counter, size, index) to the span.
+  // No-op when inactive.
+  void AddArg(const char* key, int64_t value);
+
+  // The span's id (0 when inactive); children link to it automatically.
+  uint64_t id() const { return event_.span_id; }
+
+ private:
+  bool active_ = false;
+  Span* parent_ = nullptr;  // enclosing span on this thread
+  TraceEvent event_;
+};
+
+// The innermost active span on the calling thread, or nullptr.
+Span* CurrentSpan();
+
+// Small sequential id for the calling thread (assigned on first use).
+uint32_t CurrentThreadId();
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_TRACE_H_

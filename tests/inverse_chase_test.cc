@@ -7,6 +7,7 @@
 #include "core/inverse_chase.h"
 #include "core/recovery.h"
 #include "logic/parser.h"
+#include "obs/trace.h"
 
 namespace dxrec {
 namespace {
@@ -205,6 +206,44 @@ TEST(InverseChase, ParallelMatchesSequential) {
         AreIsomorphic(parallel->recoveries[i], sequential->recoveries[i]))
         << i;
   }
+}
+
+TEST(InverseChase, StatsCountersDeterministicAcrossThreadCounts) {
+  // Fixed scenario with several covers; every InverseChaseStats counter
+  // must be bit-identical between the sequential and the 4-thread run
+  // (timings naturally differ and are excluded). Tracing is enabled so
+  // the per-cover spans are exercised under concurrency too.
+  bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  DependencySet sigma =
+      S("Rid(x, y) -> Sid(x), Tid(y); Mid(z) -> Tid(z); Nid(w) -> Sid(w)");
+  Instance j = I("{Sid(a), Sid(b), Tid(c), Tid(d)}");
+
+  InverseChaseOptions sequential_options;
+  sequential_options.num_threads = 1;
+  Result<InverseChaseResult> sequential =
+      InverseChase(sigma, j, sequential_options);
+  ASSERT_TRUE(sequential.ok());
+
+  InverseChaseOptions parallel_options;
+  parallel_options.num_threads = 4;
+  Result<InverseChaseResult> parallel =
+      InverseChase(sigma, j, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  obs::SetEnabled(was_enabled);
+
+  const InverseChaseStats& s = sequential->stats;
+  const InverseChaseStats& p = parallel->stats;
+  EXPECT_EQ(p.num_homs, s.num_homs);
+  EXPECT_EQ(p.num_covers, s.num_covers);
+  EXPECT_EQ(p.num_covers_passing_sub, s.num_covers_passing_sub);
+  EXPECT_EQ(p.num_covers_yielding_recoveries,
+            s.num_covers_yielding_recoveries);
+  EXPECT_EQ(p.num_g_homs, s.num_g_homs);
+  EXPECT_EQ(p.num_recoveries_before_dedup, s.num_recoveries_before_dedup);
+  EXPECT_EQ(p.num_candidates_rejected, s.num_candidates_rejected);
+  EXPECT_EQ(p.num_candidates_unverified, s.num_candidates_unverified);
+  EXPECT_EQ(parallel->recoveries.size(), sequential->recoveries.size());
 }
 
 TEST(InverseChase, ParallelCertainAnswersMatch) {

@@ -1,11 +1,16 @@
-// Unit tests for the recovery-quality metrics.
+// Unit tests for the recovery-quality metrics, plus a concurrency test
+// for the obs metrics registry (run under TSan via the `tsan` preset).
 #include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
 
 #include "core/hom_set.h"
 #include "core/metrics.h"
 #include "datagen/generators.h"
 #include "datagen/scenarios.h"
 #include "logic/parser.h"
+#include "obs/metrics.h"
 
 namespace dxrec {
 namespace {
@@ -105,6 +110,44 @@ TEST(Metrics, OrderingHoldsOnRandomWorkloads) {
       EXPECT_EQ(q->baseline.violations, 0u) << "seed " << seed;
     }
   }
+}
+
+TEST(ObsRegistry, ConcurrentUpdatesFromManyThreads) {
+  // 8 threads hammer the same counter/gauge/histogram plus a per-thread
+  // counter, interleaved with registry lookups and snapshots. Exact totals
+  // must survive; TSan (scripts/check.sh) checks the synchronization.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* shared = registry.GetCounter("test.mt_shared");
+  obs::Histogram* histogram = registry.GetHistogram("test.mt_histogram");
+  shared->Reset();
+  histogram->Reset();
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIters = 5000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      // Lookup races with other threads' lookups of the same name.
+      obs::Counter* own = registry.GetCounter(
+          "test.mt_own_" + std::to_string(t % 2));
+      obs::Gauge* gauge = registry.GetGauge("test.mt_gauge");
+      for (size_t i = 0; i < kIters; ++i) {
+        shared->Add(1);
+        own->Add(1);
+        gauge->Set(static_cast<int64_t>(i));
+        histogram->Record(i % 1000);
+        if (i % 1024 == 0) registry.Read();  // snapshot during writes
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(shared->Get(), kThreads * kIters);
+  EXPECT_EQ(histogram->Count(), kThreads * kIters);
+  EXPECT_EQ(registry.GetCounter("test.mt_own_0")->Get() +
+                registry.GetCounter("test.mt_own_1")->Get(),
+            kThreads * kIters);
+  EXPECT_LE(histogram->Max(), 999u);
 }
 
 }  // namespace

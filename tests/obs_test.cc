@@ -1,0 +1,231 @@
+// Unit tests for the observability subsystem (obs/): span nesting,
+// JSON escaping, trace/report export, and the metrics instruments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "core/inverse_chase.h"
+#include "logic/parser.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace {
+
+// Enables tracing for one test body and restores the previous state (the
+// collectors are process-global).
+class ScopedTracing {
+ public:
+  ScopedTracing() : was_enabled_(obs::Enabled()) {
+    obs::SetEnabled(true);
+    obs::Tracer::Global().Clear();
+  }
+  ~ScopedTracing() { obs::SetEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
+const obs::TraceEvent* FindEvent(const std::vector<obs::TraceEvent>& events,
+                                 const std::string& name) {
+  for (const obs::TraceEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(ObsTrace, SpanNestingLinksParents) {
+  ScopedTracing tracing;
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span middle("middle");
+      obs::Span inner("inner");
+      inner.AddArg("value", 7);
+    }
+    obs::Span sibling("sibling");
+  }
+  std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+
+  const obs::TraceEvent* outer = FindEvent(events, "outer");
+  const obs::TraceEvent* middle = FindEvent(events, "middle");
+  const obs::TraceEvent* inner = FindEvent(events, "inner");
+  const obs::TraceEvent* sibling = FindEvent(events, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(middle->parent_id, outer->span_id);
+  EXPECT_EQ(inner->parent_id, middle->span_id);
+  EXPECT_EQ(sibling->parent_id, outer->span_id);
+
+  // All on the same thread; ids unique.
+  EXPECT_EQ(outer->thread_id, inner->thread_id);
+  EXPECT_NE(outer->span_id, middle->span_id);
+
+  // The arg made it through.
+  ASSERT_EQ(inner->args.size(), 1u);
+  EXPECT_EQ(inner->args[0].first, "value");
+  EXPECT_EQ(inner->args[0].second, 7);
+
+  // Children close before parents, and intervals nest.
+  EXPECT_LE(middle->start_us, inner->start_us);
+  EXPECT_GE(outer->duration_us, middle->duration_us);
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  obs::SetEnabled(false);
+  obs::Tracer::Global().Clear();
+  {
+    obs::Span span("ghost");
+    span.AddArg("ignored", 1);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(obs::Tracer::Global().size(), 0u);
+}
+
+TEST(ObsTrace, WorkerThreadsGetOwnTimelines) {
+  ScopedTracing tracing;
+  {
+    obs::Span root("root");
+    std::thread worker([] { obs::Span span("worker_span"); });
+    worker.join();
+  }
+  std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
+  const obs::TraceEvent* root = FindEvent(events, "root");
+  const obs::TraceEvent* worker = FindEvent(events, "worker_span");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(worker, nullptr);
+  // The worker's span is a root on its own thread, not a child of a span
+  // on the spawning thread.
+  EXPECT_NE(worker->thread_id, root->thread_id);
+  EXPECT_EQ(worker->parent_id, 0u);
+}
+
+TEST(ObsReport, JsonEscaping) {
+  EXPECT_EQ(obs::JsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(obs::JsonEscape(std::string("\x01\x1f")), "\\u0001\\u001f");
+  EXPECT_EQ(obs::JsonEscape("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(ObsReport, ChromeTraceJsonShape) {
+  ScopedTracing tracing;
+  {
+    obs::Span span("na\"me");
+    span.AddArg("k", 42);
+  }
+  std::string json =
+      obs::ChromeTraceJson(obs::Tracer::Global().Snapshot());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"na\\\"me\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":42"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ObsReport, AggregateSpansSumsByName) {
+  ScopedTracing tracing;
+  { obs::Span a("phase_a"); }
+  { obs::Span a("phase_a"); }
+  { obs::Span b("phase_b"); }
+  std::vector<obs::SpanAggregate> aggs =
+      obs::AggregateSpans(obs::Tracer::Global().Snapshot());
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].name, "phase_a");
+  EXPECT_EQ(aggs[0].count, 2u);
+  EXPECT_EQ(aggs[1].name, "phase_b");
+  EXPECT_EQ(aggs[1].count, 1u);
+}
+
+TEST(ObsMetrics, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* counter = registry.GetCounter("test.basic_counter");
+  counter->Reset();
+  counter->Add();
+  counter->Add(4);
+  EXPECT_EQ(counter->Get(), 5u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(registry.GetCounter("test.basic_counter"), counter);
+
+  obs::Gauge* gauge = registry.GetGauge("test.basic_gauge");
+  gauge->Set(-3);
+  EXPECT_EQ(gauge->Get(), -3);
+
+  obs::Histogram* histogram = registry.GetHistogram("test.basic_histogram");
+  histogram->Reset();
+  histogram->Record(0);
+  histogram->Record(1);
+  histogram->Record(7);
+  histogram->Record(100);
+  EXPECT_EQ(histogram->Count(), 4u);
+  EXPECT_EQ(histogram->Sum(), 108u);
+  EXPECT_EQ(histogram->Max(), 100u);
+  EXPECT_DOUBLE_EQ(histogram->Mean(), 27.0);
+  EXPECT_EQ(histogram->BucketCount(0), 1u);  // value 0
+  EXPECT_EQ(histogram->BucketCount(1), 1u);  // value 1
+  EXPECT_EQ(histogram->BucketCount(3), 1u);  // 4..7
+  EXPECT_EQ(histogram->BucketCount(7), 1u);  // 64..127
+}
+
+TEST(ObsMetrics, SnapshotAndJson) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("test.snap_counter")->Reset();
+  registry.GetCounter("test.snap_counter")->Add(9);
+  obs::MetricsSnapshot snapshot = registry.Read();
+  bool found = false;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "test.snap_counter") {
+      found = true;
+      EXPECT_EQ(value, 9u);
+    }
+  }
+  EXPECT_TRUE(found);
+  std::string json = obs::MetricsJson(snapshot);
+  EXPECT_NE(json.find("\"test.snap_counter\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+}
+
+TEST(ObsPipeline, InverseChaseEmitsStepSpans) {
+  ScopedTracing tracing;
+  Result<DependencySet> sigma = ParseTgdSet("Rot(x) -> Sot(x)");
+  ASSERT_TRUE(sigma.ok());
+  Result<Instance> j = ParseInstance("{Sot(a)}");
+  ASSERT_TRUE(j.ok());
+  Result<InverseChaseResult> result = InverseChase(*sigma, *j);
+  ASSERT_TRUE(result.ok());
+  std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
+
+  const obs::TraceEvent* pipeline = FindEvent(events, "inverse_chase");
+  ASSERT_NE(pipeline, nullptr);
+  for (const char* name :
+       {"step1_hom_enum", "step2_cover_enum", "step3_subsumption",
+        "steps4_7_covers", "cover", "step4_reverse_chase",
+        "step5_forward_chase", "step6_g_hom_search", "step7_verify_emit",
+        "merge_dedup"}) {
+    EXPECT_NE(FindEvent(events, name), nullptr) << name;
+  }
+  // Step spans are children of the pipeline span.
+  const obs::TraceEvent* step1 = FindEvent(events, "step1_hom_enum");
+  EXPECT_EQ(step1->parent_id, pipeline->span_id);
+
+  // The stable summary view carries the phase times.
+  EXPECT_GE(result->stats.seconds_total, 0.0);
+  EXPECT_NE(result->stats.ToString().find("total="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dxrec
