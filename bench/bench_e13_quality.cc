@@ -11,7 +11,7 @@
 // and the `viol` columns are 0 whenever the truth is a recovery
 // (soundness, end to end).
 #include "bench/bench_common.h"
-#include "core/metrics.h"
+#include "core/quality.h"
 #include "datagen/generators.h"
 #include "datagen/scenarios.h"
 

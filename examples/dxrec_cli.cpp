@@ -18,6 +18,7 @@
 //   loadsigma <path>            load the mapping from a file
 //   loadtarget <path>           load the target from a file
 //   savetarget <path>           save the target to a file
+//   set <key> <value>           tune budgets/threads (see 'help')
 //   help | quit
 //
 // Command-line flags (observability, see docs/OBSERVABILITY.md):
@@ -25,6 +26,10 @@
 //                            JSON on exit (default dxrec_trace.json)
 //   --metrics-json[=<file>]  write the metrics/span run report on exit
 //                            (default dxrec_metrics.json)
+//   --events[=<file>]        record decision events; write JSONL on exit
+//                            (default dxrec_events.jsonl)
+//   --progress[=<secs>]      heartbeat + stall watchdog on stderr
+//                            (default every 1s)
 //
 // Example session:
 //   sigma R(x, y) -> S(x), P(y)
@@ -32,6 +37,7 @@
 //   recover
 //   cert Q(x) :- R(x, 'b2')
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -41,6 +47,8 @@
 #include "logic/io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "obs/events.h"
+#include "obs/progress.h"
 #include "obs/report.h"
 #include "relational/instance_ops.h"
 
@@ -54,11 +62,17 @@ void PrintHelp() {
       "          recover | explain | cert <ucq> | sound <ucq> |\n"
       "          soundcq <cq> | subuniversal | mapping | baseline |\n"
       "          repair | greedyrepair | loadsigma <path> |\n"
-      "          loadtarget <path> | savetarget <path> | help | quit\n"
+      "          loadtarget <path> | savetarget <path> |\n"
+      "          set <key> <value> | help | quit\n"
+      "set keys: cover_nodes cover_covers max_recoveries threads\n"
       "flags:    --trace[=<file>]        Chrome trace-event JSON on exit\n"
       "                                  (default dxrec_trace.json)\n"
       "          --metrics-json[=<file>] metrics/span run report on exit\n"
-      "                                  (default dxrec_metrics.json)\n");
+      "                                  (default dxrec_metrics.json)\n"
+      "          --events[=<file>]       decision-event JSONL on exit\n"
+      "                                  (default dxrec_events.jsonl)\n"
+      "          --progress[=<secs>]     stderr heartbeat + stall watchdog\n"
+      "                                  (default every 1s)\n");
 }
 
 class Shell {
@@ -89,7 +103,8 @@ class Shell {
         Report(sigma.status());
         return true;
       }
-      engine_ = std::make_unique<RecoveryEngine>(std::move(*sigma));
+      engine_ =
+          std::make_unique<RecoveryEngine>(std::move(*sigma), options_);
       std::printf("mapping loaded (%zu tgds)\n", engine_->sigma().size());
     } else if (cmd == "loadtarget") {
       Result<Instance> target = LoadInstanceFile(rest);
@@ -108,8 +123,11 @@ class Shell {
         Report(sigma.status());
         return true;
       }
-      engine_ = std::make_unique<RecoveryEngine>(std::move(*sigma));
+      engine_ =
+          std::make_unique<RecoveryEngine>(std::move(*sigma), options_);
       std::printf("mapping set (%zu tgds)\n", engine_->sigma().size());
+    } else if (cmd == "set") {
+      Set(rest);
     } else if (cmd == "target") {
       Result<Instance> target = ParseInstance(rest);
       if (!target.ok()) {
@@ -249,11 +267,42 @@ class Shell {
     return true;
   }
 
+  // `set <key> <value>`: budget/parallelism knobs, applied to the current
+  // engine (if any) and every engine built afterwards.
+  void Set(const std::string& rest) {
+    size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      std::printf("usage: set <key> <value>\n");
+      return;
+    }
+    std::string key = rest.substr(0, space);
+    unsigned long long value =
+        std::strtoull(rest.c_str() + space + 1, nullptr, 10);
+    if (key == "cover_nodes") {
+      options_.inverse.cover.max_nodes = value;
+    } else if (key == "cover_covers") {
+      options_.inverse.cover.max_covers = value;
+    } else if (key == "max_recoveries") {
+      options_.inverse.max_recoveries = value;
+    } else if (key == "threads") {
+      options_.inverse.num_threads = value;
+    } else {
+      std::printf("unknown key '%s' (try 'help')\n", key.c_str());
+      return;
+    }
+    if (engine_) {
+      engine_ = std::make_unique<RecoveryEngine>(
+          DependencySet(engine_->sigma()), options_);
+    }
+    std::printf("%s = %llu\n", key.c_str(), value);
+  }
+
   void Report(const Status& status) {
     std::printf("error: %s\n", status.ToString().c_str());
   }
 
   std::unique_ptr<RecoveryEngine> engine_;
+  EngineOptions options_;
   Instance target_;
 };
 
@@ -278,11 +327,15 @@ bool MatchFlag(const std::string& arg, const std::string& name,
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string events_path;
+  std::string progress_secs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (MatchFlag(arg, "--trace", "dxrec_trace.json", &trace_path) ||
         MatchFlag(arg, "--metrics-json", "dxrec_metrics.json",
-                  &metrics_path)) {
+                  &metrics_path) ||
+        MatchFlag(arg, "--events", "dxrec_events.jsonl", &events_path) ||
+        MatchFlag(arg, "--progress", "1", &progress_secs)) {
       continue;
     }
     if (arg == "--help" || arg == "-h") {
@@ -292,13 +345,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
     return 1;
   }
-  if (!trace_path.empty() || !metrics_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty() ||
+      !events_path.empty() || !progress_secs.empty()) {
     obs::SetEnabled(true);
+  }
+  if (!events_path.empty()) obs::SetEventsEnabled(true);
+  if (!progress_secs.empty()) {
+    obs::ProgressOptions progress;
+    progress.interval_seconds = std::strtod(progress_secs.c_str(), nullptr);
+    if (progress.interval_seconds <= 0) progress.interval_seconds = 1.0;
+    obs::ProgressMonitor::Global().Start(progress);
   }
 
   Shell().Run();
 
+  obs::ProgressMonitor::Global().Stop();
   int exit_code = 0;
+  if (!events_path.empty()) {
+    Status status = obs::WriteEventsJsonl(events_path);
+    if (status.ok()) {
+      std::printf("events written to %s (%llu recorded, %llu dropped)\n",
+                  events_path.c_str(),
+                  static_cast<unsigned long long>(
+                      obs::EventSink::Global().recorded()),
+                  static_cast<unsigned long long>(
+                      obs::EventSink::Global().dropped()));
+    } else {
+      std::fprintf(stderr, "events: %s\n", status.ToString().c_str());
+      exit_code = 1;
+    }
+  }
   if (!trace_path.empty()) {
     Status status = obs::WriteChromeTrace(trace_path);
     if (status.ok()) {

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_<id>.json perf reports.
+
+Usage:
+  scripts/bench_diff.py [options] BASELINE CURRENT
+
+BASELINE and CURRENT are directories holding BENCH_*.json files (as
+written by the bench binaries via DXREC_BENCH_JSON_DIR), or two
+individual .json files. Rows are matched per experiment:
+
+  - google-benchmark rows ({"name", "real_time", "time_unit", ...})
+    match on "name"; the compared metric is real_time, normalized to ms.
+  - experiment rows ({"p": 2, "q": 2, ..., "time_ms": 0.28}) match on
+    every field that is not a timing output; the metric is time_ms.
+
+A row regresses when current > baseline * (1 + --threshold). Rows where
+both sides are under --min-time-ms are skipped as noise. Exit status is
+1 when any regression is found, unless --warn-only.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Output fields excluded from the row identity for experiment rows.
+TIMING_KEYS = {"time_ms", "real_time", "cpu_time", "iterations",
+               "time_unit"}
+
+TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_reports(path):
+    """Returns {filename: parsed json} for a directory or single file."""
+    reports = {}
+    if os.path.isdir(path):
+        names = sorted(n for n in os.listdir(path)
+                       if n.startswith("BENCH_") and n.endswith(".json"))
+        paths = [(n, os.path.join(path, n)) for n in names]
+    else:
+        paths = [(os.path.basename(path), path)]
+    for name, p in paths:
+        try:
+            with open(p) as f:
+                reports[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: skipping {p}: {e}", file=sys.stderr)
+    return reports
+
+
+def row_key(row):
+    if "name" in row:
+        return ("name", row["name"])
+    items = tuple(sorted((k, json.dumps(v, sort_keys=True))
+                         for k, v in row.items() if k not in TIMING_KEYS))
+    return items
+
+
+def row_time_ms(row):
+    if "time_ms" in row:
+        return float(row["time_ms"])
+    if "real_time" in row:
+        scale = TIME_UNIT_TO_MS.get(row.get("time_unit", "ns"), 1e-6)
+        return float(row["real_time"]) * scale
+    return None
+
+
+def key_label(key):
+    if isinstance(key, tuple) and len(key) == 2 and key[0] == "name":
+        return key[1]
+    return " ".join(f"{k}={json.loads(v)}" for k, v in key)
+
+
+def diff_experiment(name, base, cur, threshold, min_time_ms):
+    """Compares one report pair; returns (regressions, improvements,
+    compared, unmatched) where the first two are printable strings."""
+    base_rows = {}
+    for row in base.get("rows", []):
+        t = row_time_ms(row)
+        if t is not None:
+            base_rows[row_key(row)] = t
+    regressions, improvements = [], []
+    compared = 0
+    unmatched = 0
+    for row in cur.get("rows", []):
+        t = row_time_ms(row)
+        if t is None:
+            continue
+        key = row_key(row)
+        if key not in base_rows:
+            unmatched += 1
+            continue
+        b = base_rows.pop(key)
+        if b < min_time_ms and t < min_time_ms:
+            continue  # both under the noise floor
+        compared += 1
+        delta = (t - b) / b if b > 0 else float("inf")
+        line = (f"{key_label(key)}: {b:.3f}ms -> {t:.3f}ms "
+                f"({delta:+.1%})")
+        if delta > threshold:
+            regressions.append(line)
+        elif delta < -threshold:
+            improvements.append(line)
+    unmatched += len(base_rows)  # baseline rows with no current partner
+    return regressions, improvements, compared, unmatched
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown treated as a regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--min-time-ms", type=float, default=1.0,
+                        help="skip rows where both sides are faster than "
+                             "this (noise floor, default 1.0)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="always exit 0; print regressions as warnings")
+    args = parser.parse_args()
+
+    base_reports = load_reports(args.baseline)
+    cur_reports = load_reports(args.current)
+    if not base_reports or not cur_reports:
+        print("bench_diff: nothing to compare", file=sys.stderr)
+        return 0  # an empty side is not a regression
+
+    total_regressions = 0
+    for name in sorted(cur_reports):
+        if name not in base_reports:
+            print(f"{name}: new report (no baseline)")
+            continue
+        regs, imps, compared, unmatched = diff_experiment(
+            name, base_reports[name], cur_reports[name],
+            args.threshold, args.min_time_ms)
+        total_regressions += len(regs)
+        summary = (f"{name}: {compared} rows compared, "
+                   f"{len(regs)} regressions, {len(imps)} improvements")
+        if unmatched:
+            summary += f", {unmatched} unmatched"
+        print(summary)
+        for line in regs:
+            print(f"  REGRESSION {line}")
+        for line in imps:
+            print(f"  improved   {line}")
+    for name in sorted(set(base_reports) - set(cur_reports)):
+        print(f"{name}: report disappeared from current run")
+
+    if total_regressions and not args.warn_only:
+        print(f"bench_diff: {total_regressions} regression(s) over "
+              f"+{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

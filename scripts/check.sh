@@ -3,7 +3,12 @@
 #   default        RelWithDebInfo, full ctest suite
 #   asan           address+undefined sanitizers
 #   tsan           thread sanitizer (races in the threaded inverse chase
-#                  and the obs tracing/metrics collectors)
+#                  and the obs tracing/metrics/event collectors)
+#
+# Also enforces source-level invariants (budget failures must go through
+# obs::BudgetExhausted) and, with DXREC_CHECK_BENCH=1, records a
+# bench_e8 perf snapshot under bench_history/ and diffs it against the
+# previous snapshot via scripts/bench_diff.py (warn-only).
 #
 # Usage: scripts/check.sh [default|asan|tsan ...]
 # With no arguments, runs all three. Requires cmake >= 3.24 (presets).
@@ -17,6 +22,23 @@ fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
+# Budget failures must carry the structured payload: the only permitted
+# Status::ResourceExhausted( call sites are the Status factory itself and
+# obs::BudgetExhausted. Everything else uses obs::BudgetExhausted /
+# BudgetMeter::Exhausted (docs/OBSERVABILITY.md, "Budget telemetry").
+echo "=== structured-budget check ==="
+offenders=$(grep -rn 'Status::ResourceExhausted(' \
+    --include='*.h' --include='*.cc' --include='*.cpp' \
+    src bench examples tests \
+    | grep -v '^src/base/' | grep -v '^src/obs/' || true)
+if [ -n "$offenders" ]; then
+  echo "bare Status::ResourceExhausted( outside src/base+src/obs;" \
+       "use obs::BudgetExhausted / obs::BudgetMeter instead:" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+echo "ok"
+
 for preset in "${presets[@]}"; do
   echo "=== [$preset] configure ==="
   cmake --preset "$preset" >/dev/null
@@ -25,5 +47,30 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$jobs"
 done
+
+# Perf trajectory (opt-in: slow). Snapshots bench_e8 — the disabled-obs
+# overhead guard — into bench_history/<timestamp>/ and diffs against the
+# previous snapshot. Warn-only: local noise shouldn't fail the check;
+# the BENCH json is there for a human to judge.
+if [ "${DXREC_CHECK_BENCH:-0}" = "1" ]; then
+  echo "=== bench snapshot (bench_e8) ==="
+  bench_bin=build/bench/bench_e8_chase_engine
+  if [ ! -x "$bench_bin" ]; then
+    echo "missing $bench_bin (build the default preset first)" >&2
+    exit 1
+  fi
+  snap="bench_history/$(date +%Y%m%d_%H%M%S)"
+  mkdir -p "$snap"
+  DXREC_BENCH_JSON_DIR="$snap" "$bench_bin" \
+      --benchmark_min_time=0.05 >"$snap/stdout.txt" 2>&1
+  prev=$(ls -1d bench_history/*/ 2>/dev/null | sed 's:/$::' \
+      | grep -v "^$snap\$" | sort | tail -n 1 || true)
+  if [ -n "$prev" ]; then
+    echo "--- bench_diff vs $prev ---"
+    python3 scripts/bench_diff.py --warn-only "$prev" "$snap"
+  else
+    echo "first snapshot recorded at $snap (nothing to diff)"
+  fi
+fi
 
 echo "All requested configurations passed: ${presets[*]}"

@@ -20,6 +20,17 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+std::string BudgetInfo::ToString() const {
+  return budget + " budget exhausted [limit=" + std::to_string(limit) +
+         " consumed=" + std::to_string(consumed) + " phase=" + phase + "]";
+}
+
+Status Status::ResourceExhausted(BudgetInfo info) {
+  Status status(StatusCode::kResourceExhausted, info.ToString());
+  status.budget_ = std::make_shared<const BudgetInfo>(std::move(info));
+  return status;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "Ok";
   std::string out = StatusCodeName(code_);

@@ -4,11 +4,28 @@
 #define DXREC_BASE_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace dxrec {
+
+// Structured payload for budget-exhaustion failures: which budget ran
+// out, how big it was, how much was consumed, and the pipeline phase the
+// search was in. Carried by kResourceExhausted statuses so callers (the
+// CLI, the run report, tests) can surface the numbers without parsing
+// message strings. See docs/OBSERVABILITY.md ("Budget telemetry").
+struct BudgetInfo {
+  std::string budget;     // dotted budget name, e.g. "cover.nodes"
+  uint64_t limit = 0;     // configured cap
+  uint64_t consumed = 0;  // units consumed when the search gave up
+  std::string phase;      // enclosing pipeline phase, e.g. "cover_enum"
+
+  // "cover.nodes budget exhausted [limit=64 consumed=64 phase=cover_enum]"
+  std::string ToString() const;
+};
 
 // Broad categories of failure surfaced by the library.
 enum class StatusCode {
@@ -50,6 +67,11 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  // Structured variant: the message is rendered from the payload and the
+  // payload stays accessible via budget_info(). Prefer this (through
+  // obs::BudgetExhausted, which also emits the terminal event) over the
+  // bare-string form for budget failures; scripts/check.sh enforces it.
+  static Status ResourceExhausted(BudgetInfo info);
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -58,12 +80,18 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Budget payload for structured kResourceExhausted statuses; nullptr
+  // for every other status (including bare-string ResourceExhausted).
+  const BudgetInfo* budget_info() const { return budget_.get(); }
+
   // "Ok" or "InvalidArgument: <message>".
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  // Shared so Status stays cheap to copy on every path.
+  std::shared_ptr<const BudgetInfo> budget_;
 };
 
 // A value of type T, or a Status explaining why it could not be produced.

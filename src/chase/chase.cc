@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include "chase/homomorphism.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -58,6 +59,10 @@ Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
     static obs::Counter* fired =
         obs::MetricsRegistry::Global().GetCounter("chase.triggers_fired");
     fired->Add(triggers.size());
+  }
+  if (obs::EventsEnabled()) {
+    obs::Emit("chase.run", {{"triggers", static_cast<int64_t>(triggers.size())},
+                            {"atoms", static_cast<int64_t>(out.size())}});
   }
   return out;
 }

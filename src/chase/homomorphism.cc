@@ -4,7 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace dxrec {
@@ -50,6 +52,10 @@ class Matcher {
   // the per-candidate map work) and flushed to the registry only when
   // observability is on, so the disabled path stays counter-free.
   void FlushCounters() const {
+    if (truncated_ && obs::EventsEnabled()) {
+      obs::Emit("homs.truncated",
+                {{"results", static_cast<int64_t>(results_)}});
+    }
     if (!obs::Enabled()) return;
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     static obs::Counter* searches = registry.GetCounter("hom.searches");
@@ -57,10 +63,24 @@ class Matcher {
         registry.GetCounter("hom.candidates_tried");
     static obs::Counter* backtracks = registry.GetCounter("hom.backtracks");
     static obs::Counter* results = registry.GetCounter("hom.results");
+    static obs::Counter* truncations = registry.GetCounter("hom.truncated");
     searches->Add(1);
     candidates->Add(candidates_tried_);
     backtracks->Add(backtracks_);
     results->Add(results_);
+    if (truncated_) truncations->Add(1);
+  }
+
+  // Rare-path pulse: progress work units and, even less often, a search
+  // milestone event. Called every 2^16 candidates.
+  void Pulse() const {
+    if (obs::ProgressActive()) obs::NoteWork(1u << 16);
+    if (obs::EventsEnabled() &&
+        (candidates_tried_ & ((1u << 20) - 1)) == 0) {
+      obs::Emit("hom.milestone",
+                {{"candidates", static_cast<int64_t>(candidates_tried_)},
+                 {"results", static_cast<int64_t>(results_)}});
+    }
   }
 
   // Binds placeholder -> image if admissible; returns whether it bound.
@@ -135,8 +155,13 @@ class Matcher {
       Substitution result;
       for (const auto& [from, to] : binding_) result.Set(from, to);
       ++results_;
-      if (!callback_(result) || results_ >= options_.max_results) {
+      if (!callback_(result)) {
+        stopped_ = true;  // caller asked to stop; not a truncation
+      } else if (results_ >= options_.max_results) {
+        // Silent cutoff made visible: the caller sees max_results homs
+        // and has no way to tell "that's all" from "that's the cap".
         stopped_ = true;
+        truncated_ = true;
       }
       return;
     }
@@ -164,6 +189,7 @@ class Matcher {
       const Atom& tuple = target_.atoms()[idx];
       if (tuple.arity() != atom.arity()) continue;
       ++candidates_tried_;
+      if ((candidates_tried_ & 0xFFFF) == 0) Pulse();
       std::vector<std::pair<Term, Term>> newly_bound;
       bool ok = true;
       for (uint32_t pos = 0; pos < atom.arity() && ok; ++pos) {
@@ -202,6 +228,7 @@ class Matcher {
   uint64_t candidates_tried_ = 0;
   uint64_t backtracks_ = 0;
   bool stopped_ = false;
+  bool truncated_ = false;  // stopped by max_results, not by the caller
 };
 
 }  // namespace

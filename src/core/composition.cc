@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "logic/unification.h"
+#include "obs/events.h"
 
 namespace dxrec {
 
@@ -17,13 +18,13 @@ class Unfolder {
  public:
   Unfolder(const DependencySet& sigma12, const Tgd& tau,
            const CompositionOptions& options, DependencySet* out,
-           std::set<std::string>* seen, size_t* nodes_left)
+           std::set<std::string>* seen, obs::BudgetMeter* nodes)
       : sigma12_(sigma12),
         tau_(tau),
         options_(options),
         out_(out),
         seen_(seen),
-        nodes_left_(nodes_left) {}
+        nodes_(nodes) {}
 
   Status Run() {
     Unifier unifier;
@@ -37,9 +38,7 @@ class Unfolder {
   };
 
   Status Assign(size_t j, std::vector<Copy>& copies, Unifier& unifier) {
-    if ((*nodes_left_)-- == 0) {
-      return Status::ResourceExhausted("composition unfolding budget");
-    }
+    if (!nodes_->Consume()) return nodes_->Exhausted();
     if (j == tau_.body().size()) {
       return Emit(copies, unifier);
     }
@@ -122,7 +121,8 @@ class Unfolder {
     if (!seen_->insert(key).second) return Status::Ok();
     out_->Add(std::move(*tgd));
     if (out_->size() > options_.max_tgds) {
-      return Status::ResourceExhausted("composition tgd budget");
+      return obs::BudgetExhausted({"composition.tgds", options_.max_tgds,
+                                   out_->size(), "composition"});
     }
     return Status::Ok();
   }
@@ -132,7 +132,7 @@ class Unfolder {
   const CompositionOptions& options_;
   DependencySet* out_;
   std::set<std::string>* seen_;
-  size_t* nodes_left_;
+  obs::BudgetMeter* nodes_;
 };
 
 }  // namespace
@@ -151,9 +151,10 @@ Result<DependencySet> Compose(const DependencySet& sigma12,
   }
   DependencySet out;
   std::set<std::string> seen;
-  size_t nodes_left = options.max_nodes;
+  obs::BudgetMeter nodes("composition.nodes", "composition",
+                         options.max_nodes);
   for (const Tgd& tau : sigma23.tgds()) {
-    Unfolder unfolder(sigma12, tau, options, &out, &seen, &nodes_left);
+    Unfolder unfolder(sigma12, tau, options, &out, &seen, &nodes);
     Status status = unfolder.Run();
     if (!status.ok()) return status;
   }

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/events.h"
+
 namespace dxrec {
 
 namespace {
@@ -91,8 +93,12 @@ bool CoverProblem::AllTuplesCoverable() const {
 namespace {
 
 struct Budget {
-  size_t nodes_left;
-  size_t covers_left;
+  obs::BudgetMeter nodes;
+  obs::BudgetMeter covers;
+
+  explicit Budget(const CoverOptions& options)
+      : nodes("cover.nodes", "cover_enum", options.max_nodes),
+        covers("cover.covers", "cover_enum", options.max_covers) {}
 };
 
 // Recursively enumerates all subsets of homs [i..m) whose union with
@@ -103,16 +109,12 @@ Status AllCoversRec(const std::vector<Bits>& hom_bits,
                     const Bits& universe, size_t i, Bits covered,
                     Cover* current, std::vector<Cover>* out,
                     Budget* budget) {
-  if (budget->nodes_left-- == 0) {
-    return Status::ResourceExhausted("cover enumeration node budget");
-  }
+  if (!budget->nodes.Consume()) return budget->nodes.Exhausted();
   if (i == hom_bits.size()) {
     // A complete include/exclude assignment; emit iff it covers. Each
     // subset reaches exactly one leaf, so there are no duplicates.
     if (covered.Covers(universe)) {
-      if (budget->covers_left-- == 0) {
-        return Status::ResourceExhausted("cover enumeration cover budget");
-      }
+      if (!budget->covers.Consume()) return budget->covers.Exhausted();
       out->push_back(*current);
     }
     return Status::Ok();
@@ -142,9 +144,7 @@ Status MinimalCoversRec(const std::vector<Bits>& hom_bits,
                         const Bits& universe, Bits covered,
                         std::vector<bool> excluded, Cover* current,
                         std::set<Cover>* out, Budget* budget) {
-  if (budget->nodes_left-- == 0) {
-    return Status::ResourceExhausted("cover enumeration node budget");
-  }
+  if (!budget->nodes.Consume()) return budget->nodes.Exhausted();
   int64_t tuple = covered.FirstUncovered(universe);
   if (tuple < 0) {
     // Cover complete. Minimality is verified by the caller
@@ -153,9 +153,7 @@ Status MinimalCoversRec(const std::vector<Bits>& hom_bits,
     Cover sorted = *current;
     std::sort(sorted.begin(), sorted.end());
     if (out->insert(sorted).second) {
-      if (budget->covers_left-- == 0) {
-        return Status::ResourceExhausted("cover enumeration cover budget");
-      }
+      if (!budget->covers.Consume()) return budget->covers.Exhausted();
     }
     return Status::Ok();
   }
@@ -206,7 +204,7 @@ Result<std::vector<Cover>> CoverProblem::AllCovers(
   }
   std::vector<Cover> out;
   Cover current;
-  Budget budget{options.max_nodes, options.max_covers};
+  Budget budget(options);
   Status status =
       AllCoversRec(hom_bits, suffix_union, universe, 0, Bits(num_tuples_),
                    &current, &out, &budget);
@@ -236,7 +234,7 @@ Result<std::vector<Cover>> CoverProblem::MinimalCoversOf(
 
   std::set<Cover> found;
   Cover current;
-  Budget budget{options.max_nodes, options.max_covers};
+  Budget budget(options);
   Status status = MinimalCoversRec(
       hom_bits, covered_by_, universe, Bits(num_tuples_),
       std::vector<bool>(coverage_.size(), false), &current, &found, &budget);

@@ -9,6 +9,7 @@
 #include "base/fresh.h"
 #include "chase/homomorphism.h"
 #include "logic/unification.h"
+#include "obs/events.h"
 
 namespace dxrec {
 
@@ -22,11 +23,11 @@ class AlternativeCollector {
   AlternativeCollector(const DependencySet& sigma,
                        const std::vector<Atom>& subset,
                        const ExtendedRecoveryOptions& options,
-                       size_t* nodes_left)
+                       obs::BudgetMeter* nodes)
       : sigma_(sigma),
         subset_(subset),
         options_(options),
-        nodes_left_(nodes_left) {}
+        nodes_(nodes) {}
 
   Result<std::vector<std::vector<Atom>>> Collect() {
     Unifier unifier;
@@ -42,14 +43,13 @@ class AlternativeCollector {
   };
 
   Status Assign(size_t j, std::vector<Copy>& copies, Unifier& unifier) {
-    if ((*nodes_left_)-- == 0) {
-      return Status::ResourceExhausted("extended-recovery budget");
-    }
+    if (!nodes_->Consume()) return nodes_->Exhausted();
     if (j == subset_.size()) {
       Emit(copies, unifier);
       if (alternatives_.size() > options_.max_alternatives) {
-        return Status::ResourceExhausted(
-            "extended-recovery alternative budget");
+        return obs::BudgetExhausted(
+            {"extended_recovery.alternatives", options_.max_alternatives,
+             alternatives_.size(), "extended_recovery"});
       }
       return Status::Ok();
     }
@@ -127,7 +127,7 @@ class AlternativeCollector {
   const DependencySet& sigma_;
   const std::vector<Atom>& subset_;
   const ExtendedRecoveryOptions& options_;
-  size_t* nodes_left_;
+  obs::BudgetMeter* nodes_;
   std::vector<std::vector<Atom>> alternatives_;
 };
 
@@ -189,7 +189,8 @@ Result<DisjunctiveMapping> ExtendedRecoveryMapping(
     const DependencySet& sigma, const ExtendedRecoveryOptions& options) {
   DisjunctiveMapping out;
   std::set<std::string> seen_rules;
-  size_t nodes_left = options.max_nodes;
+  obs::BudgetMeter nodes("extended_recovery.nodes", "extended_recovery",
+                         options.max_nodes);
 
   for (TgdId id = 0; id < sigma.size(); ++id) {
     const Tgd& tgd = sigma.at(id);
@@ -202,7 +203,7 @@ Result<DisjunctiveMapping> ExtendedRecoveryMapping(
       for (size_t i = 0; i < n; ++i) {
         if ((mask >> i) & 1) subset.push_back(tgd.head()[i]);
       }
-      AlternativeCollector collector(sigma, subset, options, &nodes_left);
+      AlternativeCollector collector(sigma, subset, options, &nodes);
       Result<std::vector<std::vector<Atom>>> alternatives =
           collector.Collect();
       if (!alternatives.ok()) return alternatives.status();

@@ -13,7 +13,9 @@
 #include "chase/homomorphism.h"
 #include "chase/instance_core.h"
 #include "core/recovery.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/instance_ops.h"
 #include "util/stopwatch.h"
@@ -81,11 +83,33 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   h_set.reserve(cover.size());
   for (size_t idx : cover) h_set.push_back(homs[idx]);
 
-  if (options.use_subsumption_filter && !ModelsAll(h_set, sub, sigma)) {
-    cover_span.AddArg("passed_sub", 0);
-    return outcome;
+  if (options.use_subsumption_filter) {
+    size_t failing = 0;
+    if (!ModelsAll(h_set, sub, sigma, &failing)) {
+      cover_span.AddArg("passed_sub", 0);
+      if (obs::EventsEnabled()) {
+        obs::Emit("sub.verdict",
+                  {{"cover", static_cast<int64_t>(cover_index)},
+                   {"constraint", static_cast<int64_t>(failing)},
+                   {"passed", 0}});
+        obs::Emit("cover.rejected",
+                  {{"cover", static_cast<int64_t>(cover_index)},
+                   {"size", static_cast<int64_t>(cover.size())}},
+                  {{"reason", "sub_filter"}});
+      }
+      if (obs::ProgressActive()) obs::NoteCoverDone();
+      return outcome;
+    }
+    if (obs::EventsEnabled() && !sub.empty()) {
+      obs::Emit("sub.verdict", {{"cover", static_cast<int64_t>(cover_index)},
+                                {"passed", 1}});
+    }
   }
   outcome.passed_sub = true;
+  if (obs::EventsEnabled()) {
+    obs::Emit("cover.accepted", {{"cover", static_cast<int64_t>(cover_index)},
+                                 {"size", static_cast<int64_t>(cover.size())}});
+  }
 
   Stopwatch phase_sw;
 
@@ -97,6 +121,12 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     obs::Span span("step4_reverse_chase");
     for (const HeadHom& h : h_set) {
       Instance atoms = SourceAtomsFor(sigma, h, nulls);
+      if (obs::EventsEnabled()) {
+        obs::Emit("rchase.trigger",
+                  {{"cover", static_cast<int64_t>(cover_index)},
+                   {"tgd", static_cast<int64_t>(h.tgd)},
+                   {"atoms", static_cast<int64_t>(atoms.size())}});
+      }
       source.AddAll(atoms);
       if (options.explain) per_hom_sources.push_back(std::move(atoms));
     }
@@ -121,6 +151,13 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     obs::Span span("step6_g_hom_search");
     gs = BackHomomorphisms(chased, target, options.max_g_homs_per_cover);
     span.AddArg("g_homs", static_cast<int64_t>(gs.size()));
+    if (obs::EventsEnabled()) {
+      obs::Emit("ghom.search",
+                {{"cover", static_cast<int64_t>(cover_index)},
+                 {"g_homs", static_cast<int64_t>(gs.size())},
+                 {"truncated",
+                  gs.size() >= options.max_g_homs_per_cover ? 1 : 0}});
+    }
   }
   outcome.seconds_g_hom_search = phase_sw.ElapsedSeconds();
   phase_sw.Reset();
@@ -138,7 +175,16 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   for (size_t g_index = 0; g_index < gs.size(); ++g_index) {
     const Substitution& g = gs[g_index];
     Instance recovery = source.Apply(g);
-    if (options.core_recoveries) recovery = ComputeCore(recovery);
+    if (options.core_recoveries) {
+      size_t before = recovery.size();
+      recovery = ComputeCore(recovery);
+      if (obs::EventsEnabled() && recovery.size() != before) {
+        obs::Emit("recovery.cored",
+                  {{"cover", static_cast<int64_t>(cover_index)},
+                   {"before", static_cast<int64_t>(before)},
+                   {"after", static_cast<int64_t>(recovery.size())}});
+      }
+    }
     outcome.num_candidates++;
     bool is_recovery = IsMinimalSolution(sigma, recovery, target);
     if (!is_recovery && !target_ground) {
@@ -151,6 +197,11 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     }
     if (!is_recovery) {
       outcome.num_rejected++;
+      if (obs::EventsEnabled()) {
+        obs::Emit("recovery.rejected",
+                  {{"cover", static_cast<int64_t>(cover_index)},
+                   {"g", static_cast<int64_t>(g_index)}});
+      }
       continue;
     }
     VerifiedCandidate candidate;
@@ -181,6 +232,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   cover_span.AddArg("passed_sub", 1);
   cover_span.AddArg("emitted",
                     static_cast<int64_t>(outcome.candidates.size()));
+  if (obs::ProgressActive()) obs::NoteCoverDone();
   return outcome;
 }
 
@@ -240,6 +292,7 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
   Stopwatch phase_sw;
 
   // 1. HOM(Sigma, J).
+  obs::SetPhase("hom_enum");
   std::vector<HeadHom> homs;
   {
     obs::Span span("step1_hom_enum");
@@ -251,6 +304,7 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
   phase_sw.Reset();
 
   // 2. COV(Sigma, J).
+  obs::SetPhase("cover_enum");
   std::vector<Cover> covers;
   {
     obs::Span span("step2_cover_enum");
@@ -272,6 +326,7 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
   phase_sw.Reset();
 
   // 3. SUB(Sigma).
+  obs::SetPhase("subsumption");
   std::vector<SubsumptionConstraint> sub;
   if (options.use_subsumption_filter) {
     obs::Span span("step3_subsumption");
@@ -286,6 +341,7 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
 
   // Steps 4-7, per cover; optionally across threads. Outcomes are merged
   // in cover order so the result is deterministic up to null labels.
+  obs::SetPhase("covers");
   std::vector<CoverOutcome> outcomes(covers.size());
   size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
   num_threads = std::min(num_threads, covers.size() + 1);
@@ -316,6 +372,7 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
   phase_sw.Reset();
 
   // Merge, dedup, and enforce the recovery budget.
+  obs::SetPhase("merge_dedup");
   obs::Span merge_span("merge_dedup");
   std::set<std::string> seen_exact;
   for (CoverOutcome& outcome : outcomes) {
@@ -333,13 +390,29 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
     }
     for (VerifiedCandidate& candidate : outcome.candidates) {
       std::string key = CanonicalString(candidate.recovery);
-      if (!seen_exact.insert(key).second) continue;
+      if (!seen_exact.insert(key).second) {
+        if (obs::EventsEnabled()) {
+          obs::Emit("recovery.deduped",
+                    {{"cover", static_cast<int64_t>(candidate.cover_index)}},
+                    {{"stage", "exact"}});
+        }
+        continue;
+      }
       if (options.explain && candidate.explanation.has_value()) {
         result.explanations.push_back(std::move(*candidate.explanation));
       }
+      if (obs::EventsEnabled()) {
+        obs::Emit("recovery.emitted",
+                  {{"cover", static_cast<int64_t>(candidate.cover_index)},
+                   {"atoms",
+                    static_cast<int64_t>(candidate.recovery.size())}});
+      }
       result.recoveries.push_back(std::move(candidate.recovery));
       if (result.recoveries.size() > options.max_recoveries) {
-        return Status::ResourceExhausted("inverse chase recovery budget");
+        return obs::BudgetExhausted({"inverse_chase.recoveries",
+                                     options.max_recoveries,
+                                     result.recoveries.size(),
+                                     "merge_dedup"});
       }
     }
   }
@@ -359,7 +432,12 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
           break;
         }
       }
-      if (duplicate) continue;
+      if (duplicate) {
+        if (obs::EventsEnabled()) {
+          obs::Emit("recovery.deduped", {}, {{"stage", "isomorphism"}});
+        }
+        continue;
+      }
       unique.push_back(std::move(candidate));
       if (options.explain) {
         unique_explanations.push_back(std::move(result.explanations[i]));

@@ -8,6 +8,7 @@
 #include "chase/chase.h"
 #include "chase/homomorphism.h"
 #include "logic/unification.h"
+#include "obs/events.h"
 #include "relational/instance_ops.h"
 
 namespace dxrec {
@@ -21,11 +22,11 @@ class ScenarioChecker {
   ScenarioChecker(const DependencySet& sigma,
                   const std::vector<Atom>& subset,
                   const std::vector<Atom>& conclusion_body,
-                  size_t* nodes_left)
+                  obs::BudgetMeter* nodes)
       : sigma_(sigma),
         subset_(subset),
         conclusion_body_(conclusion_body),
-        nodes_left_(nodes_left) {}
+        nodes_(nodes) {}
 
   // Returns true if the candidate is sound (no violating scenario), false
   // if some scenario fails; ResourceExhausted on budget.
@@ -46,9 +47,7 @@ class ScenarioChecker {
 
   Status Assign(size_t j, std::vector<Copy>& copies, Unifier& unifier) {
     if (violated_) return Status::Ok();
-    if ((*nodes_left_)-- == 0) {
-      return Status::ResourceExhausted("max-recovery scenario budget");
-    }
+    if (!nodes_->Consume()) return nodes_->Exhausted();
     if (j == subset_.size()) {
       if (!ScenarioEntails(copies, unifier)) violated_ = true;
       return Status::Ok();
@@ -154,7 +153,7 @@ class ScenarioChecker {
   const DependencySet& sigma_;
   const std::vector<Atom>& subset_;
   const std::vector<Atom>& conclusion_body_;
-  size_t* nodes_left_;
+  obs::BudgetMeter* nodes_;
   bool violated_ = false;
 };
 
@@ -164,7 +163,8 @@ Result<DependencySet> CqMaximumRecoveryMapping(
     const DependencySet& sigma, const MaxRecoveryOptions& options) {
   DependencySet out;
   std::set<std::string> seen;
-  size_t nodes_left = options.max_nodes;
+  obs::BudgetMeter nodes("max_recovery.nodes", "max_recovery",
+                         options.max_nodes);
 
   for (TgdId id = 0; id < sigma.size(); ++id) {
     const Tgd& tgd = sigma.at(id);
@@ -180,7 +180,7 @@ Result<DependencySet> CqMaximumRecoveryMapping(
       for (size_t i = 0; i < n; ++i) {
         if ((mask >> i) & 1) subset.push_back(head[i]);
       }
-      ScenarioChecker checker(sigma, subset, tgd.body(), &nodes_left);
+      ScenarioChecker checker(sigma, subset, tgd.body(), &nodes);
       Result<bool> sound = checker.Check();
       if (!sound.ok()) return sound.status();
       if (!*sound) continue;

@@ -1,4 +1,4 @@
-#include "core/metrics.h"
+#include "core/quality.h"
 
 #include <unordered_set>
 

@@ -11,8 +11,8 @@
 //     doubles as an end-to-end soundness check.
 // Methods compared: exact certain answers over Chase^{-1}, the PTIME
 // sub-universal instance, and the CQ-maximum-recovery chase baseline.
-#ifndef DXREC_CORE_METRICS_H_
-#define DXREC_CORE_METRICS_H_
+#ifndef DXREC_CORE_QUALITY_H_
+#define DXREC_CORE_QUALITY_H_
 
 #include "base/status.h"
 #include "core/inverse_chase.h"
@@ -56,4 +56,4 @@ Result<RecoveryQuality> EvaluateRecoveryQuality(
 
 }  // namespace dxrec
 
-#endif  // DXREC_CORE_METRICS_H_
+#endif  // DXREC_CORE_QUALITY_H_

@@ -6,6 +6,7 @@
 #include "base/fresh.h"
 #include "chase/chase.h"
 #include "chase/homomorphism.h"
+#include "obs/events.h"
 
 namespace dxrec {
 
@@ -76,9 +77,9 @@ namespace {
 // ran out.
 bool EnumerateSubstitutions(
     const std::vector<Term>& nulls, const std::vector<Term>& codomain,
-    size_t* budget, Substitution* current,
+    obs::BudgetMeter* budget, Substitution* current,
     const std::function<bool(const Substitution&)>& visit, size_t depth) {
-  if ((*budget)-- == 0) return false;
+  if (!budget->Consume()) return false;
   if (depth == nulls.size()) {
     return visit(*current);
   }
@@ -129,7 +130,8 @@ Result<bool> IsJustifiedSolution(const DependencySet& sigma,
   }
 
   bool found = false;
-  size_t budget = options.max_assignments;
+  obs::BudgetMeter budget("justification.assignments", "verify",
+                          options.max_assignments);
   Substitution current;
   bool finished = EnumerateSubstitutions(
       fresh, codomain, &budget, &current,
@@ -146,10 +148,7 @@ Result<bool> IsJustifiedSolution(const DependencySet& sigma,
       },
       0);
   if (found) return true;
-  if (!finished) {
-    return Status::ResourceExhausted(
-        "justification substitution search budget exceeded");
-  }
+  if (!finished) return budget.Exhausted();
   return false;
 }
 

@@ -8,6 +8,7 @@
 #include "core/certain.h"
 #include "core/cover.h"
 #include "core/hom_set.h"
+#include "obs/events.h"
 #include "relational/instance_ops.h"
 
 namespace dxrec {
@@ -33,10 +34,9 @@ std::pair<Instance, Instance> PruneUncoverable(const DependencySet& sigma,
 }
 
 Result<bool> CheckValid(const DependencySet& sigma, const Instance& j,
-                        const RepairOptions& options, size_t* checks_left) {
-  if ((*checks_left)-- == 0) {
-    return Status::ResourceExhausted("repair validity-check budget");
-  }
+                        const RepairOptions& options,
+                        obs::BudgetMeter* checks) {
+  if (!checks->Consume()) return checks->Exhausted();
   return IsValidForRecovery(sigma, j, options.inverse);
 }
 
@@ -49,7 +49,8 @@ Result<RepairResult> RepairTarget(const DependencySet& sigma,
   auto [coverable, uncoverable] = PruneUncoverable(sigma, target);
   result.uncoverable = std::move(uncoverable);
 
-  size_t checks_left = options.max_validity_checks;
+  obs::BudgetMeter checks("repair.validity_checks", "repair",
+                          options.max_validity_checks);
   std::deque<Instance> frontier;
   std::set<std::string> visited;
   frontier.push_back(coverable);
@@ -69,12 +70,14 @@ Result<RepairResult> RepairTarget(const DependencySet& sigma,
     }
     if (dominated) continue;
 
-    Result<bool> valid = CheckValid(sigma, candidate, options, &checks_left);
+    Result<bool> valid = CheckValid(sigma, candidate, options, &checks);
     if (!valid.ok()) return valid.status();
     if (*valid) {
       result.maximal_valid_subsets.push_back(std::move(candidate));
       if (result.maximal_valid_subsets.size() > options.max_repairs) {
-        return Status::ResourceExhausted("repair result budget");
+        return obs::BudgetExhausted(
+            {"repair.results", options.max_repairs,
+             result.maximal_valid_subsets.size(), "repair"});
       }
       continue;
     }
@@ -105,9 +108,10 @@ Result<Instance> GreedyRepair(const DependencySet& sigma,
                               const RepairOptions& options) {
   auto [current, uncoverable] = PruneUncoverable(sigma, target);
   (void)uncoverable;
-  size_t checks_left = options.max_validity_checks;
+  obs::BudgetMeter checks("repair.validity_checks", "repair",
+                          options.max_validity_checks);
   while (true) {
-    Result<bool> valid = CheckValid(sigma, current, options, &checks_left);
+    Result<bool> valid = CheckValid(sigma, current, options, &checks);
     if (!valid.ok()) return valid.status();
     if (*valid) return current;
     if (current.empty()) return current;  // empty is always valid; guard
@@ -125,7 +129,7 @@ Result<Instance> GreedyRepair(const DependencySet& sigma,
         have_fallback = true;
       }
       Result<bool> smaller_valid =
-          CheckValid(sigma, smaller, options, &checks_left);
+          CheckValid(sigma, smaller, options, &checks);
       if (!smaller_valid.ok()) return smaller_valid.status();
       if (*smaller_valid) return smaller;
     }

@@ -6,6 +6,7 @@
 
 #include "base/fresh.h"
 #include "logic/unification.h"
+#include "obs/events.h"
 
 namespace dxrec {
 
@@ -108,14 +109,14 @@ class Generator {
   Generator(const DependencySet& sigma, TgdId xi0,
             const SubsumptionOptions& options,
             std::vector<SubsumptionConstraint>* out,
-            std::set<std::string>* seen, size_t* nodes_left)
+            std::set<std::string>* seen, obs::BudgetMeter* nodes)
       : sigma_(sigma),
         xi0_id_(xi0),
         xi0_(sigma.at(xi0)),
         options_(options),
         out_(out),
         seen_(seen),
-        nodes_left_(nodes_left) {
+        nodes_(nodes) {
     max_premises_ = options.max_premises == 0 ? xi0_.body().size()
                                               : options.max_premises;
   }
@@ -133,13 +134,13 @@ class Generator {
   };
 
   Status Assign(size_t j, std::vector<Copy>& copies, Unifier& unifier) {
-    if ((*nodes_left_)-- == 0) {
-      return Status::ResourceExhausted("subsumption generation budget");
-    }
+    if (!nodes_->Consume()) return nodes_->Exhausted();
     if (j == xi0_.body().size()) {
       Emit(copies, unifier);
       if (out_->size() > options_.max_constraints) {
-        return Status::ResourceExhausted("subsumption constraint budget");
+        return obs::BudgetExhausted({"subsumption.constraints",
+                                     options_.max_constraints, out_->size(),
+                                     "subsumption"});
       }
       return Status::Ok();
     }
@@ -229,7 +230,7 @@ class Generator {
   size_t max_premises_;
   std::vector<SubsumptionConstraint>* out_;
   std::set<std::string>* seen_;
-  size_t* nodes_left_;
+  obs::BudgetMeter* nodes_;
 };
 
 }  // namespace
@@ -243,9 +244,10 @@ Result<std::vector<SubsumptionConstraint>> ComputeSubsumption(
     const DependencySet& sigma, const SubsumptionOptions& options) {
   std::vector<SubsumptionConstraint> out;
   std::set<std::string> seen;
-  size_t nodes_left = options.max_nodes;
+  obs::BudgetMeter nodes("subsumption.nodes", "subsumption",
+                         options.max_nodes);
   for (TgdId xi0 = 0; xi0 < sigma.size(); ++xi0) {
-    Generator gen(sigma, xi0, options, &out, &seen, &nodes_left);
+    Generator gen(sigma, xi0, options, &out, &seen, &nodes);
     Status status = gen.Run();
     if (!status.ok()) return status;
   }
@@ -461,9 +463,12 @@ bool Models(const std::vector<HeadHom>& homs,
 
 bool ModelsAll(const std::vector<HeadHom>& homs,
                const std::vector<SubsumptionConstraint>& constraints,
-               const DependencySet& sigma) {
-  for (const SubsumptionConstraint& c : constraints) {
-    if (!Models(homs, c, sigma)) return false;
+               const DependencySet& sigma, size_t* failing_constraint) {
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (!Models(homs, constraints[i], sigma)) {
+      if (failing_constraint != nullptr) *failing_constraint = i;
+      return false;
+    }
   }
   return true;
 }

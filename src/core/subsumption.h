@@ -75,10 +75,12 @@ bool Models(const std::vector<HeadHom>& homs,
             const SubsumptionConstraint& constraint,
             const DependencySet& sigma);
 
-// H |= SUB for every constraint.
+// H |= SUB for every constraint. On failure, `failing_constraint` (when
+// non-null) receives the index of the first violated constraint.
 bool ModelsAll(const std::vector<HeadHom>& homs,
                const std::vector<SubsumptionConstraint>& constraints,
-               const DependencySet& sigma);
+               const DependencySet& sigma,
+               size_t* failing_constraint = nullptr);
 
 }  // namespace dxrec
 

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "chase/homomorphism.h"
+#include "obs/events.h"
 #include "relational/instance_ops.h"
 
 namespace dxrec {
@@ -143,8 +144,9 @@ Result<std::vector<Instance>> DisjunctiveChase(
         for (const Atom& a : alt) next.Add(a.Apply(extended));
         expanded.push_back(std::move(next));
         if (expanded.size() > options.max_worlds) {
-          return Status::ResourceExhausted(
-              "disjunctive chase world budget");
+          return obs::BudgetExhausted({"disjunctive.worlds",
+                                       options.max_worlds, expanded.size(),
+                                       "disjunctive_chase"});
         }
       }
     }

@@ -1,0 +1,182 @@
+#include "obs/events.h"
+
+#include <deque>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace obs {
+
+namespace {
+
+// Bounded log of budget exhaustions for the run report. Kept separate
+// from the event ring so a terminal budget failure survives even when a
+// chatty run overwrote its event.
+constexpr size_t kMaxBudgetLog = 32;
+std::mutex g_budget_log_mu;
+std::deque<BudgetInfo>& BudgetLog() {
+  static std::deque<BudgetInfo>* log = new std::deque<BudgetInfo>();
+  return *log;
+}
+
+}  // namespace
+
+void SetEventsEnabled(bool enabled) {
+  internal::g_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+EventSink& EventSink::Global() {
+  static EventSink* sink = new EventSink();  // leaked: process lifetime
+  return *sink;
+}
+
+void EventSink::Configure(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity != 0) capacity_ = capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  oldest_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+void EventSink::Clear() { Configure(0); }
+
+size_t EventSink::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void EventSink::Record(Event event) {
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recorded_;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[oldest_] = std::move(event);
+      oldest_ = (oldest_ + 1) % capacity_;
+      ++dropped_;
+      overwrote = true;
+    }
+  }
+  if (overwrote) {
+    static Counter* dropped =
+        MetricsRegistry::Global().GetCounter("events.dropped");
+    dropped->Add(1);
+  }
+}
+
+std::vector<Event> EventSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(oldest_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t EventSink::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t EventSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Emit(const char* type,
+          std::initializer_list<std::pair<const char*, int64_t>> int_args,
+          std::initializer_list<std::pair<const char*, std::string>>
+              str_args) {
+  if (!EventsEnabled()) return;
+  Event event;
+  event.t_us = Tracer::Global().NowMicros();
+  event.thread_id = CurrentThreadId();
+  event.type = type;
+  event.int_args.assign(int_args.begin(), int_args.end());
+  event.str_args.assign(str_args.begin(), str_args.end());
+  EventSink::Global().Record(std::move(event));
+}
+
+std::string EventsJsonl(const std::vector<Event>& events) {
+  std::string out;
+  for (const Event& e : events) {
+    out += "{\"t_us\":" + std::to_string(e.t_us) +
+           ",\"tid\":" + std::to_string(e.thread_id) + ",\"type\":\"" +
+           JsonEscape(e.type) + "\",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : e.int_args) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(key) + "\":" + std::to_string(value);
+    }
+    for (const auto& [key, value] : e.str_args) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+Status WriteEventsJsonl(const std::string& path) {
+  return WriteTextFile(path, EventsJsonl(EventSink::Global().Snapshot()));
+}
+
+Status BudgetExhausted(BudgetInfo info) {
+  if (EventsEnabled()) {
+    Emit("budget.exhausted",
+         {{"limit", static_cast<int64_t>(info.limit)},
+          {"consumed", static_cast<int64_t>(info.consumed)}},
+         {{"budget", info.budget}, {"phase", info.phase}});
+  }
+  if (Enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter* exhausted = registry.GetCounter("budget.exhausted");
+    exhausted->Add(1);
+    registry.GetGauge("budget." + info.budget + ".limit")
+        ->Set(static_cast<int64_t>(info.limit));
+    registry.GetGauge("budget." + info.budget + ".consumed")
+        ->Set(static_cast<int64_t>(info.consumed));
+    std::lock_guard<std::mutex> lock(g_budget_log_mu);
+    std::deque<BudgetInfo>& log = BudgetLog();
+    log.push_back(info);
+    if (log.size() > kMaxBudgetLog) log.pop_front();
+  }
+  return Status::ResourceExhausted(std::move(info));
+}
+
+std::vector<BudgetInfo> BudgetLogSnapshot() {
+  std::lock_guard<std::mutex> lock(g_budget_log_mu);
+  const std::deque<BudgetInfo>& log = BudgetLog();
+  return std::vector<BudgetInfo>(log.begin(), log.end());
+}
+
+void ClearBudgetLog() {
+  std::lock_guard<std::mutex> lock(g_budget_log_mu);
+  BudgetLog().clear();
+}
+
+void BudgetMeter::Tick() const {
+  if (ProgressActive()) {
+    NoteWork(kTickPeriod);
+    NoteBudgetRemaining(name_, left_);
+  }
+  if (EventsEnabled()) {
+    Emit("budget.tick",
+         {{"limit", static_cast<int64_t>(limit_)},
+          {"consumed", static_cast<int64_t>(limit_ - left_)}},
+         {{"budget", name_}});
+  }
+}
+
+}  // namespace obs
+}  // namespace dxrec

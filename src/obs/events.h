@@ -1,0 +1,164 @@
+// Flight recorder for the exponential search paths (see
+// docs/OBSERVABILITY.md, "Events").
+//
+// Complements obs/trace.h: spans answer *where time went*, events answer
+// *what the algorithm decided* — which covers were accepted or rejected
+// and why, how the SUB(Sigma) filter voted, how far g-homomorphism search
+// got, which budgets were consumed and which one finally ran out.
+//
+// The sink is a bounded ring buffer: recording never blocks a search on
+// memory growth, the newest events win, and overwritten ones are tallied
+// in an explicit dropped counter (also mirrored into the metrics registry
+// as `events.dropped`). Events are exported as JSONL, one object per
+// line, and summarized in the combined run report.
+//
+// Everything is off by default. The cost of a disabled emission site is
+// one relaxed atomic load and a branch (`obs::EventsEnabled()`), the same
+// contract as spans; `bench_e8` guards the budget.
+#ifndef DXREC_OBS_EVENTS_H_
+#define DXREC_OBS_EVENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace dxrec {
+namespace obs {
+
+namespace internal {
+inline std::atomic<bool> g_events_enabled{false};
+}  // namespace internal
+
+// Gate for event emission, independent of the master obs::Enabled()
+// switch (spans/metrics): `--trace` without `--events` must not pay for
+// event construction, and vice versa.
+inline bool EventsEnabled() {
+  return internal::g_events_enabled.load(std::memory_order_relaxed);
+}
+void SetEventsEnabled(bool enabled);
+
+// One recorded decision event. `type` and argument keys are static
+// strings (literals at the emission sites), so an Event allocates only
+// for its argument vectors and any string argument values.
+struct Event {
+  int64_t t_us = 0;        // µs since the Tracer epoch (shared timeline)
+  uint32_t thread_id = 0;  // obs::CurrentThreadId()
+  const char* type = "";   // e.g. "cover.accepted"; see the taxonomy docs
+  std::vector<std::pair<const char*, int64_t>> int_args;
+  std::vector<std::pair<const char*, std::string>> str_args;
+};
+
+// Process-global bounded sink. Thread-safe; recording takes the sink
+// mutex (emission sites are orders of magnitude rarer than search nodes).
+class EventSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 13;
+
+  static EventSink& Global();
+
+  // Resizes the ring and clears all recorded state. capacity 0 keeps the
+  // current capacity (still clears).
+  void Configure(size_t capacity);
+  void Clear();
+  size_t capacity() const;
+
+  // Appends; when the ring is full the oldest event is overwritten and
+  // counted as dropped.
+  void Record(Event event);
+
+  // Surviving events, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  uint64_t recorded() const;  // total Record() calls since Clear
+  uint64_t dropped() const;   // events overwritten (lost) since Clear
+
+ private:
+  EventSink() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  size_t capacity_ = kDefaultCapacity;
+  size_t oldest_ = 0;  // ring write cursor once full
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Records one event with the current timestamp/thread. No-op when events
+// are disabled; hot paths should still pre-check EventsEnabled() so the
+// argument lists are never materialized on the disabled path.
+void Emit(const char* type,
+          std::initializer_list<std::pair<const char*, int64_t>> int_args =
+              {},
+          std::initializer_list<std::pair<const char*, std::string>>
+              str_args = {});
+
+// JSONL rendering: one `{"t_us":..,"tid":..,"type":"..","args":{..}}`
+// object per line. Schema documented in docs/OBSERVABILITY.md.
+std::string EventsJsonl(const std::vector<Event>& events);
+
+// Writes the global sink's surviving events as JSONL.
+Status WriteEventsJsonl(const std::string& path);
+
+// --- Budget telemetry -------------------------------------------------
+
+// The one way to fail with a budget error: builds the structured
+// kResourceExhausted status (payload accessible via
+// Status::budget_info()), emits the terminal `budget.exhausted` event,
+// and — when obs is enabled — appends to the budget log surfaced by the
+// run report. scripts/check.sh rejects bare
+// `Status::ResourceExhausted("...")` call sites outside base/ and obs/.
+Status BudgetExhausted(BudgetInfo info);
+
+// Budget exhaustions observed since the last ClearBudgetLog (recorded
+// when obs::Enabled(); bounded, newest kept).
+std::vector<BudgetInfo> BudgetLogSnapshot();
+void ClearBudgetLog();
+
+// Counts down one configured budget inside a search. Consume() is the
+// hot-path operation — a decrement plus a mask test, no atomics — and
+// every kTickPeriod consumed units it emits a `budget.tick` event and
+// pulses the progress layer. Not thread-safe: one meter per (single
+// threaded) search, matching how every budgeted enumeration here runs.
+class BudgetMeter {
+ public:
+  static constexpr uint64_t kTickPeriod = 1u << 16;
+
+  // `name` and `phase` must be static-storage strings.
+  BudgetMeter(const char* name, const char* phase, uint64_t limit)
+      : name_(name), phase_(phase), limit_(limit), left_(limit) {}
+
+  // Consumes one unit; false once the budget is spent (the caller should
+  // fail with Exhausted()).
+  bool Consume() {
+    if (left_ == 0) return false;
+    --left_;
+    if (((limit_ - left_) & (kTickPeriod - 1)) == 0) Tick();
+    return true;
+  }
+
+  uint64_t limit() const { return limit_; }
+  uint64_t consumed() const { return limit_ - left_; }
+
+  Status Exhausted() const {
+    return BudgetExhausted({name_, limit_, consumed(), phase_});
+  }
+
+ private:
+  void Tick() const;  // budget.tick event + progress pulse; rare
+
+  const char* name_;
+  const char* phase_;
+  uint64_t limit_;
+  uint64_t left_;
+};
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_EVENTS_H_

@@ -1,0 +1,189 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace dxrec {
+namespace obs {
+
+namespace {
+
+// Pulse state shared between the hot loops and the heartbeat thread.
+// All relaxed: the heartbeat reads an eventually-consistent snapshot.
+std::atomic<uint64_t> g_work{0};
+std::atomic<uint64_t> g_covers{0};
+std::atomic<int64_t> g_budget_remaining{-1};
+std::atomic<const char*> g_budget_name{""};
+std::atomic<const char*> g_phase{""};
+
+}  // namespace
+
+void NoteWork(uint64_t units) {
+  g_work.fetch_add(units, std::memory_order_relaxed);
+}
+
+void NoteCoverDone() {
+  g_covers.fetch_add(1, std::memory_order_relaxed);
+  g_work.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NoteBudgetRemaining(const char* budget, uint64_t remaining) {
+  g_budget_name.store(budget, std::memory_order_relaxed);
+  g_budget_remaining.store(static_cast<int64_t>(remaining),
+                           std::memory_order_relaxed);
+}
+
+void SetPhase(const char* phase) {
+  g_phase.store(phase, std::memory_order_relaxed);
+}
+
+const char* CurrentPhase() {
+  return g_phase.load(std::memory_order_relaxed);
+}
+
+ProgressMonitor& ProgressMonitor::Global() {
+  static ProgressMonitor* monitor = new ProgressMonitor();
+  return *monitor;
+}
+
+void ProgressMonitor::Configure(const ProgressOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  started_at_ = std::chrono::steady_clock::now();
+  last_change_ = started_at_;
+  last_work_ = g_work.load(std::memory_order_relaxed);
+  stall_reported_ = false;
+}
+
+void ProgressMonitor::Start(const ProgressOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+  }
+  Configure(options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+    running_ = true;
+  }
+  internal::g_progress_active.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ProgressMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  internal::g_progress_active.store(false, std::memory_order_relaxed);
+}
+
+bool ProgressMonitor::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void ProgressMonitor::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    auto interval = std::chrono::duration<double>(options_.interval_seconds);
+    cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+  }
+}
+
+void ProgressMonitor::TickOnce() {
+  ProgressOptions options;
+  std::chrono::steady_clock::time_point started_at;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options = options_;
+    started_at = started_at_;
+  }
+  auto now = std::chrono::steady_clock::now();
+  uint64_t work = g_work.load(std::memory_order_relaxed);
+  uint64_t covers = g_covers.load(std::memory_order_relaxed);
+  int64_t budget_remaining = g_budget_remaining.load(std::memory_order_relaxed);
+  const char* budget_name = g_budget_name.load(std::memory_order_relaxed);
+  const char* phase = CurrentPhase();
+  double elapsed =
+      std::chrono::duration<double>(now - started_at).count();
+
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* ticks = registry.GetCounter("progress.ticks");
+  static Gauge* work_gauge = registry.GetGauge("progress.work");
+  static Gauge* covers_gauge = registry.GetGauge("progress.covers_explored");
+  static Gauge* budget_gauge = registry.GetGauge("progress.budget_remaining");
+  ticks->Add(1);
+  work_gauge->Set(static_cast<int64_t>(work));
+  covers_gauge->Set(static_cast<int64_t>(covers));
+  budget_gauge->Set(budget_remaining);
+
+  if (EventsEnabled()) {
+    Emit("progress.heartbeat",
+         {{"work", static_cast<int64_t>(work)},
+          {"covers", static_cast<int64_t>(covers)},
+          {"budget_remaining", budget_remaining}},
+         {{"phase", phase}});
+  }
+  if (options.stderr_status) {
+    std::fprintf(stderr,
+                 "[dxrec] phase=%s work=%" PRIu64 " covers=%" PRIu64
+                 " budget=%s:%" PRId64 " elapsed=%.1fs\n",
+                 phase[0] == '\0' ? "-" : phase, work, covers,
+                 budget_name[0] == '\0' ? "-" : budget_name,
+                 budget_remaining, elapsed);
+  }
+
+  // Stall watchdog: no forward-progress pulse since the last change for
+  // stall_seconds or more. Reported once per episode.
+  bool stalled = false;
+  double stalled_for = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (work != last_work_) {
+      last_work_ = work;
+      last_change_ = now;
+      stall_reported_ = false;
+    } else {
+      stalled_for = std::chrono::duration<double>(now - last_change_).count();
+      if (stalled_for >= options.stall_seconds && !stall_reported_) {
+        stall_reported_ = true;
+        stalled = true;
+      }
+    }
+  }
+  if (stalled) {
+    static Counter* stalls = registry.GetCounter("progress.stalls");
+    stalls->Add(1);
+    if (EventsEnabled()) {
+      Emit("watchdog.stall",
+           {{"stalled_ms", static_cast<int64_t>(stalled_for * 1e3)},
+            {"work", static_cast<int64_t>(work)}},
+           {{"phase", phase}});
+    }
+    if (options.stderr_status) {
+      std::fprintf(stderr,
+                   "[dxrec] WATCHDOG: no forward progress for %.1fs "
+                   "(phase=%s work=%" PRIu64 ")\n",
+                   stalled_for, phase[0] == '\0' ? "-" : phase, work);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace dxrec

@@ -1,0 +1,105 @@
+// Live progress reporting and stall detection for long exponential runs
+// (see docs/OBSERVABILITY.md, "Progress & watchdog").
+//
+// A production-scale Chase^{-1} run can legitimately sit inside cover
+// enumeration or g-homomorphism search for minutes. The progress layer
+// makes that visible while it happens:
+//
+//   - hot loops pulse NoteWork()/NoteCoverDone() (relaxed atomic adds)
+//     and the pipeline labels itself with SetPhase();
+//   - a background heartbeat thread (ProgressMonitor) periodically
+//     snapshots work done / covers explored / budget remaining / current
+//     phase into a one-line stderr status, the `progress.*` gauge family,
+//     and a `progress.heartbeat` event;
+//   - a stall watchdog fires a `watchdog.stall` event (plus a stderr
+//     warning and the `progress.stalls` counter) when no forward progress
+//     is observed for `stall_seconds`, once per stall episode.
+//
+// Disabled cost: pulse sites are guarded by one relaxed atomic load
+// (`obs::ProgressActive()`); nothing else runs without Start().
+#ifndef DXREC_OBS_PROGRESS_H_
+#define DXREC_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace dxrec {
+namespace obs {
+
+namespace internal {
+inline std::atomic<bool> g_progress_active{false};
+}  // namespace internal
+
+// True while a ProgressMonitor is started. Guard pulse call sites:
+//   if (obs::ProgressActive()) obs::NoteWork(n);
+inline bool ProgressActive() {
+  return internal::g_progress_active.load(std::memory_order_relaxed);
+}
+
+// Forward-progress pulses (relaxed atomic adds; safe from any thread).
+void NoteWork(uint64_t units);
+void NoteCoverDone();
+// Remaining units of the most recently ticking budget (heartbeat hint).
+// `budget` must be a static-storage string.
+void NoteBudgetRemaining(const char* budget, uint64_t remaining);
+// Current pipeline phase label; `phase` must be a static-storage string.
+void SetPhase(const char* phase);
+const char* CurrentPhase();
+
+struct ProgressOptions {
+  // Heartbeat period.
+  double interval_seconds = 1.0;
+  // Fire the watchdog after this long without a NoteWork/NoteCoverDone
+  // pulse. <= 0 treats every heartbeat without progress as a stall.
+  double stall_seconds = 10.0;
+  // Write the one-line status to stderr on each heartbeat.
+  bool stderr_status = true;
+};
+
+// The background ticker. One global instance; Start/Stop are idempotent.
+class ProgressMonitor {
+ public:
+  static ProgressMonitor& Global();
+
+  // Applies options without starting the thread (used by tests driving
+  // TickOnce directly).
+  void Configure(const ProgressOptions& options);
+
+  void Start(const ProgressOptions& options = ProgressOptions());
+  void Stop();
+  bool running() const;
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  // Runs one heartbeat inline on the calling thread (gauges, events,
+  // optional stderr line, watchdog check). The background thread calls
+  // this on its schedule; tests call it directly for determinism.
+  void TickOnce();
+
+ private:
+  ProgressMonitor() = default;
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  ProgressOptions options_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::atomic<uint64_t> ticks_{0};
+  // Watchdog bookkeeping (mutated under mu_ by TickOnce).
+  uint64_t last_work_ = 0;
+  std::chrono::steady_clock::time_point last_change_;
+  bool stall_reported_ = false;
+};
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_PROGRESS_H_

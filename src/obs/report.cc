@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/events.h"
+
 namespace dxrec {
 namespace obs {
 
@@ -14,7 +16,9 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
 }
 
-Status WriteFile(const std::string& path, const std::string& contents) {
+}  // namespace
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::NotFound("cannot open '" + path + "' for writing");
@@ -26,8 +30,6 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   }
   return Status::Ok();
 }
-
-}  // namespace
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -165,16 +167,50 @@ std::string RunReportJson() {
            ",\"total_us\":" + std::to_string(agg.total_us) +
            ",\"max_us\":" + std::to_string(agg.max_us) + "}";
   }
+  out += "\n]";
+
+  // Event-sink accounting: totals plus per-type counts over the events
+  // still in the ring.
+  EventSink& sink = EventSink::Global();
+  std::vector<Event> events_in_ring = sink.Snapshot();
+  std::map<std::string, uint64_t> by_type;
+  for (const Event& e : events_in_ring) by_type[e.type]++;
+  out += ",\"events\":{\"recorded\":" + std::to_string(sink.recorded()) +
+         ",\"dropped\":" + std::to_string(sink.dropped()) +
+         ",\"capacity\":" + std::to_string(sink.capacity()) +
+         ",\"by_type\":{";
+  first = true;
+  for (const auto& [type, count] : by_type) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(type, &out);
+    out += ":" + std::to_string(count);
+  }
+  out += "}}";
+
+  // Budget exhaustions, oldest first (bounded log; survives ring churn).
+  out += ",\"budget_exhausted\":[";
+  first = true;
+  for (const BudgetInfo& info : BudgetLogSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"budget\":";
+    AppendJsonString(info.budget, &out);
+    out += ",\"limit\":" + std::to_string(info.limit) +
+           ",\"consumed\":" + std::to_string(info.consumed) + ",\"phase\":";
+    AppendJsonString(info.phase, &out);
+    out += "}";
+  }
   out += "\n]}\n";
   return out;
 }
 
 Status WriteChromeTrace(const std::string& path) {
-  return WriteFile(path, ChromeTraceJson(Tracer::Global().Snapshot()));
+  return WriteTextFile(path, ChromeTraceJson(Tracer::Global().Snapshot()));
 }
 
 Status WriteRunReport(const std::string& path) {
-  return WriteFile(path, RunReportJson());
+  return WriteTextFile(path, RunReportJson());
 }
 
 }  // namespace obs

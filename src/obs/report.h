@@ -25,6 +25,9 @@ namespace obs {
 // backslashes, control characters).
 std::string JsonEscape(const std::string& s);
 
+// Writes `contents` to `path` (shared by the trace/report/event writers).
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
 // Chrome trace-event JSON for the given events.
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 
@@ -41,7 +44,9 @@ struct SpanAggregate {
 std::vector<SpanAggregate> AggregateSpans(
     const std::vector<TraceEvent>& events);
 
-// Full run report over the global collectors.
+// Full run report over the global collectors: metrics, span aggregates,
+// event-sink accounting (recorded/dropped + per-type counts), and the
+// budget-exhaustion log (name/limit/consumed/phase per occurrence).
 std::string RunReportJson();
 
 // File writers over the global collectors.

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/events.h"
+
 namespace dxrec {
 namespace obs {
 
@@ -27,7 +29,11 @@ void SetEnabled(bool enabled) {
 }
 
 void Apply(const ObsOptions& options) {
-  if (options.enabled) SetEnabled(true);
+  if (options.enabled || options.events) SetEnabled(true);
+  if (options.events) SetEventsEnabled(true);
+  if (options.event_capacity != 0) {
+    EventSink::Global().Configure(options.event_capacity);
+  }
 }
 
 Span* CurrentSpan() { return t_current_span; }

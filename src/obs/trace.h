@@ -42,6 +42,11 @@ struct ObsOptions {
   // Turns the process-global collectors on. Never turns them off: another
   // component (the CLI, a test harness) may have enabled them first.
   bool enabled = false;
+  // Turns the flight-recorder event sink on (obs/events.h); implies
+  // `enabled`. Same never-turns-off contract.
+  bool events = false;
+  // Resizes the event ring (and clears it). 0 keeps the current capacity.
+  size_t event_capacity = 0;
 };
 
 // Applies the knobs to the global state (currently: enables collection).

@@ -1,0 +1,199 @@
+// End-to-end test of the CLI observability surface: drives the built
+// dxrec_cli binary with --events/--progress/--metrics-json over the
+// warehouse example, validates every emitted JSONL line against the
+// documented schema, and checks that a budget-exhausted run reports the
+// budget name/limit/consumed in both the error and the run report.
+//
+// The binary location and the example-data directory are injected by
+// tests/CMakeLists.txt as DXREC_CLI_PATH / DXREC_DATA_DIR.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string TempDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base == nullptr ? "/tmp" : base) +
+                    "/dxrec_cli_obs_test_XXXXXX";
+  std::string buf = dir;
+  if (mkdtemp(buf.data()) == nullptr) return "";
+  return buf;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+  return out.good();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Runs the CLI with `flags`, feeding `session` on stdin; returns the exit
+// code and captures stdout into *out.
+int RunCli(const std::string& dir, const std::string& flags,
+           const std::string& session, std::string* out) {
+  std::string session_path = dir + "/session.txt";
+  std::string stdout_path = dir + "/stdout.txt";
+  std::string stderr_path = dir + "/stderr.txt";
+  if (!WriteFile(session_path, session)) return -1;
+  std::string command = std::string(DXREC_CLI_PATH) + " " + flags + " < " +
+                        session_path + " > " + stdout_path + " 2> " +
+                        stderr_path;
+  int code = std::system(command.c_str());
+  *out = ReadFile(stdout_path);
+  return code;
+}
+
+// The documented event taxonomy (docs/OBSERVABILITY.md, "Events").
+const std::set<std::string>& KnownEventTypes() {
+  static const std::set<std::string>* types = new std::set<std::string>{
+      "cover.accepted",    "cover.rejected",   "sub.verdict",
+      "rchase.trigger",    "chase.run",        "ghom.search",
+      "recovery.emitted",  "recovery.deduped", "recovery.cored",
+      "recovery.rejected", "budget.tick",      "budget.exhausted",
+      "progress.heartbeat", "watchdog.stall",  "homs.truncated",
+      "hom.milestone"};
+  return *types;
+}
+
+// Validates one JSONL line against the schema
+//   {"t_us":<int>,"tid":<int>,"type":"<known>","args":{...}}
+// without a JSON library: field order and framing are part of the
+// documented schema, so prefix checks are exact.
+void ValidateEventLine(const std::string& line) {
+  ASSERT_EQ(line.rfind("{\"t_us\":", 0), 0u) << line;
+  size_t pos = strlen("{\"t_us\":");
+  size_t digits = 0;
+  while (pos < line.size() && (isdigit(line[pos]) || line[pos] == '-')) {
+    ++pos;
+    ++digits;
+  }
+  ASSERT_GT(digits, 0u) << line;
+  ASSERT_EQ(line.compare(pos, 7, ",\"tid\":"), 0) << line;
+  pos += 7;
+  digits = 0;
+  while (pos < line.size() && isdigit(line[pos])) {
+    ++pos;
+    ++digits;
+  }
+  ASSERT_GT(digits, 0u) << line;
+  ASSERT_EQ(line.compare(pos, 9, ",\"type\":\""), 0) << line;
+  pos += 9;
+  size_t type_end = line.find('"', pos);
+  ASSERT_NE(type_end, std::string::npos) << line;
+  std::string type = line.substr(pos, type_end - pos);
+  EXPECT_TRUE(KnownEventTypes().count(type) > 0)
+      << "undocumented event type '" << type << "' in: " << line;
+  pos = type_end + 1;
+  ASSERT_EQ(line.compare(pos, 9, ",\"args\":{"), 0) << line;
+  // Framing: the line is one object closed by the args object.
+  ASSERT_GE(line.size(), 2u);
+  EXPECT_EQ(line.substr(line.size() - 2), "}}") << line;
+}
+
+const char* kWarehouseSession =
+    "loadsigma %s/warehouse.tgds\n"
+    "target {Ledger(ann, o1), Shipment(o1, tea), Available(tea)}\n"
+    "recover\n"
+    "quit\n";
+
+std::string WarehouseSession() {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), kWarehouseSession, DXREC_DATA_DIR);
+  return buf;
+}
+
+TEST(CliObs, RecoverWithEventsAndProgressEmitsValidJsonl) {
+  std::string dir = TempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string events_path = dir + "/events.jsonl";
+  std::string out;
+  int code = RunCli(dir,
+                    "--events=" + events_path + " --progress=1",
+                    WarehouseSession(), &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("recoveries"), std::string::npos) << out;
+  EXPECT_NE(out.find("events written to"), std::string::npos) << out;
+
+  std::string jsonl = ReadFile(events_path);
+  ASSERT_FALSE(jsonl.empty());
+  std::istringstream lines(jsonl);
+  std::string line;
+  size_t count = 0;
+  std::set<std::string> seen_types;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ValidateEventLine(line);
+    size_t type_start = line.find("\"type\":\"") + 8;
+    seen_types.insert(
+        line.substr(type_start, line.find('"', type_start) - type_start));
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+  // The happy-path run exercises the core decision events.
+  for (const char* expected :
+       {"cover.accepted", "rchase.trigger", "chase.run", "ghom.search",
+        "recovery.emitted"}) {
+    EXPECT_TRUE(seen_types.count(expected) > 0)
+        << "missing event type " << expected;
+  }
+}
+
+TEST(CliObs, BudgetExhaustionReportsNameLimitConsumed) {
+  std::string dir = TempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string events_path = dir + "/events.jsonl";
+  std::string report_path = dir + "/report.json";
+  std::string session = WarehouseSession();
+  // Starve cover enumeration right before 'recover'.
+  size_t at = session.find("recover");
+  session.insert(at, "set cover_nodes 2\n");
+
+  std::string out;
+  int code = RunCli(dir,
+                    "--events=" + events_path + " --metrics-json=" +
+                        report_path,
+                    session, &out);
+  EXPECT_EQ(code, 0);
+
+  // The error message carries the structured payload fields.
+  EXPECT_NE(out.find("cover.nodes"), std::string::npos) << out;
+  EXPECT_NE(out.find("limit=2"), std::string::npos) << out;
+  EXPECT_NE(out.find("consumed="), std::string::npos) << out;
+  EXPECT_NE(out.find("phase=cover_enum"), std::string::npos) << out;
+
+  // The terminal event is in the JSONL stream.
+  EXPECT_NE(ReadFile(events_path).find("\"type\":\"budget.exhausted\""),
+            std::string::npos);
+
+  // The run report lists the exhaustion with the same fields.
+  std::string report = ReadFile(report_path);
+  EXPECT_NE(report.find("\"budget_exhausted\":["), std::string::npos);
+  EXPECT_NE(report.find("\"budget\":\"cover.nodes\""), std::string::npos);
+  EXPECT_NE(report.find("\"limit\":2"), std::string::npos);
+  EXPECT_NE(report.find("\"phase\":\"cover_enum\""), std::string::npos);
+}
+
+TEST(CliObs, UnknownSetKeyIsRejected) {
+  std::string dir = TempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string out;
+  int code = RunCli(dir, "", "set bogus_key 1\nquit\n", &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.find("unknown key"), std::string::npos) << out;
+}
+
+}  // namespace

@@ -1,0 +1,330 @@
+// Unit tests for the flight recorder (obs/events.h) and progress layer
+// (obs/progress.h): JSONL schema, ring-buffer drop accounting, concurrent
+// writers, budget telemetry, and 1-vs-N-thread event determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/inverse_chase.h"
+#include "logic/parser.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace {
+
+// Enables the collectors and events for one test body, clears all global
+// recorder state, and restores the previous switches afterwards.
+class ScopedEvents {
+ public:
+  explicit ScopedEvents(size_t capacity = obs::EventSink::kDefaultCapacity)
+      : was_enabled_(obs::Enabled()),
+        were_events_enabled_(obs::EventsEnabled()) {
+    obs::SetEnabled(true);
+    obs::SetEventsEnabled(true);
+    obs::Tracer::Global().Clear();
+    obs::EventSink::Global().Configure(capacity);
+    obs::ClearBudgetLog();
+  }
+  ~ScopedEvents() {
+    obs::SetEnabled(was_enabled_);
+    obs::SetEventsEnabled(were_events_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+  bool were_events_enabled_;
+};
+
+std::map<std::string, size_t> CountByType(
+    const std::vector<obs::Event>& events) {
+  std::map<std::string, size_t> out;
+  for (const obs::Event& e : events) out[e.type]++;
+  return out;
+}
+
+TEST(ObsEvents, JsonlSchemaGolden) {
+  obs::Event accepted;
+  accepted.t_us = 12;
+  accepted.thread_id = 1;
+  accepted.type = "cover.accepted";
+  accepted.int_args = {{"cover", 3}, {"size", 2}};
+
+  obs::Event deduped;
+  deduped.t_us = 15;
+  deduped.thread_id = 2;
+  deduped.type = "recovery.deduped";
+  deduped.int_args = {{"cover", 0}};
+  deduped.str_args = {{"stage", "exact"}};
+
+  obs::Event bare;
+  bare.t_us = 20;
+  bare.thread_id = 1;
+  bare.type = "chase.run";
+
+  EXPECT_EQ(
+      obs::EventsJsonl({accepted, deduped, bare}),
+      "{\"t_us\":12,\"tid\":1,\"type\":\"cover.accepted\","
+      "\"args\":{\"cover\":3,\"size\":2}}\n"
+      "{\"t_us\":15,\"tid\":2,\"type\":\"recovery.deduped\","
+      "\"args\":{\"cover\":0,\"stage\":\"exact\"}}\n"
+      "{\"t_us\":20,\"tid\":1,\"type\":\"chase.run\",\"args\":{}}\n");
+}
+
+TEST(ObsEvents, DisabledEmitRecordsNothing) {
+  ScopedEvents events;
+  obs::SetEventsEnabled(false);
+  obs::Emit("ghost", {{"k", 1}});
+  EXPECT_EQ(obs::EventSink::Global().recorded(), 0u);
+  EXPECT_EQ(obs::EventSink::Global().Snapshot().size(), 0u);
+}
+
+TEST(ObsEvents, RingOverflowKeepsNewestAndCountsDrops) {
+  ScopedEvents events(/*capacity=*/4);
+  obs::Counter* dropped_counter =
+      obs::MetricsRegistry::Global().GetCounter("events.dropped");
+  uint64_t dropped_before = dropped_counter->Get();
+
+  for (int64_t i = 0; i < 10; ++i) obs::Emit("tick", {{"i", i}});
+
+  obs::EventSink& sink = obs::EventSink::Global();
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  EXPECT_EQ(dropped_counter->Get() - dropped_before, 6u);
+
+  // Survivors are the newest four, oldest first.
+  std::vector<obs::Event> survivors = sink.Snapshot();
+  ASSERT_EQ(survivors.size(), 4u);
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    ASSERT_EQ(survivors[i].int_args.size(), 1u);
+    EXPECT_EQ(survivors[i].int_args[0].second,
+              static_cast<int64_t>(6 + i));
+  }
+}
+
+TEST(ObsEvents, ConfigureResizesAndClears) {
+  ScopedEvents events(/*capacity=*/2);
+  obs::Emit("a");
+  obs::Emit("b");
+  obs::Emit("c");
+  EXPECT_EQ(obs::EventSink::Global().dropped(), 1u);
+  obs::EventSink::Global().Configure(8);
+  EXPECT_EQ(obs::EventSink::Global().capacity(), 8u);
+  EXPECT_EQ(obs::EventSink::Global().recorded(), 0u);
+  EXPECT_EQ(obs::EventSink::Global().dropped(), 0u);
+  EXPECT_EQ(obs::EventSink::Global().Snapshot().size(), 0u);
+}
+
+// Eight concurrent writers against a ring smaller than the total volume.
+// Run under TSan (scripts/check.sh) this also proves the sink is
+// race-free; the accounting invariant holds under any interleaving.
+TEST(ObsEvents, EightWayConcurrentWritersAccountForEverything) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 500;
+  constexpr size_t kCapacity = 1u << 8;
+  ScopedEvents events(kCapacity);
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        obs::Emit("writer", {{"thread", static_cast<int64_t>(t)},
+                             {"i", static_cast<int64_t>(i)}});
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  obs::EventSink& sink = obs::EventSink::Global();
+  EXPECT_EQ(sink.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(sink.dropped(), kThreads * kPerThread - kCapacity);
+  EXPECT_EQ(sink.Snapshot().size(), kCapacity);
+}
+
+TEST(ObsEvents, BudgetMeterSemanticsAndPayload) {
+  ScopedEvents events;
+  obs::BudgetMeter meter("test.budget", "test_phase", 3);
+  EXPECT_TRUE(meter.Consume());
+  EXPECT_TRUE(meter.Consume());
+  EXPECT_TRUE(meter.Consume());
+  EXPECT_FALSE(meter.Consume());  // spent: N units buy N successes
+  EXPECT_EQ(meter.consumed(), 3u);
+
+  Status status = meter.Exhausted();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  ASSERT_NE(status.budget_info(), nullptr);
+  EXPECT_EQ(status.budget_info()->budget, "test.budget");
+  EXPECT_EQ(status.budget_info()->limit, 3u);
+  EXPECT_EQ(status.budget_info()->consumed, 3u);
+  EXPECT_EQ(status.budget_info()->phase, "test_phase");
+  EXPECT_NE(status.message().find("limit=3"), std::string::npos);
+  EXPECT_NE(status.message().find("consumed=3"), std::string::npos);
+
+  // The terminal event and the budget log both carry the payload.
+  std::map<std::string, size_t> by_type =
+      CountByType(obs::EventSink::Global().Snapshot());
+  EXPECT_EQ(by_type["budget.exhausted"], 1u);
+  std::vector<BudgetInfo> log = obs::BudgetLogSnapshot();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].budget, "test.budget");
+
+  // ... and the run report surfaces the exhaustion.
+  std::string report = obs::RunReportJson();
+  EXPECT_NE(report.find("\"budget_exhausted\":["), std::string::npos);
+  EXPECT_NE(report.find("\"budget\":\"test.budget\""), std::string::npos);
+  EXPECT_NE(report.find("\"limit\":3"), std::string::npos);
+}
+
+TEST(ObsEvents, PipelineBudgetFailureCarriesStructuredPayload) {
+  ScopedEvents events;
+  Result<DependencySet> sigma = ParseTgdSet("Rx(x, y) -> Sx(x), Px(y)");
+  ASSERT_TRUE(sigma.ok());
+  Result<Instance> j = ParseInstance("{Sx(a), Px(b1), Px(b2)}");
+  ASSERT_TRUE(j.ok());
+
+  InverseChaseOptions options;
+  options.cover.max_nodes = 2;
+  Result<InverseChaseResult> result = InverseChase(*sigma, *j, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_NE(result.status().budget_info(), nullptr);
+  EXPECT_EQ(result.status().budget_info()->budget, "cover.nodes");
+  EXPECT_EQ(result.status().budget_info()->limit, 2u);
+  EXPECT_EQ(result.status().budget_info()->phase, "cover_enum");
+}
+
+TEST(ObsEvents, InverseChaseEmitsDecisionEvents) {
+  ScopedEvents events;
+  Result<DependencySet> sigma = ParseTgdSet("Re(x, y) -> Se(x), Pe(y)");
+  ASSERT_TRUE(sigma.ok());
+  Result<Instance> j = ParseInstance("{Se(a), Pe(b1), Pe(b2)}");
+  ASSERT_TRUE(j.ok());
+  Result<InverseChaseResult> result = InverseChase(*sigma, *j);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->recoveries.empty());
+
+  std::map<std::string, size_t> by_type =
+      CountByType(obs::EventSink::Global().Snapshot());
+  EXPECT_GT(by_type["cover.accepted"], 0u);
+  EXPECT_GT(by_type["rchase.trigger"], 0u);
+  EXPECT_GT(by_type["chase.run"], 0u);
+  EXPECT_GT(by_type["ghom.search"], 0u);
+  EXPECT_EQ(by_type["recovery.emitted"], result->recoveries.size());
+}
+
+// The decision-event stream is a function of the input, not of the
+// worker-thread schedule: identical per-type counts for 1 and 4 threads.
+TEST(ObsEvents, EventCountsDeterministicAcrossThreadCounts) {
+  Result<DependencySet> sigma =
+      ParseTgdSet("Rd(x, y) -> Sd(x), Pd(y); Td(z) -> Sd(z)");
+  ASSERT_TRUE(sigma.ok());
+  Result<Instance> j = ParseInstance("{Sd(a), Pd(b1), Pd(b2), Sd(c)}");
+  ASSERT_TRUE(j.ok());
+
+  std::map<std::string, size_t> counts_1;
+  std::map<std::string, size_t> counts_4;
+  for (size_t num_threads : {1u, 4u}) {
+    ScopedEvents events;
+    InverseChaseOptions options;
+    options.num_threads = num_threads;
+    Result<InverseChaseResult> result = InverseChase(*sigma, *j, options);
+    ASSERT_TRUE(result.ok());
+    (num_threads == 1 ? counts_1 : counts_4) =
+        CountByType(obs::EventSink::Global().Snapshot());
+  }
+  EXPECT_EQ(counts_1, counts_4);
+  EXPECT_GT(counts_1["cover.accepted"], 0u);
+}
+
+TEST(ObsProgress, HeartbeatSnapshotsPulsesAndPhase) {
+  ScopedEvents events;
+  obs::ProgressOptions options;
+  options.stderr_status = false;
+  obs::ProgressMonitor& monitor = obs::ProgressMonitor::Global();
+  monitor.Configure(options);
+
+  obs::SetPhase("test_heartbeat_phase");
+  obs::NoteWork(41);
+  obs::NoteCoverDone();
+  monitor.TickOnce();
+
+  std::vector<obs::Event> recorded = obs::EventSink::Global().Snapshot();
+  const obs::Event* heartbeat = nullptr;
+  for (const obs::Event& e : recorded) {
+    if (std::string(e.type) == "progress.heartbeat") heartbeat = &e;
+  }
+  ASSERT_NE(heartbeat, nullptr);
+  ASSERT_EQ(heartbeat->str_args.size(), 1u);
+  EXPECT_EQ(heartbeat->str_args[0].second, "test_heartbeat_phase");
+
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Read();
+  bool found_work = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "progress.work") {
+      found_work = true;
+      EXPECT_GE(value, 42);  // 41 + the cover pulse
+    }
+  }
+  EXPECT_TRUE(found_work);
+}
+
+TEST(ObsProgress, WatchdogFiresOncePerStallEpisode) {
+  ScopedEvents events;
+  obs::ProgressOptions options;
+  options.stderr_status = false;
+  options.stall_seconds = 0;  // every progress-free heartbeat is a stall
+  obs::ProgressMonitor& monitor = obs::ProgressMonitor::Global();
+  monitor.Configure(options);
+
+  obs::NoteWork(1);    // first tick observes a change, no stall
+  monitor.TickOnce();
+  monitor.TickOnce();  // no pulse since: stall fires
+  monitor.TickOnce();  // same episode: suppressed
+
+  std::map<std::string, size_t> by_type =
+      CountByType(obs::EventSink::Global().Snapshot());
+  EXPECT_EQ(by_type["watchdog.stall"], 1u);
+
+  obs::NoteWork(1);    // progress resets the episode
+  monitor.TickOnce();
+  monitor.TickOnce();  // new stall episode
+  by_type = CountByType(obs::EventSink::Global().Snapshot());
+  EXPECT_EQ(by_type["watchdog.stall"], 2u);
+}
+
+TEST(ObsProgress, MonitorStartStopIdempotent) {
+  obs::ProgressOptions options;
+  options.interval_seconds = 0.01;
+  options.stderr_status = false;
+  obs::ProgressMonitor& monitor = obs::ProgressMonitor::Global();
+  EXPECT_FALSE(monitor.running());
+  monitor.Start(options);
+  monitor.Start(options);  // second start is a no-op
+  EXPECT_TRUE(monitor.running());
+  EXPECT_TRUE(obs::ProgressActive());
+  monitor.Stop();
+  monitor.Stop();
+  EXPECT_FALSE(monitor.running());
+  EXPECT_FALSE(obs::ProgressActive());
+}
+
+TEST(ObsEvents, RunReportCountsEventsByType) {
+  ScopedEvents events;
+  obs::Emit("alpha");
+  obs::Emit("alpha");
+  obs::Emit("beta", {}, {{"note", "x"}});
+  std::string report = obs::RunReportJson();
+  EXPECT_NE(report.find("\"events\":{\"recorded\":3"), std::string::npos);
+  EXPECT_NE(report.find("\"alpha\":2"), std::string::npos);
+  EXPECT_NE(report.find("\"beta\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "core/hom_set.h"
-#include "core/metrics.h"
+#include "core/quality.h"
 #include "datagen/generators.h"
 #include "datagen/scenarios.h"
 #include "logic/parser.h"
