@@ -31,6 +31,11 @@
 //   --progress[=<secs>]      heartbeat + stall watchdog on stderr
 //                            (default every 1s)
 //
+// Resilience flags (see docs/ROBUSTNESS.md):
+//   --deadline=<secs>        wall-clock deadline per command
+//   --degrade=on|off         fall back to sound under-approximations on
+//                            budget/deadline trips (default on)
+//
 // Example session:
 //   sigma R(x, y) -> S(x), P(y)
 //   target {S(a), P(b1), P(b2)}
@@ -65,6 +70,7 @@ void PrintHelp() {
       "          loadtarget <path> | savetarget <path> |\n"
       "          set <key> <value> | help | quit\n"
       "set keys: cover_nodes cover_covers max_recoveries threads\n"
+      "          deadline_ms degrade\n"
       "flags:    --trace[=<file>]        Chrome trace-event JSON on exit\n"
       "                                  (default dxrec_trace.json)\n"
       "          --metrics-json[=<file>] metrics/span run report on exit\n"
@@ -72,11 +78,17 @@ void PrintHelp() {
       "          --events[=<file>]       decision-event JSONL on exit\n"
       "                                  (default dxrec_events.jsonl)\n"
       "          --progress[=<secs>]     stderr heartbeat + stall watchdog\n"
-      "                                  (default every 1s)\n");
+      "                                  (default every 1s)\n"
+      "          --deadline=<secs>       wall-clock deadline per command\n"
+      "          --degrade=on|off        degrade to sound answers on trips\n"
+      "                                  (default on)\n");
 }
 
 class Shell {
  public:
+  Shell() = default;
+  explicit Shell(EngineOptions options) : options_(std::move(options)) {}
+
   void Run() {
     std::string line;
     std::printf("dxrec shell -- 'help' for commands\n");
@@ -159,24 +171,32 @@ class Shell {
                   report->quasi_guarded_safe ? "yes" : "no",
                   report->complete_ucq_recovery_exists() ? "yes" : "no");
     } else if (cmd == "recover") {
-      Result<InverseChaseResult> result = engine_->Recover(target_);
+      Result<resilience::Degraded<InverseChaseResult>> result =
+          engine_->RecoverDegraded(target_);
       if (!result.ok()) {
         Report(result.status());
         return true;
       }
+      if (!result->exact()) {
+        std::printf("degraded: %s\n", result->info.ToString().c_str());
+      }
       std::printf("%zu recoveries [%s]\n%s",
-                  result->recoveries.size(),
-                  result->stats.ToString().c_str(),
-                  ToString(result->recoveries).c_str());
+                  result->value.recoveries.size(),
+                  result->value.stats.ToString().c_str(),
+                  ToString(result->value.recoveries).c_str());
     } else if (cmd == "cert") {
       Result<UnionQuery> q = ParseUnionQuery(rest);
       if (!q.ok()) {
         Report(q.status());
         return true;
       }
-      Result<AnswerSet> cert = engine_->CertainAnswers(*q, target_);
+      Result<resilience::Degraded<AnswerSet>> cert =
+          engine_->CertainAnswersDegraded(*q, target_);
       if (cert.ok()) {
-        std::printf("%s\n", ToString(*cert).c_str());
+        if (!(*cert).exact()) {
+          std::printf("degraded: %s\n", cert->info.ToString().c_str());
+        }
+        std::printf("%s\n", ToString(cert->value).c_str());
       } else {
         Report(cert.status());
       }
@@ -276,6 +296,7 @@ class Shell {
       return;
     }
     std::string key = rest.substr(0, space);
+    std::string raw = rest.substr(space + 1);
     unsigned long long value =
         std::strtoull(rest.c_str() + space + 1, nullptr, 10);
     if (key == "cover_nodes") {
@@ -286,6 +307,11 @@ class Shell {
       options_.inverse.max_recoveries = value;
     } else if (key == "threads") {
       options_.inverse.num_threads = value;
+    } else if (key == "deadline_ms") {
+      options_.resilience.deadline_seconds =
+          static_cast<double>(value) / 1000.0;
+    } else if (key == "degrade") {
+      options_.resilience.degrade = (raw == "on" || raw == "1");
     } else {
       std::printf("unknown key '%s' (try 'help')\n", key.c_str());
       return;
@@ -329,13 +355,17 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string events_path;
   std::string progress_secs;
+  std::string deadline_secs;
+  std::string degrade;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (MatchFlag(arg, "--trace", "dxrec_trace.json", &trace_path) ||
         MatchFlag(arg, "--metrics-json", "dxrec_metrics.json",
                   &metrics_path) ||
         MatchFlag(arg, "--events", "dxrec_events.jsonl", &events_path) ||
-        MatchFlag(arg, "--progress", "1", &progress_secs)) {
+        MatchFlag(arg, "--progress", "1", &progress_secs) ||
+        MatchFlag(arg, "--deadline", "0", &deadline_secs) ||
+        MatchFlag(arg, "--degrade", "on", &degrade)) {
       continue;
     }
     if (arg == "--help" || arg == "-h") {
@@ -357,7 +387,15 @@ int main(int argc, char** argv) {
     obs::ProgressMonitor::Global().Start(progress);
   }
 
-  Shell().Run();
+  EngineOptions options;
+  if (!deadline_secs.empty()) {
+    options.resilience.deadline_seconds =
+        std::strtod(deadline_secs.c_str(), nullptr);
+  }
+  if (!degrade.empty()) {
+    options.resilience.degrade = (degrade == "on" || degrade == "1");
+  }
+  Shell(std::move(options)).Run();
 
   obs::ProgressMonitor::Global().Stop();
   int exit_code = 0;

@@ -5,6 +5,13 @@
 #   tsan           thread sanitizer (races in the threaded inverse chase
 #                  and the obs tracing/metrics/event collectors)
 #
+# A standalone `ubsan` preset also exists for isolating UB findings from
+# ASan noise: scripts/check.sh ubsan
+#
+# With DXREC_CHECK_FAULTS=1, additionally runs the deterministic
+# fault-injection sweep under ASan (scripts/fault_sweep.sh) and a ~30s
+# parser-fuzz corpus smoke (docs/ROBUSTNESS.md).
+#
 # Also enforces source-level invariants (budget failures must go through
 # obs::BudgetExhausted) and, with DXREC_CHECK_BENCH=1, records a
 # bench_e8 perf snapshot under bench_history/ and diffs it against the
@@ -47,6 +54,33 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$jobs"
 done
+
+# Robustness sweep (opt-in: needs the asan preset built). Runs the
+# deterministic fault-injection sweep under ASan and replays the fuzzer
+# corpus — plus a bounded random-soup smoke — through the standalone
+# parser harness.
+if [ "${DXREC_CHECK_FAULTS:-0}" = "1" ]; then
+  echo "=== fault sweep (asan) ==="
+  scripts/fault_sweep.sh asan
+  echo "=== fuzz corpus smoke ==="
+  cmake --build --preset default -j "$jobs" --target fuzz_parser >/dev/null
+  build/tests/fuzz_parser tests/fuzz/corpus
+  # ~30s of random soup through the replayer: not coverage-guided, but
+  # catches gross parser regressions without requiring clang/libFuzzer.
+  python3 - <<'EOF'
+import random, subprocess, time
+random.seed(20150531)  # PODS'15 — deterministic soup
+alphabet = "RSTQxyz()[]{}<>,.;:'\"-|& \t\n\\0123456789abc_exists"
+deadline = time.time() + 30
+n = 0
+while time.time() < deadline:
+    soup = "".join(random.choice(alphabet) for _ in range(random.randrange(0, 512)))
+    subprocess.run(["build/tests/fuzz_parser"], input=soup.encode(),
+                   check=True, stdout=subprocess.DEVNULL)
+    n += 1
+print(f"fuzz smoke: {n} random inputs replayed without incident")
+EOF
+fi
 
 # Perf trajectory (opt-in: slow). Snapshots bench_e8 — the disabled-obs
 # overhead guard — into bench_history/<timestamp>/ and diffs against the

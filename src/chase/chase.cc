@@ -4,6 +4,7 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/execution_context.h"
 
 namespace dxrec {
 
@@ -13,11 +14,18 @@ std::string Trigger::ToString(const DependencySet& sigma) const {
 }
 
 std::vector<Trigger> FindTriggers(const DependencySet& sigma,
-                                  const Instance& input) {
+                                  const Instance& input,
+                                  const resilience::ExecutionContext* context) {
   std::vector<Trigger> out;
+  HomSearchOptions options;
+  options.context = context;
   for (TgdId id = 0; id < sigma.size(); ++id) {
+    if (context != nullptr &&
+        context->stop_cause() != resilience::StopCause::kNone) {
+      break;
+    }
     for (Substitution& h :
-         FindHomomorphisms(sigma.at(id).body(), input)) {
+         FindHomomorphisms(sigma.at(id).body(), input, options)) {
       out.push_back(Trigger{id, std::move(h)});
     }
   }
@@ -43,25 +51,35 @@ Substitution FireTrigger(const DependencySet& sigma, const Trigger& trigger,
 }
 
 Instance Chase(const DependencySet& sigma, const Instance& input,
-               NullSource* nulls) {
-  return ChaseTriggers(sigma, input, FindTriggers(sigma, input), nulls);
+               NullSource* nulls,
+               const resilience::ExecutionContext* context) {
+  return ChaseTriggers(sigma, input, FindTriggers(sigma, input, context),
+                       nulls, context);
 }
 
 Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
                        const std::vector<Trigger>& triggers,
-                       NullSource* nulls) {
+                       NullSource* nulls,
+                       const resilience::ExecutionContext* context) {
   (void)input;  // triggers already reference the input's terms
   Instance out;
+  uint64_t fired_count = 0;
   for (const Trigger& trigger : triggers) {
+    // Cheap batch check; one stop-cause load per 256 firings.
+    if (context != nullptr && (fired_count & 0xFF) == 0 &&
+        context->stop_cause() != resilience::StopCause::kNone) {
+      break;
+    }
+    ++fired_count;
     FireTrigger(sigma, trigger, nulls, &out);
   }
   if (obs::Enabled()) {
     static obs::Counter* fired =
         obs::MetricsRegistry::Global().GetCounter("chase.triggers_fired");
-    fired->Add(triggers.size());
+    fired->Add(fired_count);
   }
   if (obs::EventsEnabled()) {
-    obs::Emit("chase.run", {{"triggers", static_cast<int64_t>(triggers.size())},
+    obs::Emit("chase.run", {{"triggers", static_cast<int64_t>(fired_count)},
                             {"atoms", static_cast<int64_t>(out.size())}});
   }
   return out;

@@ -22,6 +22,10 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 // A trigger: a homomorphism from body(tgd) into the instance being chased.
 struct Trigger {
   TgdId tgd = 0;
@@ -30,9 +34,11 @@ struct Trigger {
   std::string ToString(const DependencySet& sigma) const;
 };
 
-// All triggers of `sigma` on `input`.
-std::vector<Trigger> FindTriggers(const DependencySet& sigma,
-                                  const Instance& input);
+// All triggers of `sigma` on `input`. A tripped `context` (optional)
+// truncates the trigger search; the result is then a sound subset.
+std::vector<Trigger> FindTriggers(
+    const DependencySet& sigma, const Instance& input,
+    const resilience::ExecutionContext* context = nullptr);
 
 // Fires one trigger: extends the hom with fresh nulls for the tgd's
 // head-existential variables and appends the instantiated head atoms to
@@ -40,14 +46,19 @@ std::vector<Trigger> FindTriggers(const DependencySet& sigma,
 Substitution FireTrigger(const DependencySet& sigma, const Trigger& trigger,
                          NullSource* nulls, Instance* out);
 
-// Chase(Sigma, I): fires every trigger once. Generated atoms only.
+// Chase(Sigma, I): fires every trigger once. Generated atoms only. A
+// tripped `context` yields the chase of a trigger subset (sound: every
+// generated atom is a true chase atom).
 Instance Chase(const DependencySet& sigma, const Instance& input,
-               NullSource* nulls);
+               NullSource* nulls,
+               const resilience::ExecutionContext* context = nullptr);
 
-// Chase_H(Sigma, I): fires exactly the given triggers.
+// Chase_H(Sigma, I): fires exactly the given triggers (a tripped
+// `context` stops firing early).
 Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
                        const std::vector<Trigger>& triggers,
-                       NullSource* nulls);
+                       NullSource* nulls,
+                       const resilience::ExecutionContext* context = nullptr);
 
 // (I, J) |= Sigma: every trigger of every tgd on I extends to a match of
 // the head in J.

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "resilience/execution_context.h"
 
 namespace dxrec {
 
@@ -189,7 +190,18 @@ class Matcher {
       const Atom& tuple = target_.atoms()[idx];
       if (tuple.arity() != atom.arity()) continue;
       ++candidates_tried_;
-      if ((candidates_tried_ & 0xFFFF) == 0) Pulse();
+      if ((candidates_tried_ & 0xFFFF) == 0) {
+        Pulse();
+        // Deadline/cancellation at pulse cadence. Stopping here is a
+        // truncation: everything emitted so far is a genuine hom, some
+        // may be missing — exactly the max_results contract.
+        if (options_.context != nullptr &&
+            options_.context->Check() != resilience::StopCause::kNone) {
+          stopped_ = true;
+          truncated_ = true;
+          return;
+        }
+      }
       std::vector<std::pair<Term, Term>> newly_bound;
       bool ok = true;
       for (uint32_t pos = 0; pos < atom.arity() && ok; ++pos) {

@@ -16,6 +16,10 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 struct HomSearchOptions {
   // Treat nulls in the pattern as mappable placeholders (used when the
   // pattern is itself an instance). Variables are always placeholders;
@@ -34,6 +38,10 @@ struct HomSearchOptions {
   // selection. Disabling falls back to scanning whole relations; exposed
   // for the index-ablation benchmark (bench_e8).
   bool use_index = true;
+  // Optional deadline/cancellation, evaluated at the matcher's pulse
+  // cadence (every 2^16 candidates). A trip stops the search as a
+  // truncation (the partial result set is still sound). Not owned.
+  const resilience::ExecutionContext* context = nullptr;
 };
 
 // All homomorphisms from the pattern atoms into `target`. Each result binds

@@ -97,8 +97,10 @@ struct Budget {
   obs::BudgetMeter covers;
 
   explicit Budget(const CoverOptions& options)
-      : nodes("cover.nodes", "cover_enum", options.max_nodes),
-        covers("cover.covers", "cover_enum", options.max_covers) {}
+      : nodes("cover.nodes", "cover_enum", options.max_nodes,
+              options.context),
+        covers("cover.covers", "cover_enum", options.max_covers,
+               options.context) {}
 };
 
 // Recursively enumerates all subsets of homs [i..m) whose union with
@@ -186,8 +188,8 @@ bool IsMinimalCover(const std::vector<Bits>& hom_bits, const Bits& universe,
 
 }  // namespace
 
-Result<std::vector<Cover>> CoverProblem::AllCovers(
-    const CoverOptions& options) const {
+Status CoverProblem::AllCoversInto(const CoverOptions& options,
+                                   std::vector<Cover>* out) const {
   std::vector<Bits> hom_bits;
   hom_bits.reserve(coverage_.size());
   for (const auto& tuples : coverage_) {
@@ -202,26 +204,23 @@ Result<std::vector<Cover>> CoverProblem::AllCovers(
     suffix_union[i] = suffix_union[i + 1];
     suffix_union[i].OrWith(hom_bits[i]);
   }
-  std::vector<Cover> out;
   Cover current;
   Budget budget(options);
-  Status status =
-      AllCoversRec(hom_bits, suffix_union, universe, 0, Bits(num_tuples_),
-                   &current, &out, &budget);
-  if (!status.ok()) return status;
-  return out;
+  return AllCoversRec(hom_bits, suffix_union, universe, 0,
+                      Bits(num_tuples_), &current, out, &budget);
 }
 
-Result<std::vector<Cover>> CoverProblem::MinimalCovers(
-    const CoverOptions& options) const {
+Status CoverProblem::MinimalCoversInto(const CoverOptions& options,
+                                       std::vector<Cover>* out) const {
   std::vector<uint32_t> all_tuples;
   all_tuples.reserve(num_tuples_);
   for (uint32_t t = 0; t < num_tuples_; ++t) all_tuples.push_back(t);
-  return MinimalCoversOf(all_tuples, options);
+  return MinimalCoversOfInto(all_tuples, options, out);
 }
 
-Result<std::vector<Cover>> CoverProblem::MinimalCoversOf(
-    const std::vector<uint32_t>& tuples, const CoverOptions& options) const {
+Status CoverProblem::MinimalCoversOfInto(const std::vector<uint32_t>& tuples,
+                                         const CoverOptions& options,
+                                         std::vector<Cover>* out) const {
   std::vector<Bits> hom_bits;
   hom_bits.reserve(coverage_.size());
   for (const auto& covered : coverage_) {
@@ -238,14 +237,39 @@ Result<std::vector<Cover>> CoverProblem::MinimalCoversOf(
   Status status = MinimalCoversRec(
       hom_bits, covered_by_, universe, Bits(num_tuples_),
       std::vector<bool>(coverage_.size(), false), &current, &found, &budget);
-  if (!status.ok()) return status;
 
-  std::vector<Cover> out;
+  // Filter even the partial set on error: minimality of a cover is
+  // intrinsic (no element redundant), not relative to the other covers,
+  // so a truncated enumeration still yields only correct entries.
   for (const Cover& cover : found) {
     if (IsMinimalCover(hom_bits, universe, cover, num_tuples_)) {
-      out.push_back(cover);
+      out->push_back(cover);
     }
   }
+  return status;
+}
+
+Result<std::vector<Cover>> CoverProblem::AllCovers(
+    const CoverOptions& options) const {
+  std::vector<Cover> out;
+  Status status = AllCoversInto(options, &out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Result<std::vector<Cover>> CoverProblem::MinimalCovers(
+    const CoverOptions& options) const {
+  std::vector<Cover> out;
+  Status status = MinimalCoversInto(options, &out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Result<std::vector<Cover>> CoverProblem::MinimalCoversOf(
+    const std::vector<uint32_t>& tuples, const CoverOptions& options) const {
+  std::vector<Cover> out;
+  Status status = MinimalCoversOfInto(tuples, options, &out);
+  if (!status.ok()) return status;
   return out;
 }
 

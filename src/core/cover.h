@@ -20,11 +20,18 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 struct CoverOptions {
   // Upper bound on enumerated covers before giving up.
   size_t max_covers = 1u << 16;
   // Upper bound on search nodes explored.
   size_t max_nodes = 1u << 22;
+  // Optional deadline/cancellation, checked at budget tick cadence. Not
+  // owned; must outlive the enumeration.
+  const resilience::ExecutionContext* context = nullptr;
 };
 
 // A cover, as sorted indices into the HOM(Sigma, J) vector.
@@ -65,6 +72,19 @@ class CoverProblem {
   // target.atoms().
   Result<std::vector<Cover>> MinimalCoversOf(
       const std::vector<uint32_t>& tuples, const CoverOptions& options) const;
+
+  // Partial-result variants backing the degradation ladder: on budget /
+  // deadline trips, `out` keeps the covers enumerated before the trip
+  // (each individually valid — enumeration order never emits a non-cover)
+  // alongside the returned error. The Result methods above wrap these and
+  // discard partial output on error.
+  Status AllCoversInto(const CoverOptions& options,
+                       std::vector<Cover>* out) const;
+  Status MinimalCoversInto(const CoverOptions& options,
+                           std::vector<Cover>* out) const;
+  Status MinimalCoversOfInto(const std::vector<uint32_t>& tuples,
+                             const CoverOptions& options,
+                             std::vector<Cover>* out) const;
 
  private:
   size_t num_tuples_ = 0;

@@ -1,6 +1,27 @@
 #include "core/engine.h"
 
+#include <utility>
+
+#include "obs/progress.h"
+#include "resilience/degraded.h"
+#include "resilience/execution_context.h"
+
 namespace dxrec {
+
+namespace {
+
+// Arms `ctx` from the engine's resilience options and returns the pointer
+// to thread into per-call options — null when neither a deadline nor a
+// cancel token is set, so unconfigured calls take the exact pre-existing
+// code paths (options.context stays null everywhere).
+const resilience::ExecutionContext* Arm(const ResilienceOptions& r,
+                                        resilience::ExecutionContext* ctx) {
+  if (r.deadline_seconds > 0) ctx->SetDeadlineAfter(r.deadline_seconds);
+  if (r.cancel != nullptr) ctx->SetCancelToken(r.cancel);
+  return ctx->active() ? ctx : nullptr;
+}
+
+}  // namespace
 
 Status RecoveryEngine::Validate() const {
   Result<MappingSchema> schema = sigma_.InferSchema();
@@ -10,28 +31,131 @@ Status RecoveryEngine::Validate() const {
 
 Result<InverseChaseResult> RecoveryEngine::Recover(
     const Instance& target) const {
-  return InverseChase(sigma_, target, options_.inverse);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.inverse;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  // Pass-through keeps the full Status — in particular the BudgetInfo
+  // payload of ResourceExhausted trips (see EngineBudget* tests).
+  return InverseChase(sigma_, target, options);
 }
 
 Result<bool> RecoveryEngine::IsValid(const Instance& target) const {
-  return IsValidForRecovery(sigma_, target, options_.inverse);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.inverse;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  return IsValidForRecovery(sigma_, target, options);
 }
 
 Result<AnswerSet> RecoveryEngine::CertainAnswers(
     const UnionQuery& query, const Instance& target) const {
-  return dxrec::CertainAnswers(query, sigma_, target, options_.inverse);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.inverse;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  return dxrec::CertainAnswers(query, sigma_, target, options);
+}
+
+Result<resilience::Degraded<AnswerSet>>
+RecoveryEngine::CertainAnswersDegraded(const UnionQuery& query,
+                                       const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.inverse;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  Result<AnswerSet> exact =
+      dxrec::CertainAnswers(query, sigma_, target, options);
+  resilience::Degraded<AnswerSet> out;
+  if (exact.ok()) {
+    out.value = std::move(*exact);
+    return out;  // info defaults to kExact / "exact".
+  }
+  Status cause = exact.status();
+  if (!options_.resilience.degrade ||
+      cause.code() != StatusCode::kResourceExhausted) {
+    return cause;
+  }
+  // Rung 2 — Thm. 7: answers over the source reverse-chased from the
+  // maximal uniquely covered subset. Quadratic; runs without the tripped
+  // context (it would trip again immediately).
+  out.value = dxrec::SoundUcqAnswers(query, sigma_, target);
+  out.info.completeness = resilience::Completeness::kSoundUnderApprox;
+  out.info.rung = "sound_ucq";
+  out.info.cause = std::move(cause);
+  // Rung 3 — Thms. 8-9: per-disjunct answers over I_{Sigma,J}. Sound for
+  // the UCQ (a null-free answer of one disjunct over I_{Sigma,J} is an
+  // answer of that disjunct, hence of Q, over every recovery). This rung
+  // is budgeted on its own; a trip here just leaves the rung-2 answers.
+  SubUniversalOptions sub = options_.sub_universal;
+  sub.cover.context = nullptr;
+  sub.subsumption.context = nullptr;
+  Result<SubUniversalResult> sub_universal =
+      ComputeCqSubUniversal(sigma_, target, sub);
+  if (sub_universal.ok()) {
+    size_t before = out.value.size();
+    AnswerSet cq_answers = EvaluateNullFree(query, sub_universal->instance);
+    out.value.insert(cq_answers.begin(), cq_answers.end());
+    if (out.value.size() > before) out.info.rung = "sound_ucq+sound_cq";
+  }
+  resilience::RecordDegradation("certain_answers", out.info);
+  return out;
+}
+
+Result<resilience::Degraded<InverseChaseResult>>
+RecoveryEngine::RecoverDegraded(const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.inverse;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  resilience::Degraded<InverseChaseResult> out;
+  Status interrupt;
+  out.value = InverseChasePartial(sigma_, target, options, &interrupt);
+  if (interrupt.ok()) return out;
+  if (!options_.resilience.degrade ||
+      interrupt.code() != StatusCode::kResourceExhausted) {
+    return interrupt;
+  }
+  out.info.completeness = resilience::Completeness::kPartial;
+  out.info.rung = "partial";
+  out.info.cause = std::move(interrupt);
+  resilience::RecordDegradation("recover", out.info);
+  return out;
 }
 
 Result<TractabilityReport> RecoveryEngine::Analyze(
     const Instance& target) const {
-  return AnalyzeTractability(sigma_, target,
-                             options_.inverse.subsumption);
+  resilience::ExecutionContext ctx;
+  SubsumptionOptions options = options_.inverse.subsumption;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  return AnalyzeTractability(sigma_, target, options);
 }
 
 Result<Instance> RecoveryEngine::CompleteUcqRecovery(
     const Instance& target) const {
-  return dxrec::CompleteUcqRecovery(sigma_, target,
-                                    options_.inverse.subsumption);
+  resilience::ExecutionContext ctx;
+  SubsumptionOptions options = options_.inverse.subsumption;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  return dxrec::CompleteUcqRecovery(sigma_, target, options);
 }
 
 AnswerSet RecoveryEngine::SoundUcqAnswers(const UnionQuery& query,
@@ -41,33 +165,76 @@ AnswerSet RecoveryEngine::SoundUcqAnswers(const UnionQuery& query,
 
 Result<SubUniversalResult> RecoveryEngine::SubUniversal(
     const Instance& target) const {
-  return ComputeCqSubUniversal(sigma_, target, options_.sub_universal);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  SubUniversalOptions options = options_.sub_universal;
+  const resilience::ExecutionContext* armed = Arm(options_.resilience, &ctx);
+  if (options.cover.context == nullptr) options.cover.context = armed;
+  if (options.subsumption.context == nullptr) {
+    options.subsumption.context = armed;
+  }
+  return ComputeCqSubUniversal(sigma_, target, options);
 }
 
 Result<AnswerSet> RecoveryEngine::SoundCqAnswers(
     const ConjunctiveQuery& query, const Instance& target) const {
-  return dxrec::SoundCqAnswers(query, sigma_, target,
-                               options_.sub_universal);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  SubUniversalOptions options = options_.sub_universal;
+  const resilience::ExecutionContext* armed = Arm(options_.resilience, &ctx);
+  if (options.cover.context == nullptr) options.cover.context = armed;
+  if (options.subsumption.context == nullptr) {
+    options.subsumption.context = armed;
+  }
+  return dxrec::SoundCqAnswers(query, sigma_, target, options);
 }
 
 Result<DependencySet> RecoveryEngine::MaximumRecoveryMapping() const {
-  return CqMaximumRecoveryMapping(sigma_, options_.max_recovery);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  MaxRecoveryOptions options = options_.max_recovery;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  return CqMaximumRecoveryMapping(sigma_, options);
 }
 
 Result<Instance> RecoveryEngine::BaselineRecoveredSource(
     const Instance& target) const {
-  return MaxRecoveryChase(sigma_, target, options_.max_recovery);
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  MaxRecoveryOptions options = options_.max_recovery;
+  if (options.context == nullptr) {
+    options.context = Arm(options_.resilience, &ctx);
+  }
+  return MaxRecoveryChase(sigma_, target, options);
 }
 
 Result<RepairResult> RecoveryEngine::Repair(const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
   RepairOptions options;
   options.inverse = options_.inverse;
+  if (options.inverse.context == nullptr) {
+    options.inverse.context = Arm(options_.resilience, &ctx);
+  }
   return RepairTarget(sigma_, target, options);
 }
 
 Result<Instance> RecoveryEngine::RepairGreedy(const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
   RepairOptions options;
   options.inverse = options_.inverse;
+  if (options.inverse.context == nullptr) {
+    options.inverse.context = Arm(options_.resilience, &ctx);
+  }
   return GreedyRepair(sigma_, target, options);
 }
 

@@ -15,6 +15,7 @@
 #ifndef DXREC_CORE_ENGINE_H_
 #define DXREC_CORE_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
@@ -29,8 +30,29 @@
 #include "logic/query.h"
 #include "obs/trace.h"
 #include "relational/instance.h"
+#include "resilience/degraded.h"
+#include "resilience/execution_context.h"
 
 namespace dxrec {
+
+// Deadline / cancellation / degradation policy for engine calls
+// (docs/ROBUSTNESS.md). With everything unset the engine takes the exact
+// same code paths as before: no ExecutionContext is constructed and the
+// budgeted loops pay only their existing costs.
+struct ResilienceOptions {
+  // Wall-clock deadline per engine call, in seconds; <= 0 means none.
+  // Expiry surfaces as a structured ResourceExhausted whose BudgetInfo
+  // names the "resilience.deadline" budget (limit/consumed in micros).
+  double deadline_seconds = 0;
+  // Optional external cancel switch shared across calls; Cancel() makes
+  // in-flight engine calls return ResourceExhausted at the next
+  // checkpoint ("resilience.cancelled").
+  std::shared_ptr<resilience::CancelToken> cancel;
+  // Whether the *Degraded entry points fall back to sound
+  // under-approximations when the exact path trips a budget, deadline or
+  // cancellation. When false they behave like the exact entry points.
+  bool degrade = true;
+};
 
 struct EngineOptions {
   InverseChaseOptions inverse;
@@ -41,6 +63,8 @@ struct EngineOptions {
   // metrics registry. Disabled instrumentation costs one relaxed atomic
   // load per site.
   obs::ObsOptions obs;
+  // Deadlines, cancellation and the degradation ladder.
+  ResilienceOptions resilience;
 };
 
 class RecoveryEngine {
@@ -64,6 +88,25 @@ class RecoveryEngine {
   // CERT(Q, Sigma, J) for UCQs (Thm. 2 / Thm. 4).
   Result<AnswerSet> CertainAnswers(const UnionQuery& query,
                                    const Instance& target) const;
+
+  // --- Degradation ladder (docs/ROBUSTNESS.md) ----------------------
+  // Like CertainAnswers, but on a budget / deadline / cancellation trip
+  // (and options.resilience.degrade) falls back down the ladder instead
+  // of failing:
+  //   rung "exact"               CERT(Q, Sigma, J)          kExact
+  //   rung "sound_ucq"           Thm. 7 sound UCQ answers   kSoundUnderApprox
+  //   rung "sound_ucq+sound_cq"  + Thms. 8-9 per-disjunct   kSoundUnderApprox
+  // Fallback rungs are PTIME-ish and run without the tripped context.
+  // Every degraded answer is certain (soundness per rung); completeness
+  // is what is given up. Non-exhaustion errors still propagate.
+  Result<resilience::Degraded<AnswerSet>> CertainAnswersDegraded(
+      const UnionQuery& query, const Instance& target) const;
+  // Like Recover, but a trip returns the recoveries verified before the
+  // interrupt (rung "partial", kPartial): each is a genuine recovery, the
+  // set may be incomplete, so answer intersections over it are upper
+  // bounds on CERT.
+  Result<resilience::Degraded<InverseChaseResult>> RecoverDegraded(
+      const Instance& target) const;
 
   // --- Tractable paths (Sec. 6) -------------------------------------
   Result<TractabilityReport> Analyze(const Instance& target) const;

@@ -18,6 +18,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "relational/instance_ops.h"
+#include "resilience/execution_context.h"
 #include "util/stopwatch.h"
 
 namespace dxrec {
@@ -26,12 +27,13 @@ namespace {
 
 // Homomorphisms g : chased -> target that are the identity on dom(target).
 // Constants are fixed automatically; target-owned nulls are pre-pinned.
-std::vector<Substitution> BackHomomorphisms(const Instance& chased,
-                                            const Instance& target,
-                                            size_t max_results) {
+std::vector<Substitution> BackHomomorphisms(
+    const Instance& chased, const Instance& target, size_t max_results,
+    const resilience::ExecutionContext* context) {
   HomSearchOptions options;
   options.map_nulls = true;
   options.max_results = max_results;
+  options.context = context;
   for (Term t : target.TermsOfKind(TermKind::kNull)) {
     options.fixed.Set(t, t);
   }
@@ -48,6 +50,9 @@ struct VerifiedCandidate {
 
 // Per-cover statistics (merged into InverseChaseStats).
 struct CoverOutcome {
+  // First deadline/cancellation/injected failure hit while processing
+  // this cover (Ok = clean). Candidates verified before the trip are kept.
+  Status interrupt;
   bool passed_sub = false;
   size_t num_g_homs = 0;
   size_t num_candidates = 0;
@@ -71,6 +76,12 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
                           const std::vector<SubsumptionConstraint>& sub,
                           const InverseChaseOptions& options) {
   CoverOutcome outcome;
+  outcome.interrupt = resilience::CheckPoint(
+      options.context, "inverse_chase.cover", "covers");
+  if (!outcome.interrupt.ok()) {
+    if (obs::ProgressActive()) obs::NoteCoverDone();
+    return outcome;
+  }
   NullSource* nulls = &FreshNulls();
 
   // Per-cover span: on worker threads this is a root on that thread's
@@ -139,7 +150,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   Instance chased;
   {
     obs::Span span("step5_forward_chase");
-    chased = Chase(sigma, source, nulls);
+    chased = Chase(sigma, source, nulls, options.context);
     span.AddArg("chased_atoms", static_cast<int64_t>(chased.size()));
   }
   outcome.seconds_forward_chase = phase_sw.ElapsedSeconds();
@@ -149,7 +160,8 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   std::vector<Substitution> gs;
   {
     obs::Span span("step6_g_hom_search");
-    gs = BackHomomorphisms(chased, target, options.max_g_homs_per_cover);
+    gs = BackHomomorphisms(chased, target, options.max_g_homs_per_cover,
+                           options.context);
     span.AddArg("g_homs", static_cast<int64_t>(gs.size()));
     if (obs::EventsEnabled()) {
       obs::Emit("ghom.search",
@@ -173,6 +185,11 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   const bool target_ground = target.IsGround();
   obs::Span verify_span("step7_verify_emit");
   for (size_t g_index = 0; g_index < gs.size(); ++g_index) {
+    // Verification runs the exponential justification machinery per g;
+    // stop between candidates so a trip keeps the ones already verified.
+    outcome.interrupt = resilience::CheckPoint(
+        options.context, "inverse_chase.verify", "covers");
+    if (!outcome.interrupt.ok()) break;
     const Substitution& g = gs[g_index];
     Instance recovery = source.Apply(g);
     if (options.core_recoveries) {
@@ -188,7 +205,10 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     outcome.num_candidates++;
     bool is_recovery = IsMinimalSolution(sigma, recovery, target);
     if (!is_recovery && !target_ground) {
-      Result<bool> justified = IsJustifiedSolution(sigma, recovery, target);
+      JustificationOptions justification;
+      justification.context = options.context;
+      Result<bool> justified =
+          IsJustifiedSolution(sigma, recovery, target, justification);
       if (justified.ok()) {
         is_recovery = *justified;
       } else {
@@ -282,17 +302,37 @@ std::string RecoveryExplanation::ToString(const DependencySet& sigma) const {
   return out;
 }
 
-Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
-                                        const Instance& target,
-                                        const InverseChaseOptions& options) {
-  InverseChaseResult result;
+namespace {
+
+// The pipeline body shared by InverseChase (exact: partial output is
+// discarded on error) and InverseChasePartial (accumulated output kept,
+// the first trip reported through the return status). Interrupt handling
+// follows one rule: the first failure in pipeline order wins; in partial
+// mode later phases still run over whatever the tripped phase produced
+// (each downstream step re-checks the sticky context, so a deadline trip
+// costs only cheap checkpoint calls from then on).
+Status RunInverseChase(const DependencySet& sigma, const Instance& target,
+                       const InverseChaseOptions& options,
+                       bool keep_partial, InverseChaseResult* out) {
+  InverseChaseResult& result = *out;
   obs::Span pipeline_span("inverse_chase");
   pipeline_span.AddArg("target_atoms", static_cast<int64_t>(target.size()));
   Stopwatch total_sw;
   Stopwatch phase_sw;
+  // Finalize total wall time on every early exit.
+  auto fail = [&](Status status) {
+    result.stats.seconds_total = total_sw.ElapsedSeconds();
+    return status;
+  };
+  Status interrupt;
 
   // 1. HOM(Sigma, J).
   obs::SetPhase("hom_enum");
+  {
+    Status checkpoint = resilience::CheckPoint(
+        options.context, "inverse_chase.hom_enum", "hom_enum");
+    if (!checkpoint.ok()) return fail(std::move(checkpoint));
+  }
   std::vector<HeadHom> homs;
   {
     obs::Span span("step1_hom_enum");
@@ -305,6 +345,11 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
 
   // 2. COV(Sigma, J).
   obs::SetPhase("cover_enum");
+  {
+    Status checkpoint = resilience::CheckPoint(
+        options.context, "inverse_chase.cover_enum", "cover_enum");
+    if (!checkpoint.ok()) return fail(std::move(checkpoint));
+  }
   std::vector<Cover> covers;
   {
     obs::Span span("step2_cover_enum");
@@ -312,14 +357,24 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
     if (!problem.AllTuplesCoverable()) {
       result.stats.seconds_cover_enum = phase_sw.ElapsedSeconds();
       result.stats.seconds_total = total_sw.ElapsedSeconds();
-      return result;  // some tuple of J is not coverable: invalid.
+      return Status::Ok();  // some tuple of J is not coverable: invalid.
     }
-    Result<std::vector<Cover>> enumerated =
-        options.minimal_covers_only ? problem.MinimalCovers(options.cover)
-                                    : problem.AllCovers(options.cover);
-    if (!enumerated.ok()) return enumerated.status();
-    covers = std::move(*enumerated);
+    CoverOptions cover_options = options.cover;
+    if (cover_options.context == nullptr) {
+      cover_options.context = options.context;
+    }
+    Status enumerated =
+        options.minimal_covers_only
+            ? problem.MinimalCoversInto(cover_options, &covers)
+            : problem.AllCoversInto(cover_options, &covers);
     span.AddArg("covers", static_cast<int64_t>(covers.size()));
+    if (!enumerated.ok()) {
+      // Partial mode still pipelines the covers enumerated before the
+      // trip: each is a genuine cover and downstream verification keeps
+      // emission sound, so the trip only costs completeness.
+      if (!keep_partial) return fail(std::move(enumerated));
+      interrupt = std::move(enumerated);
+    }
   }
   result.stats.num_covers = covers.size();
   result.stats.seconds_cover_enum = phase_sw.ElapsedSeconds();
@@ -329,12 +384,32 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
   obs::SetPhase("subsumption");
   std::vector<SubsumptionConstraint> sub;
   if (options.use_subsumption_filter) {
-    obs::Span span("step3_subsumption");
-    Result<std::vector<SubsumptionConstraint>> computed =
-        ComputeSubsumption(sigma, options.subsumption);
-    if (!computed.ok()) return computed.status();
-    sub = std::move(*computed);
-    span.AddArg("constraints", static_cast<int64_t>(sub.size()));
+    Status checkpoint = resilience::CheckPoint(
+        options.context, "inverse_chase.subsumption", "subsumption");
+    if (!checkpoint.ok() && !keep_partial) {
+      return fail(std::move(checkpoint));
+    }
+    if (checkpoint.ok()) {
+      obs::Span span("step3_subsumption");
+      SubsumptionOptions sub_options = options.subsumption;
+      if (sub_options.context == nullptr) {
+        sub_options.context = options.context;
+      }
+      Result<std::vector<SubsumptionConstraint>> computed =
+          ComputeSubsumption(sigma, sub_options);
+      if (computed.ok()) {
+        sub = std::move(*computed);
+        span.AddArg("constraints", static_cast<int64_t>(sub.size()));
+      } else if (!keep_partial) {
+        return fail(computed.status());
+      } else if (interrupt.ok()) {
+        // The filter is an optimization (emission stays sound without
+        // it); degrade to "no filter" rather than losing the run.
+        interrupt = computed.status();
+      }
+    } else if (interrupt.ok()) {
+      interrupt = std::move(checkpoint);
+    }
   }
   result.stats.seconds_subsumption = phase_sw.ElapsedSeconds();
   phase_sw.Reset();
@@ -371,11 +446,28 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
   }
   phase_sw.Reset();
 
+  // First per-cover trip in cover order wins (deterministic in the
+  // sequential run). In exact mode it aborts; in partial mode the
+  // outcomes already gathered still contribute below.
+  for (const CoverOutcome& outcome : outcomes) {
+    if (outcome.interrupt.ok()) continue;
+    if (!keep_partial) return fail(outcome.interrupt);
+    if (interrupt.ok()) interrupt = outcome.interrupt;
+    break;
+  }
+
   // Merge, dedup, and enforce the recovery budget.
   obs::SetPhase("merge_dedup");
   obs::Span merge_span("merge_dedup");
-  std::set<std::string> seen_exact;
-  for (CoverOutcome& outcome : outcomes) {
+  {
+    Status checkpoint = resilience::CheckPoint(
+        options.context, "inverse_chase.merge", "merge_dedup");
+    if (!checkpoint.ok()) {
+      if (!keep_partial) return fail(std::move(checkpoint));
+      if (interrupt.ok()) interrupt = std::move(checkpoint);
+    }
+  }
+  for (const CoverOutcome& outcome : outcomes) {
     if (outcome.passed_sub) result.stats.num_covers_passing_sub++;
     result.stats.seconds_reverse_chase += outcome.seconds_reverse_chase;
     result.stats.seconds_forward_chase += outcome.seconds_forward_chase;
@@ -388,6 +480,10 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
     if (!outcome.candidates.empty()) {
       result.stats.num_covers_yielding_recoveries++;
     }
+  }
+  std::set<std::string> seen_exact;
+  bool merge_truncated = false;
+  for (CoverOutcome& outcome : outcomes) {
     for (VerifiedCandidate& candidate : outcome.candidates) {
       std::string key = CanonicalString(candidate.recovery);
       if (!seen_exact.insert(key).second) {
@@ -409,12 +505,24 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
       }
       result.recoveries.push_back(std::move(candidate.recovery));
       if (result.recoveries.size() > options.max_recoveries) {
-        return obs::BudgetExhausted({"inverse_chase.recoveries",
-                                     options.max_recoveries,
-                                     result.recoveries.size(),
-                                     "merge_dedup"});
+        Status full = obs::BudgetExhausted({"inverse_chase.recoveries",
+                                            options.max_recoveries,
+                                            result.recoveries.size(),
+                                            "merge_dedup"});
+        if (!keep_partial) return fail(std::move(full));
+        // Partial mode respects the cap: drop the overflow candidate
+        // (and its explanation) so the prefix honors max_recoveries.
+        result.recoveries.pop_back();
+        if (options.explain &&
+            result.explanations.size() == result.recoveries.size() + 1) {
+          result.explanations.pop_back();
+        }
+        if (interrupt.ok()) interrupt = std::move(full);
+        merge_truncated = true;
+        break;
       }
     }
+    if (merge_truncated) break;
   }
 
   // Optional isomorphism dedup (CanonicalString already catches most
@@ -468,6 +576,28 @@ Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
       if (outcome.passed_sub) cover_g_homs->Record(outcome.num_g_homs);
     }
   }
+  return interrupt;
+}
+
+}  // namespace
+
+Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
+                                        const Instance& target,
+                                        const InverseChaseOptions& options) {
+  InverseChaseResult result;
+  Status status = RunInverseChase(sigma, target, options,
+                                  /*keep_partial=*/false, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+InverseChaseResult InverseChasePartial(const DependencySet& sigma,
+                                       const Instance& target,
+                                       const InverseChaseOptions& options,
+                                       Status* interrupt) {
+  InverseChaseResult result;
+  *interrupt = RunInverseChase(sigma, target, options,
+                               /*keep_partial=*/true, &result);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "logic/unification.h"
 #include "obs/events.h"
 #include "relational/instance_ops.h"
+#include "resilience/execution_context.h"
 
 namespace dxrec {
 
@@ -164,7 +165,7 @@ Result<DependencySet> CqMaximumRecoveryMapping(
   DependencySet out;
   std::set<std::string> seen;
   obs::BudgetMeter nodes("max_recovery.nodes", "max_recovery",
-                         options.max_nodes);
+                         options.max_nodes, options.context);
 
   for (TgdId id = 0; id < sigma.size(); ++id) {
     const Tgd& tgd = sigma.at(id);
@@ -176,6 +177,9 @@ Result<DependencySet> CqMaximumRecoveryMapping(
     for (uint64_t mask = 1; mask < (1ull << n); ++mask) {
       size_t bits = static_cast<size_t>(__builtin_popcountll(mask));
       if (bits > cap) continue;
+      Status checkpoint = resilience::CheckPoint(
+          options.context, "max_recovery.candidate", "max_recovery");
+      if (!checkpoint.ok()) return checkpoint;
       std::vector<Atom> subset;
       for (size_t i = 0; i < n; ++i) {
         if ((mask >> i) & 1) subset.push_back(head[i]);

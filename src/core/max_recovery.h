@@ -26,12 +26,19 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 struct MaxRecoveryOptions {
   // Cap on the head-subset size considered per tgd (0 = no cap). Large
   // heads make 2^k candidates; the paper's mappings only need small ones.
   size_t max_subset_size = 0;
   // Scenario search budget.
   size_t max_nodes = 1u << 22;
+  // Optional deadline/cancellation, checked at budget tick cadence and at
+  // each (tgd, head-subset) candidate boundary. Not owned.
+  const resilience::ExecutionContext* context = nullptr;
 };
 
 // The CQ-maximum recovery mapping Sigma' (a set of target-to-source tgds).

@@ -131,7 +131,7 @@ Result<bool> IsJustifiedSolution(const DependencySet& sigma,
 
   bool found = false;
   obs::BudgetMeter budget("justification.assignments", "verify",
-                          options.max_assignments);
+                          options.max_assignments, options.context);
   Substitution current;
   bool finished = EnumerateSubstitutions(
       fresh, codomain, &budget, &current,

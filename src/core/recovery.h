@@ -23,10 +23,17 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 struct JustificationOptions {
   // Budget on candidate substitutions e explored (non-ground targets
   // only: ground targets are decided without search).
   size_t max_assignments = 200000;
+  // Optional deadline/cancellation, checked at budget tick cadence. Not
+  // owned; must outlive the call.
+  const resilience::ExecutionContext* context = nullptr;
 };
 
 // (I, J) |= Sigma. Thin wrapper over chase::Satisfies for discoverability.

@@ -245,7 +245,7 @@ Result<std::vector<SubsumptionConstraint>> ComputeSubsumption(
   std::vector<SubsumptionConstraint> out;
   std::set<std::string> seen;
   obs::BudgetMeter nodes("subsumption.nodes", "subsumption",
-                         options.max_nodes);
+                         options.max_nodes, options.context);
   for (TgdId xi0 = 0; xi0 < sigma.size(); ++xi0) {
     Generator gen(sigma, xi0, options, &out, &seen, &nodes);
     Status status = gen.Run();

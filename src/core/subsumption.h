@@ -35,6 +35,10 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 // One premise theta_i: the tgd and the images of its head variables, in
 // tgd.head_vars() order.
 struct SubPremise {
@@ -61,6 +65,9 @@ struct SubsumptionOptions {
   // Search budgets.
   size_t max_constraints = 4096;
   size_t max_nodes = 1u << 22;
+  // Optional deadline/cancellation, checked at budget tick cadence. Not
+  // owned; must outlive the call.
+  const resilience::ExecutionContext* context = nullptr;
 };
 
 // SUB(Sigma): all derivable non-tautological constraints, deduplicated.

@@ -5,6 +5,7 @@
 #include "chase/homomorphism.h"
 #include "obs/events.h"
 #include "relational/instance_ops.h"
+#include "resilience/execution_context.h"
 
 namespace dxrec {
 
@@ -130,6 +131,9 @@ Result<std::vector<Instance>> DisjunctiveChase(
   // Worlds = choice functions: expand trigger by trigger.
   std::vector<Instance> worlds(1);
   for (const DisTrigger& trigger : triggers) {
+    Status checkpoint = resilience::CheckPoint(
+        options.context, "disjunctive.trigger", "disjunctive_chase");
+    if (!checkpoint.ok()) return checkpoint;
     const DisjunctiveTgd& tgd = mapping.at(trigger.tgd);
     std::vector<Instance> expanded;
     expanded.reserve(worlds.size() * tgd.num_alternatives());

@@ -23,6 +23,10 @@
 
 namespace dxrec {
 
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 // body -> exists: head_1 v head_2 v ... v head_k (k >= 1).
 class DisjunctiveTgd {
  public:
@@ -65,6 +69,9 @@ class DisjunctiveMapping {
 struct DisjunctiveChaseOptions {
   // Cap on materialized worlds (the count is prod_t k_t over triggers).
   size_t max_worlds = 4096;
+  // Optional deadline/cancellation, checked once per trigger expansion.
+  // Not owned; must outlive the call.
+  const resilience::ExecutionContext* context = nullptr;
 };
 
 // The possible worlds of chasing `input` with the disjunctive mapping:

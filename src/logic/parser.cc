@@ -130,13 +130,25 @@ class Lexer {
 // (instance context).
 enum class TermContext { kFormula, kInstance };
 
+// Per-parse cap on parsed terms: adversarial inputs (fuzzing, piped
+// files) fail fast with InvalidArgument instead of building gigabyte
+// token streams downstream.
+constexpr size_t kMaxTerms = 1u << 16;
+
 class TokenParser {
  public:
   TokenParser(std::vector<Token> tokens, TermContext context)
       : tokens_(std::move(tokens)), context_(context) {}
 
   const Token& Peek() const { return tokens_[pos_]; }
-  const Token& Next() { return tokens_[pos_++]; }
+  // Never advances past the kEnd sentinel: callers that keep pulling
+  // tokens after a truncated input see kEnd forever instead of reading
+  // off the token vector.
+  const Token& Next() {
+    const Token& tok = tokens_[pos_];
+    if (tok.kind != TokKind::kEnd) ++pos_;
+    return tok;
+  }
   bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
 
   bool Accept(TokKind kind) {
@@ -156,6 +168,10 @@ class TokenParser {
 
   // A term in the current context.
   Result<Term> ParseTerm() {
+    if (++num_terms_ > kMaxTerms) {
+      return Status::InvalidArgument(
+          "input exceeds " + std::to_string(kMaxTerms) + " terms");
+    }
     const Token& tok = Next();
     if (tok.kind == TokKind::kQuoted) return Term::Constant(tok.text);
     if (tok.kind != TokKind::kIdent) {
@@ -206,6 +222,17 @@ class TokenParser {
         if (!status.ok()) return status;
       }
     }
+    // Arity consistency across the whole parse (one relation, one arity);
+    // without this a mismatch surfaces only as a silent non-match deep in
+    // homomorphism search.
+    auto inserted = arities_.emplace(name.text, args.size());
+    if (!inserted.second && inserted.first->second != args.size()) {
+      return Status::InvalidArgument(
+          "relation '" + name.text + "' used with arity " +
+          std::to_string(args.size()) + " after arity " +
+          std::to_string(inserted.first->second) + " at offset " +
+          std::to_string(name.pos));
+    }
     return Atom::Make(name.text, std::move(args));
   }
 
@@ -226,6 +253,8 @@ class TokenParser {
   size_t pos_ = 0;
   TermContext context_;
   std::unordered_map<std::string, Term> nulls_;
+  std::unordered_map<std::string, size_t> arities_;
+  size_t num_terms_ = 0;
 };
 
 Result<std::vector<Token>> Tokenize(std::string_view text) {

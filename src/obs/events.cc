@@ -6,6 +6,7 @@
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "resilience/execution_context.h"
 
 namespace dxrec {
 namespace obs {
@@ -165,7 +166,7 @@ void ClearBudgetLog() {
   BudgetLog().clear();
 }
 
-void BudgetMeter::Tick() const {
+bool BudgetMeter::TickOk() {
   if (ProgressActive()) {
     NoteWork(kTickPeriod);
     NoteBudgetRemaining(name_, left_);
@@ -176,6 +177,22 @@ void BudgetMeter::Tick() const {
           {"consumed", static_cast<int64_t>(limit_ - left_)}},
          {{"budget", name_}});
   }
+  if (context_ != nullptr) {
+    resilience::StopCause cause = context_->Check();
+    if (cause != resilience::StopCause::kNone) {
+      stop_ = resilience::StopStatusFor(*context_, cause, phase_);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BudgetMeter::InjectionOk() {
+  Status injected =
+      dxrec::testing::FaultInjector::Global().OnSite(name_, phase_);
+  if (injected.ok()) return true;
+  stop_ = std::move(injected);
+  return false;
 }
 
 }  // namespace obs

@@ -27,8 +27,14 @@
 #include <vector>
 
 #include "base/status.h"
+#include "resilience/fault_injection.h"
 
 namespace dxrec {
+
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
 namespace obs {
 
 namespace internal {
@@ -122,23 +128,38 @@ void ClearBudgetLog();
 
 // Counts down one configured budget inside a search. Consume() is the
 // hot-path operation — a decrement plus a mask test, no atomics — and
-// every kTickPeriod consumed units it emits a `budget.tick` event and
-// pulses the progress layer. Not thread-safe: one meter per (single
-// threaded) search, matching how every budgeted enumeration here runs.
+// every kTickPeriod consumed units it emits a `budget.tick` event,
+// pulses the progress layer, and (when the meter carries a
+// resilience::ExecutionContext) evaluates deadline/cancellation, so stop
+// signals reach every budgeted loop at tick granularity for free. Not
+// thread-safe: one meter per (single threaded) search, matching how
+// every budgeted enumeration here runs.
+//
+// Every meter is also a deterministic fault-injection site named after
+// its budget (resilience/fault_injection.h). The armed flag is cached at
+// construction, so the disabled Consume() path pays no atomic loads.
 class BudgetMeter {
  public:
   static constexpr uint64_t kTickPeriod = 1u << 16;
 
-  // `name` and `phase` must be static-storage strings.
-  BudgetMeter(const char* name, const char* phase, uint64_t limit)
-      : name_(name), phase_(phase), limit_(limit), left_(limit) {}
+  // `name` and `phase` must be static-storage strings. `context` (may be
+  // null) is checked at tick cadence; it must outlive the meter.
+  BudgetMeter(const char* name, const char* phase, uint64_t limit,
+              const resilience::ExecutionContext* context = nullptr)
+      : name_(name),
+        phase_(phase),
+        limit_(limit),
+        left_(limit),
+        context_(context),
+        injection_armed_(dxrec::testing::FaultInjectionActive()) {}
 
-  // Consumes one unit; false once the budget is spent (the caller should
-  // fail with Exhausted()).
+  // Consumes one unit; false once the budget is spent, the context
+  // tripped, or a fault fired (the caller should fail with Exhausted()).
   bool Consume() {
-    if (left_ == 0) return false;
+    if (left_ == 0 || !stop_.ok()) return false;
+    if (injection_armed_ && !InjectionOk()) return false;
     --left_;
-    if (((limit_ - left_) & (kTickPeriod - 1)) == 0) Tick();
+    if (((limit_ - left_) & (kTickPeriod - 1)) == 0) return TickOk();
     return true;
   }
 
@@ -146,16 +167,24 @@ class BudgetMeter {
   uint64_t consumed() const { return limit_ - left_; }
 
   Status Exhausted() const {
+    if (!stop_.ok()) return stop_;
     return BudgetExhausted({name_, limit_, consumed(), phase_});
   }
 
  private:
-  void Tick() const;  // budget.tick event + progress pulse; rare
+  // budget.tick event + progress pulse + context check; rare. False (with
+  // stop_ latched) when the context tripped.
+  bool TickOk();
+  // Consults the fault injector; false (with stop_ latched) on injection.
+  bool InjectionOk();
 
   const char* name_;
   const char* phase_;
   uint64_t limit_;
   uint64_t left_;
+  const resilience::ExecutionContext* context_;
+  const bool injection_armed_;
+  Status stop_;  // latched context/injection failure; Ok while running
 };
 
 }  // namespace obs

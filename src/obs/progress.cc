@@ -51,6 +51,10 @@ ProgressMonitor& ProgressMonitor::Global() {
 
 void ProgressMonitor::Configure(const ProgressOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
+  ConfigureLocked(options);
+}
+
+void ProgressMonitor::ConfigureLocked(const ProgressOptions& options) {
   options_ = options;
   started_at_ = std::chrono::steady_clock::now();
   last_change_ = started_at_;
@@ -58,34 +62,33 @@ void ProgressMonitor::Configure(const ProgressOptions& options) {
   stall_reported_ = false;
 }
 
-void ProgressMonitor::Start(const ProgressOptions& options) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (running_) return;
-  }
-  Configure(options);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_requested_ = false;
-    running_ = true;
-  }
+bool ProgressMonitor::Start(const ProgressOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return false;
+  ConfigureLocked(options);
+  stop_requested_ = false;
+  running_ = true;
   internal::g_progress_active.store(true, std::memory_order_relaxed);
+  // Started under the lock: the new thread blocks on mu_ in Loop() until
+  // we release, and a concurrent Start/Stop sees running_ already set.
   thread_ = std::thread([this] { Loop(); });
+  return true;
 }
 
 void ProgressMonitor::Stop() {
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
-  }
-  cv_.notify_all();
-  thread_.join();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
     running_ = false;
+    // Claim the thread under the lock so concurrent Stops cannot
+    // double-join; the join itself happens outside it.
+    worker = std::move(thread_);
   }
   internal::g_progress_active.store(false, std::memory_order_relaxed);
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
 }
 
 bool ProgressMonitor::running() const {
@@ -183,6 +186,18 @@ void ProgressMonitor::TickOnce() {
                    stalled_for, phase[0] == '\0' ? "-" : phase, work);
     }
   }
+}
+
+ProgressScope::ProgressScope(double interval_seconds, bool stderr_status) {
+  if (interval_seconds <= 0) return;
+  ProgressOptions options;
+  options.interval_seconds = interval_seconds;
+  options.stderr_status = stderr_status;
+  owns_ = ProgressMonitor::Global().Start(options);
+}
+
+ProgressScope::~ProgressScope() {
+  if (owns_) ProgressMonitor::Global().Stop();
 }
 
 }  // namespace obs

@@ -60,7 +60,9 @@ struct ProgressOptions {
   bool stderr_status = true;
 };
 
-// The background ticker. One global instance; Start/Stop are idempotent.
+// The background ticker. One global instance; Start/Stop are idempotent
+// and safe to call concurrently (Stop moves the thread out under the
+// lock, so two racing Stops never double-join).
 class ProgressMonitor {
  public:
   static ProgressMonitor& Global();
@@ -69,7 +71,9 @@ class ProgressMonitor {
   // TickOnce directly).
   void Configure(const ProgressOptions& options);
 
-  void Start(const ProgressOptions& options = ProgressOptions());
+  // True when this call started the monitor; false when it was already
+  // running (the earlier owner keeps it).
+  bool Start(const ProgressOptions& options = ProgressOptions());
   void Stop();
   bool running() const;
 
@@ -83,6 +87,7 @@ class ProgressMonitor {
  private:
   ProgressMonitor() = default;
   void Loop();
+  void ConfigureLocked(const ProgressOptions& options);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -97,6 +102,28 @@ class ProgressMonitor {
   uint64_t last_work_ = 0;
   std::chrono::steady_clock::time_point last_change_;
   bool stall_reported_ = false;
+};
+
+// Per-call heartbeat ownership. Starts the global monitor when
+// `interval_seconds > 0` and it is not already running; the destructor
+// stops it only if this scope started it. Engine entry points hold one of
+// these so the background thread is joined on *every* return path —
+// success or early error — before the Status reaches the caller (no
+// stderr heartbeat can fire after the result is delivered), and so a
+// per-call heartbeat nests harmlessly under a session-wide monitor.
+class ProgressScope {
+ public:
+  ProgressScope() = default;
+  ProgressScope(double interval_seconds, bool stderr_status);
+  ~ProgressScope();
+
+  ProgressScope(const ProgressScope&) = delete;
+  ProgressScope& operator=(const ProgressScope&) = delete;
+
+  bool owns() const { return owns_; }
+
+ private:
+  bool owns_ = false;
 };
 
 }  // namespace obs

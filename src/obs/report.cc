@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/events.h"
+#include "resilience/degraded.h"
 
 namespace dxrec {
 namespace obs {
@@ -200,6 +201,31 @@ std::string RunReportJson() {
            ",\"consumed\":" + std::to_string(info.consumed) + ",\"phase\":";
     AppendJsonString(info.phase, &out);
     out += "}";
+  }
+  out += "\n]";
+
+  // Degradation ladder outcomes, oldest first (bounded log; see
+  // resilience/degraded.h).
+  out += ",\"degradation\":[";
+  first = true;
+  for (const resilience::DegradationRecord& record :
+       resilience::DegradationLogSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"operation\":";
+    AppendJsonString(record.operation, &out);
+    out += ",\"completeness\":";
+    AppendJsonString(resilience::CompletenessName(record.completeness),
+                     &out);
+    out += ",\"rung\":";
+    AppendJsonString(record.rung, &out);
+    out += ",\"cause\":{\"budget\":";
+    AppendJsonString(record.cause.budget, &out);
+    out += ",\"limit\":" + std::to_string(record.cause.limit) +
+           ",\"consumed\":" + std::to_string(record.cause.consumed) +
+           ",\"phase\":";
+    AppendJsonString(record.cause.phase, &out);
+    out += "}}";
   }
   out += "\n]}\n";
   return out;

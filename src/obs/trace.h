@@ -47,6 +47,11 @@ struct ObsOptions {
   bool events = false;
   // Resizes the event ring (and clears it). 0 keeps the current capacity.
   size_t event_capacity = 0;
+  // > 0: each engine call runs under a ProgressScope (obs/progress.h)
+  // with this heartbeat interval, joined before the call returns.
+  double progress_seconds = 0;
+  // Heartbeat one-liners to stderr (only meaningful with the above).
+  bool progress_stderr = true;
 };
 
 // Applies the knobs to the global state (currently: enables collection).

@@ -1,0 +1,96 @@
+#include "resilience/degraded.h"
+
+#include <deque>
+#include <mutex>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace resilience {
+
+namespace {
+
+// Bounded like the budget log in obs/events.cc: a terminal degradation
+// must survive event-ring churn to reach the run report.
+constexpr size_t kMaxDegradationLog = 32;
+std::mutex g_degradation_log_mu;
+std::deque<DegradationRecord>& DegradationLog() {
+  static std::deque<DegradationRecord>* log =
+      new std::deque<DegradationRecord>();
+  return *log;
+}
+
+}  // namespace
+
+const char* CompletenessName(Completeness completeness) {
+  switch (completeness) {
+    case Completeness::kExact:
+      return "exact";
+    case Completeness::kSoundUnderApprox:
+      return "sound_under_approx";
+    case Completeness::kPartial:
+      return "partial";
+  }
+  return "unknown";
+}
+
+std::string DegradationInfo::ToString() const {
+  std::string out = CompletenessName(completeness);
+  out += " via ";
+  out += rung;
+  if (!cause.ok()) {
+    out += " (";
+    if (const BudgetInfo* info = cause.budget_info()) {
+      out += info->ToString();
+    } else {
+      out += cause.ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+void RecordDegradation(const std::string& operation,
+                       const DegradationInfo& info) {
+  if (obs::EventsEnabled()) {
+    obs::Emit("resilience.degraded", {},
+              {{"operation", operation},
+               {"completeness", CompletenessName(info.completeness)},
+               {"rung", info.rung},
+               {"cause", info.cause.budget_info() != nullptr
+                             ? info.cause.budget_info()->budget
+                             : std::string(StatusCodeName(
+                                   info.cause.code()))}});
+  }
+  if (!obs::Enabled()) return;
+  static obs::Counter* degradations =
+      obs::MetricsRegistry::Global().GetCounter("resilience.degradations");
+  degradations->Add(1);
+  DegradationRecord record;
+  record.operation = operation;
+  record.completeness = info.completeness;
+  record.rung = info.rung;
+  if (const BudgetInfo* cause = info.cause.budget_info()) {
+    record.cause = *cause;
+  }
+  std::lock_guard<std::mutex> lock(g_degradation_log_mu);
+  std::deque<DegradationRecord>& log = DegradationLog();
+  log.push_back(std::move(record));
+  if (log.size() > kMaxDegradationLog) log.pop_front();
+}
+
+std::vector<DegradationRecord> DegradationLogSnapshot() {
+  std::lock_guard<std::mutex> lock(g_degradation_log_mu);
+  const std::deque<DegradationRecord>& log = DegradationLog();
+  return std::vector<DegradationRecord>(log.begin(), log.end());
+}
+
+void ClearDegradationLog() {
+  std::lock_guard<std::mutex> lock(g_degradation_log_mu);
+  DegradationLog().clear();
+}
+
+}  // namespace resilience
+}  // namespace dxrec

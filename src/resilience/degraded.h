@@ -1,0 +1,79 @@
+// The graceful-degradation ladder's result wrapper (docs/ROBUSTNESS.md).
+//
+// When an exact (exponential) computation trips a budget, deadline, or
+// cancellation, the engine can fall back to the paper's PTIME sound
+// under-approximations (Thm. 7 sound UCQ answers, Thms. 8-9 sound CQ
+// answers via I_{Sigma,J}) or return the partial work accumulated so far.
+// Degraded<T> carries the value plus a DegradationInfo saying how
+// complete it is, which ladder rung produced it, and the structured
+// status that knocked the exact path off (budget_info() preserved).
+//
+// Degradations are mirrored into a bounded process-global log (when
+// obs::Enabled()) that the run report renders as its "degradation" block,
+// and emit a `resilience.degraded` event.
+#ifndef DXREC_RESILIENCE_DEGRADED_H_
+#define DXREC_RESILIENCE_DEGRADED_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace dxrec {
+namespace resilience {
+
+// How complete a Degraded<T> value is.
+enum class Completeness {
+  // The exact computation finished; the value is the true answer.
+  kExact,
+  // A sound under-approximation: every element is correct (contained in
+  // the exact answer), some may be missing.
+  kSoundUnderApprox,
+  // A prefix of the exact enumeration: what was accumulated before the
+  // trip. Each element is individually verified, the set is incomplete.
+  kPartial,
+};
+const char* CompletenessName(Completeness completeness);
+
+struct DegradationInfo {
+  Completeness completeness = Completeness::kExact;
+  // Ladder rung that produced the value: "exact", "sound_ucq",
+  // "sound_ucq+sound_cq", "partial".
+  std::string rung = "exact";
+  // The status that stopped the exact path (Ok when kExact); its
+  // budget_info() carries {budget, limit, consumed, phase}.
+  Status cause;
+
+  // e.g. "sound_under_approx via sound_ucq (cover.nodes budget exhausted
+  // [limit=2 consumed=2 phase=cover_enum])".
+  std::string ToString() const;
+};
+
+template <typename T>
+struct Degraded {
+  T value{};
+  DegradationInfo info;
+
+  bool exact() const { return info.completeness == Completeness::kExact; }
+};
+
+// One entry of the degradation log.
+struct DegradationRecord {
+  std::string operation;  // engine entry point, e.g. "certain_answers"
+  Completeness completeness = Completeness::kExact;
+  std::string rung;
+  BudgetInfo cause;  // zero/empty when the cause carried no payload
+};
+
+// Appends to the bounded log (when obs::Enabled()) and emits the
+// `resilience.degraded` event (when obs::EventsEnabled()).
+void RecordDegradation(const std::string& operation,
+                       const DegradationInfo& info);
+std::vector<DegradationRecord> DegradationLogSnapshot();
+void ClearDegradationLog();
+
+}  // namespace resilience
+}  // namespace dxrec
+
+#endif  // DXREC_RESILIENCE_DEGRADED_H_

@@ -1,0 +1,112 @@
+#include "resilience/execution_context.h"
+
+#include <utility>
+
+#include "obs/events.h"
+#include "resilience/fault_injection.h"
+
+namespace dxrec {
+namespace resilience {
+
+const char* StopCauseName(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kDeadline:
+      return "deadline";
+    case StopCause::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+void ExecutionContext::SetDeadlineAfter(double seconds) {
+  has_deadline_ = true;
+  if (seconds <= 0) {
+    // Already expired; the first Check() trips without touching the
+    // clock's forward march (deterministic in tests).
+    deadline_ = start_;
+    return;
+  }
+  deadline_ = start_ + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(seconds));
+}
+
+StopCause ExecutionContext::Check() const {
+  StopCause latched = stop_cause_.load(std::memory_order_relaxed);
+  if (latched != StopCause::kNone) return latched;
+  StopCause cause = StopCause::kNone;
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    cause = StopCause::kCancelled;
+  } else if (has_deadline_ &&
+             std::chrono::steady_clock::now() >= deadline_) {
+    cause = StopCause::kDeadline;
+  }
+  if (cause != StopCause::kNone) {
+    // Racing threads may each store; any winner is correct since both
+    // causes are terminal and sticky.
+    stop_cause_.store(cause, std::memory_order_relaxed);
+  }
+  return cause;
+}
+
+int64_t ExecutionContext::deadline_micros() const {
+  if (!has_deadline_) return 0;
+  int64_t micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                       deadline_ - start_)
+                       .count();
+  return micros < 0 ? 0 : micros;
+}
+
+int64_t ExecutionContext::elapsed_micros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+Status DeadlineStatus(const ExecutionContext& context, std::string phase) {
+  // Surfacing the deadline as a budget over wall-clock microseconds keeps
+  // the payload, the `budget.exhausted` event, and the run-report log on
+  // the same path as every other budget trip.
+  return obs::BudgetExhausted(
+      {"resilience.deadline",
+       static_cast<uint64_t>(context.deadline_micros()),
+       static_cast<uint64_t>(context.elapsed_micros()), std::move(phase)});
+}
+
+Status CancelledStatus(std::string phase) {
+  return obs::BudgetExhausted(
+      {"resilience.cancelled", 0, 0, std::move(phase)});
+}
+
+Status StopStatusFor(const ExecutionContext& context, StopCause cause,
+                     std::string phase) {
+  switch (cause) {
+    case StopCause::kNone:
+      return Status::Ok();
+    case StopCause::kDeadline:
+      return DeadlineStatus(context, std::move(phase));
+    case StopCause::kCancelled:
+      return CancelledStatus(std::move(phase));
+  }
+  return Status::Internal("unknown stop cause");
+}
+
+Status CheckPoint(const ExecutionContext* context, const char* site,
+                  const char* phase) {
+  if (testing::FaultInjectionActive()) {
+    Status injected = testing::FaultInjector::Global().OnSite(site, phase);
+    if (!injected.ok()) return injected;
+  }
+  if (context != nullptr) {
+    StopCause cause = context->Check();
+    if (cause != StopCause::kNone) {
+      return StopStatusFor(*context, cause, phase);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace resilience
+}  // namespace dxrec

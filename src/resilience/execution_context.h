@@ -1,0 +1,118 @@
+// Cooperative deadlines and cancellation for the exponential paths
+// (docs/ROBUSTNESS.md).
+//
+// An ExecutionContext is a per-call stop signal threaded (as a const
+// pointer on option structs) into every budgeted loop: a wall-clock
+// deadline, a shared CancelToken, or both. Checks are cooperative:
+//
+//   - obs::BudgetMeter evaluates the context at its tick cadence (every
+//     kTickPeriod consumed units), so the hot Consume() path pays nothing
+//     extra beyond a null-pointer test;
+//   - cold loop and phase boundaries call CheckPoint(), which is also a
+//     deterministic fault-injection site (resilience/fault_injection.h).
+//
+// A tripped context is sticky: once the deadline expires or the token is
+// cancelled every subsequent Check() reports the same cause, so nested
+// searches unwind coherently. Deadline expiry and cancellation surface as
+// structured ResourceExhausted statuses (budget "resilience.deadline" /
+// "resilience.cancelled", built through obs::BudgetExhausted), flowing
+// through exactly the same propagation paths as budget trips.
+//
+// Setup (SetDeadlineAfter / SetCancelToken) is not thread-safe; configure
+// the context before the call, after which any number of worker threads
+// may Check() it concurrently.
+#ifndef DXREC_RESILIENCE_EXECUTION_CONTEXT_H_
+#define DXREC_RESILIENCE_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+
+namespace dxrec {
+namespace resilience {
+
+// Shared cancellation flag: the caller keeps one reference and flips it
+// from any thread; every search holding the other reference stops at its
+// next check.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Why a context stopped a computation.
+enum class StopCause {
+  kNone = 0,
+  kDeadline,
+  kCancelled,
+};
+const char* StopCauseName(StopCause cause);
+
+class ExecutionContext {
+ public:
+  ExecutionContext() : start_(std::chrono::steady_clock::now()) {}
+
+  // Arms a wall-clock deadline `seconds` from now. <= 0 arms an
+  // already-expired deadline (useful for deterministic tests).
+  void SetDeadlineAfter(double seconds);
+  void SetCancelToken(std::shared_ptr<CancelToken> token) {
+    cancel_ = std::move(token);
+  }
+
+  // False when nothing is armed; callers then skip threading the context
+  // entirely (a null pointer downstream), keeping the unset cost at one
+  // branch per site.
+  bool active() const { return has_deadline_ || cancel_ != nullptr; }
+
+  // Evaluates cancellation, then the deadline. Sticky: the first tripped
+  // cause is latched and returned from then on without re-reading the
+  // clock. Thread-safe.
+  StopCause Check() const;
+
+  // The latched cause, without re-evaluating clock or token.
+  StopCause stop_cause() const {
+    return stop_cause_.load(std::memory_order_relaxed);
+  }
+
+  // Budget/consumption view of the deadline, in microseconds (0 budget
+  // when no deadline is armed).
+  int64_t deadline_micros() const;
+  int64_t elapsed_micros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<CancelToken> cancel_;
+  mutable std::atomic<StopCause> stop_cause_{StopCause::kNone};
+};
+
+// Structured statuses for context trips. Built through
+// obs::BudgetExhausted so the payload (budget_info()), the terminal
+// `budget.exhausted` event, and the run-report budget log behave exactly
+// like a budget trip.
+Status DeadlineStatus(const ExecutionContext& context, std::string phase);
+Status CancelledStatus(std::string phase);
+Status StopStatusFor(const ExecutionContext& context, StopCause cause,
+                     std::string phase);
+
+// Cold-path cooperative stop check for loop and phase boundaries. Returns
+// Ok to continue; a structured ResourceExhausted when `context` tripped or
+// a fault is injected at `site` (dxrec::testing::FaultInjector). Null-safe
+// in `context`; `site` and `phase` are static-storage strings.
+Status CheckPoint(const ExecutionContext* context, const char* site,
+                  const char* phase);
+
+}  // namespace resilience
+}  // namespace dxrec
+
+#endif  // DXREC_RESILIENCE_EXECUTION_CONTEXT_H_

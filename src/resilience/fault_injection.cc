@@ -1,0 +1,126 @@
+#include "resilience/fault_injection.h"
+
+#include <utility>
+
+#include "obs/events.h"
+
+namespace dxrec {
+namespace testing {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBudgetExhaustion:
+      return "budget_exhaustion";
+    case FaultKind::kDeadline:
+      return "deadline";
+    case FaultKind::kCancel:
+      return "cancel";
+    case FaultKind::kStatus:
+      return "status";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();  // process lifetime
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  armed_ = true;
+  recording_ = false;
+  fired_ = false;
+  hits_.clear();
+  internal::g_fault_injection_active.store(true,
+                                           std::memory_order_relaxed);
+}
+
+void FaultInjector::StartRecording() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  recording_ = true;
+  fired_ = false;
+  hits_.clear();
+  internal::g_fault_injection_active.store(true,
+                                           std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  recording_ = false;
+  internal::g_fault_injection_active.store(false,
+                                           std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  recording_ = false;
+  fired_ = false;
+  plan_ = FaultPlan{};
+  hits_.clear();
+  internal::g_fault_injection_active.store(false,
+                                           std::memory_order_relaxed);
+}
+
+std::vector<std::string> FaultInjector::SeenSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> sites;
+  sites.reserve(hits_.size());
+  for (const auto& [site, count] : hits_) sites.push_back(site);
+  return sites;  // std::map iteration order: already sorted
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+bool FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status FaultInjector::OnSite(const char* site, const char* phase) {
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_ && !recording_) return Status::Ok();
+    uint64_t hit = hits_[site]++;
+    if (!armed_ || fired_) return Status::Ok();
+    if (plan_.site != "*" && plan_.site != site) return Status::Ok();
+    if (hit % kSelectWindow != plan_.seed % kSelectWindow) {
+      return Status::Ok();
+    }
+    fired_ = true;
+    plan = plan_;
+  }
+  // Build the status outside the lock: BudgetExhausted takes the obs
+  // locks, and instrumented sites may call OnSite from worker threads.
+  if (obs::EventsEnabled()) {
+    obs::Emit("resilience.fault_injected", {},
+              {{"site", site},
+               {"phase", phase},
+               {"kind", FaultKindName(plan.kind)}});
+  }
+  switch (plan.kind) {
+    case FaultKind::kBudgetExhaustion:
+      // Limit/consumed of 0/0 distinguishes an injected exhaustion from a
+      // real one while keeping the payload shape callers assert on.
+      return obs::BudgetExhausted({site, 0, 0, phase});
+    case FaultKind::kDeadline:
+      return obs::BudgetExhausted({"resilience.deadline", 0, 0, phase});
+    case FaultKind::kCancel:
+      return obs::BudgetExhausted({"resilience.cancelled", 0, 0, phase});
+    case FaultKind::kStatus:
+      return Status(plan.code, plan.message);
+  }
+  return Status::Internal("unknown fault kind");
+}
+
+}  // namespace testing
+}  // namespace dxrec

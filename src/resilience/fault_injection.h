@@ -1,0 +1,103 @@
+// Deterministic fault injection for the robustness harness
+// (docs/ROBUSTNESS.md, "Fault injection"; tests/fault_sweep_test.cc).
+//
+// Every obs-instrumented budget site (obs::BudgetMeter) and every
+// resilience::CheckPoint is an injectable site, keyed by its budget/site
+// name ("cover.nodes", "inverse_chase.cover", ...). A FaultPlan forces a
+// budget exhaustion, a deadline expiry, a cancellation, or an arbitrary
+// Status at the selected site; the seed picks *which* hit of that site
+// fires, so a single (site, kind, seed) triple reproduces exactly one
+// failure point, deterministically.
+//
+// Record mode tallies site hits without firing, which is how the sweep
+// discovers the injectable surface of a workload before iterating it.
+//
+// Disabled cost: BudgetMeter caches the armed flag at construction (one
+// relaxed load per meter, none per Consume); CheckPoint pays one relaxed
+// load per call, and checkpoints sit on cold paths only.
+#ifndef DXREC_RESILIENCE_FAULT_INJECTION_H_
+#define DXREC_RESILIENCE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace dxrec {
+namespace testing {
+
+namespace internal {
+inline std::atomic<bool> g_fault_injection_active{false};
+}  // namespace internal
+
+// True while the injector is armed or recording. Instrumented sites gate
+// on this before calling into the injector.
+inline bool FaultInjectionActive() {
+  return internal::g_fault_injection_active.load(std::memory_order_relaxed);
+}
+
+enum class FaultKind {
+  kBudgetExhaustion,  // structured ResourceExhausted named after the site
+  kDeadline,          // as if the execution context's deadline expired
+  kCancel,            // as if the caller cancelled
+  kStatus,            // an arbitrary Status (code + message below)
+};
+const char* FaultKindName(FaultKind kind);
+
+struct FaultPlan {
+  // Site/budget name to match; "*" matches every site.
+  std::string site = "*";
+  FaultKind kind = FaultKind::kBudgetExhaustion;
+  // The plan fires on the (seed % kSelectWindow)-th matching hit
+  // (0-based), so seeds walk the trigger point through the search without
+  // hand-picking indices. Sites with fewer hits simply never fire.
+  uint64_t seed = 0;
+  // Payload for kStatus.
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+};
+
+class FaultInjector {
+ public:
+  static constexpr uint64_t kSelectWindow = 13;
+
+  static FaultInjector& Global();
+
+  // Arms `plan` and clears hit counters. At most one plan is active.
+  void Arm(FaultPlan plan);
+  // Tally site hits without firing (sweep discovery).
+  void StartRecording();
+  // Disarms / stops recording; keeps counters for inspection.
+  void Disarm();
+  // Disarm + forget all counters and seen sites.
+  void Reset();
+
+  // Sites observed since the last Arm/StartRecording/Reset, sorted.
+  std::vector<std::string> SeenSites() const;
+  uint64_t hits(const std::string& site) const;
+  // Whether the armed plan has fired (it fires at most once per Arm).
+  bool fired() const;
+
+  // Called by instrumented sites when FaultInjectionActive(). Returns the
+  // injected failure for this hit, or Ok. Thread-safe.
+  Status OnSite(const char* site, const char* phase);
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool recording_ = false;
+  bool fired_ = false;
+  FaultPlan plan_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace testing
+}  // namespace dxrec
+
+#endif  // DXREC_RESILIENCE_FAULT_INJECTION_H_

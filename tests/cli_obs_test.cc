@@ -65,7 +65,8 @@ const std::set<std::string>& KnownEventTypes() {
       "recovery.emitted",  "recovery.deduped", "recovery.cored",
       "recovery.rejected", "budget.tick",      "budget.exhausted",
       "progress.heartbeat", "watchdog.stall",  "homs.truncated",
-      "hom.milestone"};
+      "hom.milestone",     "resilience.fault_injected",
+      "resilience.degraded"};
   return *types;
 }
 

@@ -1,0 +1,107 @@
+// libFuzzer harness for the logic parsers (satellite of the robustness
+// PR; see docs/ROBUSTNESS.md, "Fuzzing").
+//
+// Build with clang + -DDXREC_BUILD_FUZZERS=ON to get the real libFuzzer
+// entry point:
+//   clang++ -fsanitize=fuzzer,address ... tests/fuzz_parser.cc
+//   ./fuzz_parser tests/fuzz/corpus
+//
+// Without DXREC_LIBFUZZER the same file compiles to a standalone replayer
+// that feeds every file/argument through the harness once — this is what
+// the `fuzz_parser_replay` ctest runs over tests/fuzz/corpus so the
+// corpus stays green under the ordinary toolchain (and under ASan via
+// scripts/check.sh).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "logic/parser.h"
+
+namespace {
+
+// Every parser entry point must return a value or an error Status —
+// never crash, hang, or read out of bounds — on arbitrary bytes.
+void ParseAll(std::string_view text) {
+  (void)dxrec::ParseTgd(text);
+  (void)dxrec::ParseTgdSet(text);
+  (void)dxrec::ParseInstance(text);
+  (void)dxrec::ParseQuery(text);
+  (void)dxrec::ParseUnionQuery(text);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ParseAll(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}
+
+#ifndef DXREC_LIBFUZZER
+// Standalone replayer: each argument is a corpus file or a directory of
+// corpus files; with no arguments, reads stdin.
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void ReplayPath(const std::string& path, size_t* count) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "fuzz_parser: cannot stat %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    DIR* dir = opendir(path.c_str());
+    if (dir == nullptr) {
+      std::fprintf(stderr, "fuzz_parser: cannot open %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::vector<std::string> entries;
+    while (dirent* entry = readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      entries.push_back(path + "/" + name);
+    }
+    closedir(dir);
+    for (const std::string& entry : entries) ReplayPath(entry, count);
+    return;
+  }
+  std::string data = ReadFileOrDie(path);
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(data.data()),
+                         data.size());
+  ++*count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t count = 0;
+  if (argc < 2) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    std::string data = buffer.str();
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(data.data()),
+                           data.size());
+    ++count;
+  } else {
+    for (int i = 1; i < argc; ++i) ReplayPath(argv[i], &count);
+  }
+  std::printf("fuzz_parser: replayed %zu input(s) without incident\n",
+              count);
+  return 0;
+}
+#endif  // DXREC_LIBFUZZER

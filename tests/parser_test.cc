@@ -123,6 +123,43 @@ TEST(ParseUnionQuery, MixedArityRejected) {
       ParseUnionQuery("Q(x) :- Rpm(x) | Q(x, y) :- Spm(x, y)").ok());
 }
 
+TEST(ParserHardening, TruncatedExistsListRejectedCleanly) {
+  // A trailing comma after the exists list used to walk the token
+  // cursor past the end-of-input sentinel; now it is a clean error.
+  EXPECT_FALSE(ParseTgd("a(x) -> exists y,").ok());
+  EXPECT_FALSE(ParseTgd("a(x) -> exists").ok());
+  EXPECT_FALSE(ParseTgd("a(x) ->").ok());
+  EXPECT_FALSE(ParseInstance("{R(x),").ok());
+}
+
+TEST(ParserHardening, ArityMismatchRejectedWithOffset) {
+  Result<Instance> j = ParseInstance("{Rar(x), Rar(x, y)}");
+  ASSERT_FALSE(j.ok());
+  EXPECT_EQ(j.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(j.status().message().find("arity"), std::string::npos)
+      << j.status().ToString();
+  // Consistent use of the same relation stays fine.
+  EXPECT_TRUE(ParseInstance("{Rar2(x, y), Rar2(y, z)}").ok());
+  // The check also spans one ParseTgd call's premise and conclusion.
+  EXPECT_FALSE(ParseTgd("Sar(x) -> Sar(x, x)").ok());
+}
+
+TEST(ParserHardening, OversizedInputRejectedNotOom) {
+  // > 2^16 terms in a single parse is rejected with InvalidArgument
+  // instead of building an unbounded AST.
+  std::string big = "{";
+  for (int i = 0; i < 70000; ++i) {
+    if (i > 0) big += ", ";
+    big += "T(c" + std::to_string(i) + ")";
+  }
+  big += "}";
+  Result<Instance> j = ParseInstance(big);
+  ASSERT_FALSE(j.ok());
+  EXPECT_EQ(j.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(j.status().message().find("terms"), std::string::npos)
+      << j.status().ToString();
+}
+
 TEST(Printer, RoundTripTgdThroughToString) {
   Result<Tgd> tgd = ParseTgd("Rpn(x, y) -> exists z: Spn(x, z)");
   ASSERT_TRUE(tgd.ok());
