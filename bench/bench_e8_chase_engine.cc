@@ -11,7 +11,9 @@
 #include "chase/chase.h"
 #include "chase/evaluation.h"
 #include "chase/homomorphism.h"
+#include "core/inverse_chase.h"
 #include "datagen/generators.h"
+#include "datagen/scenarios.h"
 #include "logic/parser.h"
 
 namespace dxrec {
@@ -88,6 +90,30 @@ void BM_HomSearchScan(benchmark::State& state) {
   HomSearchBody(state, /*use_index=*/false);
 }
 BENCHMARK(BM_HomSearchScan)->Arg(100)->Arg(1000)->Arg(4000);
+
+// The parallel inverse chase end-to-end on the E2 blowup shape: one
+// cover, so every bit of speedup comes from the chunked g-homomorphism
+// search plus the verification fan-out (docs/PARALLELISM.md). Interleave
+// the threads:1 / threads:N rows in one binary run so A/B share cache
+// state and CPU frequency; the speedup is real_time(1) / real_time(N).
+void BM_InverseChase(benchmark::State& state) {
+  DependencySet sigma = BlowupScenario::Sigma();
+  Instance j =
+      BlowupScenario::Target(2, static_cast<size_t>(state.range(0)));
+  InverseChaseOptions options;
+  options.max_g_homs_per_cover = 1u << 20;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_InverseChase)
+    ->ArgNames({"q", "threads"})
+    ->Args({6, 1})
+    ->Args({6, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Satisfies(benchmark::State& state) {
   DependencySet sigma = BenchSigma();

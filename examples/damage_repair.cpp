@@ -39,8 +39,8 @@ int main() {
   if (!healthy.ok() || !damaged.ok()) return 1;
 
   EngineOptions options;
-  options.inverse.explain = true;
-  RecoveryEngine engine(std::move(*sigma), options);
+  options.algorithms.explain = true;
+  Engine engine(std::move(*sigma), options);
 
   std::printf("Damaged target (%zu tuples):\n  %s\n\n", damaged->size(),
               damaged->ToString().c_str());

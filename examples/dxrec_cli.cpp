@@ -48,7 +48,6 @@
 #include <string>
 
 #include "core/engine.h"
-#include "core/repair.h"
 #include "logic/io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
@@ -81,7 +80,9 @@ void PrintHelp() {
       "                                  (default every 1s)\n"
       "          --deadline=<secs>       wall-clock deadline per command\n"
       "          --degrade=on|off        degrade to sound answers on trips\n"
-      "                                  (default on)\n");
+      "                                  (default on)\n"
+      "          --threads=<n>           worker threads per engine\n"
+      "                                  (1 = sequential, 0 = hardware)\n");
 }
 
 class Shell {
@@ -116,7 +117,7 @@ class Shell {
         return true;
       }
       engine_ =
-          std::make_unique<RecoveryEngine>(std::move(*sigma), options_);
+          std::make_unique<Engine>(std::move(*sigma), options_);
       std::printf("mapping loaded (%zu tgds)\n", engine_->sigma().size());
     } else if (cmd == "loadtarget") {
       Result<Instance> target = LoadInstanceFile(rest);
@@ -136,7 +137,7 @@ class Shell {
         return true;
       }
       engine_ =
-          std::make_unique<RecoveryEngine>(std::move(*sigma), options_);
+          std::make_unique<Engine>(std::move(*sigma), options_);
       std::printf("mapping set (%zu tgds)\n", engine_->sigma().size());
     } else if (cmd == "set") {
       Set(rest);
@@ -228,9 +229,9 @@ class Shell {
         Report(sub.status());
       }
     } else if (cmd == "explain") {
-      EngineOptions explain_options;
-      explain_options.inverse.explain = true;
-      RecoveryEngine explainer(DependencySet(engine_->sigma()),
+      EngineOptions explain_options = options_;
+      explain_options.algorithms.explain = true;
+      Engine explainer(DependencySet(engine_->sigma()),
                                explain_options);
       Result<InverseChaseResult> result = explainer.Recover(target_);
       if (!result.ok()) {
@@ -245,8 +246,7 @@ class Shell {
                         .c_str());
       }
     } else if (cmd == "repair") {
-      Result<RepairResult> result =
-          RepairTarget(engine_->sigma(), target_);
+      Result<RepairResult> result = engine_->Repair(target_);
       if (!result.ok()) {
         Report(result.status());
         return true;
@@ -260,7 +260,7 @@ class Shell {
                     result->maximal_valid_subsets[i].ToString().c_str());
       }
     } else if (cmd == "greedyrepair") {
-      Result<Instance> repaired = GreedyRepair(engine_->sigma(), target_);
+      Result<Instance> repaired = engine_->RepairGreedy(target_);
       if (repaired.ok()) {
         std::printf("%s\n", repaired->ToString().c_str());
       } else {
@@ -300,13 +300,13 @@ class Shell {
     unsigned long long value =
         std::strtoull(rest.c_str() + space + 1, nullptr, 10);
     if (key == "cover_nodes") {
-      options_.inverse.cover.max_nodes = value;
+      options_.budgets.max_cover_nodes = value;
     } else if (key == "cover_covers") {
-      options_.inverse.cover.max_covers = value;
+      options_.budgets.max_covers = value;
     } else if (key == "max_recoveries") {
-      options_.inverse.max_recoveries = value;
+      options_.budgets.max_recoveries = value;
     } else if (key == "threads") {
-      options_.inverse.num_threads = value;
+      options_.parallel.threads = value;
     } else if (key == "deadline_ms") {
       options_.resilience.deadline_seconds =
           static_cast<double>(value) / 1000.0;
@@ -317,7 +317,7 @@ class Shell {
       return;
     }
     if (engine_) {
-      engine_ = std::make_unique<RecoveryEngine>(
+      engine_ = std::make_unique<Engine>(
           DependencySet(engine_->sigma()), options_);
     }
     std::printf("%s = %llu\n", key.c_str(), value);
@@ -327,7 +327,7 @@ class Shell {
     std::printf("error: %s\n", status.ToString().c_str());
   }
 
-  std::unique_ptr<RecoveryEngine> engine_;
+  std::unique_ptr<Engine> engine_;
   EngineOptions options_;
   Instance target_;
 };
@@ -357,6 +357,7 @@ int main(int argc, char** argv) {
   std::string progress_secs;
   std::string deadline_secs;
   std::string degrade;
+  std::string threads;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (MatchFlag(arg, "--trace", "dxrec_trace.json", &trace_path) ||
@@ -365,7 +366,8 @@ int main(int argc, char** argv) {
         MatchFlag(arg, "--events", "dxrec_events.jsonl", &events_path) ||
         MatchFlag(arg, "--progress", "1", &progress_secs) ||
         MatchFlag(arg, "--deadline", "0", &deadline_secs) ||
-        MatchFlag(arg, "--degrade", "on", &degrade)) {
+        MatchFlag(arg, "--degrade", "on", &degrade) ||
+        MatchFlag(arg, "--threads", "0", &threads)) {
       continue;
     }
     if (arg == "--help" || arg == "-h") {
@@ -394,6 +396,9 @@ int main(int argc, char** argv) {
   }
   if (!degrade.empty()) {
     options.resilience.degrade = (degrade == "on" || degrade == "1");
+  }
+  if (!threads.empty()) {
+    options.parallel.threads = std::strtoull(threads.c_str(), nullptr, 10);
   }
   Shell(std::move(options)).Run();
 

@@ -31,7 +31,7 @@ int main() {
   std::printf("Migrated database J:\n  %s\n\n",
               target->ToString().c_str());
 
-  RecoveryEngine engine(std::move(sigma));
+  Engine engine(std::move(sigma));
 
   Result<TractabilityReport> report = engine.Analyze(*target);
   if (!report.ok()) {

@@ -4,7 +4,7 @@
 //
 // Defines the mapping Sigma = {xi, rho, sigma}, the target J, and walks
 // through HOM, COV, SUB, Chase^{-1}, and certain answers using the public
-// RecoveryEngine API.
+// Engine API.
 #include <cstdio>
 
 #include "core/engine.h"
@@ -38,7 +38,7 @@ int main() {
   std::printf("Mapping Sigma:\n%s\n", sigma->ToString().c_str());
   std::printf("Target J = %s\n\n", target->ToString().c_str());
 
-  RecoveryEngine engine(std::move(*sigma));
+  Engine engine(std::move(*sigma));
 
   // Is J valid for recovery at all (Thm. 3's decision problem)?
   Result<bool> valid = engine.IsValid(*target);

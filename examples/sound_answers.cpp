@@ -25,7 +25,7 @@ int main() {
   Instance target = OverlapScenario::Target(40, 40);
   std::printf("|J| = %zu target tuples\n\n", target.size());
 
-  RecoveryEngine engine(std::move(sigma));
+  Engine engine(std::move(sigma));
 
   Stopwatch sw;
   Result<SubUniversalResult> sub = engine.SubUniversal(target);

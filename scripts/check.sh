@@ -12,10 +12,17 @@
 # fault-injection sweep under ASan (scripts/fault_sweep.sh) and a ~30s
 # parser-fuzz corpus smoke (docs/ROBUSTNESS.md).
 #
+# With DXREC_CHECK_TSAN=1, additionally runs a focused ThreadSanitizer
+# pass (repeated runs of just the concurrency-sensitive tests) on top of
+# whatever presets were requested — cheap enough to use while iterating
+# on the pool or the parallel inverse chase without a full tsan suite.
+#
 # Also enforces source-level invariants (budget failures must go through
 # obs::BudgetExhausted) and, with DXREC_CHECK_BENCH=1, records a
 # bench_e8 perf snapshot under bench_history/ and diffs it against the
-# previous snapshot via scripts/bench_diff.py (warn-only).
+# previous snapshot via scripts/bench_diff.py (warn-only). The same
+# stage gates the parallel engine: the snapshot's threads=1 vs threads=N
+# rows must reach DXREC_BENCH_MIN_SPEEDUP (default 2.5x, 0 to skip).
 #
 # Usage: scripts/check.sh [default|asan|tsan ...]
 # With no arguments, runs all three. Requires cmake >= 3.24 (presets).
@@ -54,6 +61,20 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] ctest ==="
   ctest --preset "$preset" -j "$jobs"
 done
+
+# Focused TSan pass (opt-in). The full tsan preset above already runs
+# the whole suite; this stage instead hammers the concurrency-sensitive
+# tests (pool, parallel engine, obs collectors, fault sweep) with
+# several repetitions, which is where scheduling-dependent races
+# actually surface. Usable on its own: scripts/check.sh default with
+# DXREC_CHECK_TSAN=1 builds the tsan preset here if needed.
+if [ "${DXREC_CHECK_TSAN:-0}" = "1" ]; then
+  echo "=== focused tsan pass (concurrency tests, 3 repetitions) ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan -j "$jobs" --repeat until-fail:3 \
+      -R 'thread_pool_test|parallel_engine_test|fault_sweep_test|obs_events_test|resilience_test'
+fi
 
 # Robustness sweep (opt-in: needs the asan preset built). Runs the
 # deterministic fault-injection sweep under ASan and replays the fuzzer
@@ -104,6 +125,24 @@ if [ "${DXREC_CHECK_BENCH:-0}" = "1" ]; then
     python3 scripts/bench_diff.py --warn-only "$prev" "$snap"
   else
     echo "first snapshot recorded at $snap (nothing to diff)"
+  fi
+  # Parallel-engine gate: the snapshot's own threads=1 vs threads=N rows
+  # (interleaved in one binary run, so A/B share machine state) must show
+  # real speedup. Hard-fails, unlike the history diff above, because a
+  # lost speedup means the parallel path silently degraded to sequential.
+  # Needs real cores: on a box with fewer than 4 the target is physically
+  # unreachable, so report the ratios without gating.
+  min_speedup="${DXREC_BENCH_MIN_SPEEDUP:-2.5}"
+  if [ "$min_speedup" != "0" ]; then
+    echo "--- bench_diff --speedup (min ${min_speedup}x) ---"
+    if [ "$jobs" -ge 4 ]; then
+      python3 scripts/bench_diff.py --speedup \
+          --min-speedup "$min_speedup" "$snap"
+    else
+      echo "only $jobs core(s) available; reporting speedups warn-only"
+      python3 scripts/bench_diff.py --speedup --warn-only \
+          --min-speedup "$min_speedup" "$snap"
+    fi
   fi
 fi
 

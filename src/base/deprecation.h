@@ -1,0 +1,17 @@
+// Deprecation markers for the one-PR migration window of API redesigns.
+//
+// DXREC_DEPRECATED(msg) expands to [[deprecated(msg)]] so external call
+// sites get a compiler nudge toward the replacement. Code that must keep
+// compiling against the old names warning-free during the window (the
+// dxrec library itself, tests, benches) defines DXREC_ALLOW_DEPRECATED
+// and the marker disappears.
+#ifndef DXREC_BASE_DEPRECATION_H_
+#define DXREC_BASE_DEPRECATION_H_
+
+#if defined(DXREC_ALLOW_DEPRECATED)
+#define DXREC_DEPRECATED(msg)
+#else
+#define DXREC_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+#endif  // DXREC_BASE_DEPRECATION_H_

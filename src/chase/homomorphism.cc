@@ -1,5 +1,7 @@
 #include "chase/homomorphism.h"
 
+#include <algorithm>
+#include <iterator>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -9,10 +11,36 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "resilience/execution_context.h"
+#include "util/thread_pool.h"
 
 namespace dxrec {
 
 namespace {
+
+// One search's worth of tallies flushed to the metrics registry. Shared
+// by the sequential Matcher and the parallel driver (which aggregates
+// its chunks into a single logical search before flushing).
+void FlushSearchCounters(uint64_t candidates_tried, uint64_t backtracks,
+                         uint64_t results, bool truncated) {
+  if (truncated && obs::EventsEnabled()) {
+    obs::Emit("homs.truncated",
+              {{"results", static_cast<int64_t>(results)}});
+  }
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* searches = registry.GetCounter("hom.searches");
+  static obs::Counter* candidates =
+      registry.GetCounter("hom.candidates_tried");
+  static obs::Counter* backtracks_counter =
+      registry.GetCounter("hom.backtracks");
+  static obs::Counter* results_counter = registry.GetCounter("hom.results");
+  static obs::Counter* truncations = registry.GetCounter("hom.truncated");
+  searches->Add(1);
+  candidates->Add(candidates_tried);
+  backtracks_counter->Add(backtracks);
+  results_counter->Add(results);
+  if (truncated) truncations->Add(1);
+}
 
 // Backtracking matcher over a greedily chosen atom ordering with
 // index-driven candidate selection.
@@ -27,56 +55,83 @@ class Matcher {
         callback_(callback) {}
 
   void Run() {
-    // Seed bindings from options.fixed for placeholders in the pattern.
-    for (const Atom& a : pattern_) {
-      for (Term t : a.args()) {
-        if (!IsPlaceholder(t) || binding_.count(t) > 0) continue;
-        if (options_.fixed.Binds(t)) {
-          if (!TryBind(t, options_.fixed.Apply(t))) {
-            FlushCounters();
-            return;
-          }
-        }
-      }
+    if (!SeedFixed()) {
+      FlushCounters();
+      return;
     }
     order_ = ChooseOrder();
     Recurse(0);
     FlushCounters();
   }
 
+  // Parallel-driver entry points. Both run quiet: no counter flush or
+  // telemetry from this matcher; the driver aggregates across chunks so
+  // the whole fan-out still reads as one logical search.
+  //
+  // Seeds fixed bindings, fixes the atom order, and copies out the root
+  // candidate list Recurse(0) would scan. False when a fixed binding is
+  // inadmissible (the search has no results).
+  bool PlanRoot(std::vector<uint32_t>* roots) {
+    quiet_ = true;
+    if (!SeedFixed()) return false;
+    order_ = ChooseOrder();
+    *roots = *CandidatesFor(0);
+    return true;
+  }
+
+  // Explores only the given slice of root candidates (a contiguous run
+  // of PlanRoot's list, so slice-order concatenation across chunks
+  // reproduces the sequential enumeration order).
+  void RunChunk(const std::vector<uint32_t>& root_slice) {
+    quiet_ = true;
+    if (!SeedFixed()) return;
+    order_ = ChooseOrder();
+    root_slice_ = &root_slice;
+    Recurse(0);
+  }
+
+  uint64_t candidates_tried() const { return candidates_tried_; }
+  uint64_t backtracks() const { return backtracks_; }
+  size_t results() const { return results_; }
+  bool truncated() const { return truncated_; }
+
  private:
   bool IsPlaceholder(Term t) const {
     return t.is_variable() || (options_.map_nulls && t.is_null());
+  }
+
+  // Seeds bindings from options.fixed for placeholders occurring in the
+  // pattern; false when a seed is inadmissible (no results possible).
+  bool SeedFixed() {
+    for (const Atom& a : pattern_) {
+      for (Term t : a.args()) {
+        if (!IsPlaceholder(t) || binding_.count(t) > 0) continue;
+        if (options_.fixed.Binds(t) &&
+            !TryBind(t, options_.fixed.Apply(t))) {
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
   // Local tallies are kept unconditionally (an increment is noise next to
   // the per-candidate map work) and flushed to the registry only when
   // observability is on, so the disabled path stays counter-free.
   void FlushCounters() const {
-    if (truncated_ && obs::EventsEnabled()) {
-      obs::Emit("homs.truncated",
-                {{"results", static_cast<int64_t>(results_)}});
-    }
-    if (!obs::Enabled()) return;
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-    static obs::Counter* searches = registry.GetCounter("hom.searches");
-    static obs::Counter* candidates =
-        registry.GetCounter("hom.candidates_tried");
-    static obs::Counter* backtracks = registry.GetCounter("hom.backtracks");
-    static obs::Counter* results = registry.GetCounter("hom.results");
-    static obs::Counter* truncations = registry.GetCounter("hom.truncated");
-    searches->Add(1);
-    candidates->Add(candidates_tried_);
-    backtracks->Add(backtracks_);
-    results->Add(results_);
-    if (truncated_) truncations->Add(1);
+    FlushSearchCounters(candidates_tried_, backtracks_, results_,
+                        truncated_);
   }
 
   // Rare-path pulse: progress work units and, even less often, a search
-  // milestone event. Called every 2^16 candidates.
+  // milestone event. Called every 2^16 candidates. Chunk matchers keep
+  // the progress pulse (the watchdog must see parallel work) but skip
+  // the milestone — a per-chunk candidate count is not the sequential
+  // search's cadence, and emitting it would make event streams depend
+  // on the chunking.
   void Pulse() const {
     if (obs::ProgressActive()) obs::NoteWork(1u << 16);
-    if (obs::EventsEnabled() &&
+    if (!quiet_ && obs::EventsEnabled() &&
         (candidates_tried_ & ((1u << 20) - 1)) == 0) {
       obs::Emit("hom.milestone",
                 {{"candidates", static_cast<int64_t>(candidates_tried_)},
@@ -150,6 +205,28 @@ class Matcher {
     return it == binding_.end() ? Term() : it->second;
   }
 
+  // Candidate tuples for the atom at order_[depth]: the tightest index
+  // among bound positions, else the whole relation.
+  const std::vector<uint32_t>* CandidatesFor(size_t depth) const {
+    const Atom& atom = pattern_[order_[depth]];
+    const std::vector<uint32_t>* candidates = nullptr;
+    if (options_.use_index) {
+      for (uint32_t pos = 0; pos < atom.arity(); ++pos) {
+        Term image = ImageOf(atom.arg(pos));
+        if (!image.is_valid()) continue;
+        const std::vector<uint32_t>& list =
+            target_.AtomsWith(atom.relation(), pos, image);
+        if (candidates == nullptr || list.size() < candidates->size()) {
+          candidates = &list;
+        }
+      }
+    }
+    if (candidates == nullptr) {
+      candidates = &target_.AtomsFor(atom.relation());
+    }
+    return candidates;
+  }
+
   void Recurse(size_t depth) {
     if (stopped_) return;
     if (depth == pattern_.size()) {
@@ -167,24 +244,9 @@ class Matcher {
       return;
     }
     const Atom& atom = pattern_[order_[depth]];
-
-    // Candidate tuples: the tightest index among bound positions, else the
-    // whole relation.
-    const std::vector<uint32_t>* candidates = nullptr;
-    if (options_.use_index) {
-      for (uint32_t pos = 0; pos < atom.arity(); ++pos) {
-        Term image = ImageOf(atom.arg(pos));
-        if (!image.is_valid()) continue;
-        const std::vector<uint32_t>& list =
-            target_.AtomsWith(atom.relation(), pos, image);
-        if (candidates == nullptr || list.size() < candidates->size()) {
-          candidates = &list;
-        }
-      }
-    }
-    if (candidates == nullptr) {
-      candidates = &target_.AtomsFor(atom.relation());
-    }
+    const std::vector<uint32_t>* candidates =
+        (depth == 0 && root_slice_ != nullptr) ? root_slice_
+                                               : CandidatesFor(depth);
 
     for (uint32_t idx : *candidates) {
       const Atom& tuple = target_.atoms()[idx];
@@ -197,6 +259,15 @@ class Matcher {
         // may be missing — exactly the max_results contract.
         if (options_.context != nullptr &&
             options_.context->Check() != resilience::StopCause::kNone) {
+          stopped_ = true;
+          truncated_ = true;
+          return;
+        }
+        // Shared cross-search work budget: draw the next batch of
+        // candidates; a dry pool also truncates.
+        if (options_.shared_budget != nullptr &&
+            !options_.shared_budget->TryConsume(
+                obs::SharedBudget::kBatch)) {
           stopped_ = true;
           truncated_ = true;
           return;
@@ -234,6 +305,8 @@ class Matcher {
   const std::function<bool(const Substitution&)>& callback_;
 
   std::vector<size_t> order_;
+  const std::vector<uint32_t>* root_slice_ = nullptr;
+  bool quiet_ = false;  // chunk mode: driver owns telemetry
   std::unordered_map<Term, Term, TermHash> binding_;
   std::unordered_set<Term, TermHash> used_images_;
   size_t results_ = 0;
@@ -242,6 +315,76 @@ class Matcher {
   bool stopped_ = false;
   bool truncated_ = false;  // stopped by max_results, not by the caller
 };
+
+// Fans the search out over contiguous slices of the root candidate
+// list. Each chunk is a full sequential search below its slice (same
+// atom order, same per-chunk max_results cap), so concatenating chunk
+// results in slice order and trimming to max_results reproduces the
+// sequential result list byte for byte — regardless of the chunk count,
+// which is why it may depend on the thread count. Only the internal
+// work tallies (candidates tried past a cap) can differ, and only on
+// truncated searches.
+HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
+                               const Instance& target,
+                               const HomSearchOptions& options,
+                               const std::vector<uint32_t>& roots) {
+  util::ThreadPool* pool = options.pool;
+  const size_t num_chunks =
+      std::min(roots.size(), (pool->num_threads() + 1) * 4);
+  std::vector<std::vector<uint32_t>> slices(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = roots.size() * c / num_chunks;
+    const size_t hi = roots.size() * (c + 1) / num_chunks;
+    slices[c].assign(roots.begin() + lo, roots.begin() + hi);
+  }
+
+  struct ChunkResult {
+    std::vector<Substitution> homs;
+    uint64_t candidates_tried = 0;
+    uint64_t backtracks = 0;
+    bool truncated = false;
+  };
+  std::vector<ChunkResult> chunks(num_chunks);
+  target.WarmIndex();  // concurrent readers need the index pre-built
+  {
+    util::TaskGroup group(pool, options.context);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      group.Run([&pattern, &target, &options, &slices, &chunks, c] {
+        ChunkResult& chunk = chunks[c];
+        const std::function<bool(const Substitution&)> collect =
+            [&chunk](const Substitution& h) {
+              chunk.homs.push_back(h);
+              return true;
+            };
+        Matcher matcher(pattern, target, options, collect);
+        matcher.RunChunk(slices[c]);
+        chunk.candidates_tried = matcher.candidates_tried();
+        chunk.backtracks = matcher.backtracks();
+        chunk.truncated = matcher.truncated();
+      });
+    }
+  }
+
+  HomSearchResult out;
+  uint64_t candidates_tried = 0;
+  uint64_t backtracks = 0;
+  for (ChunkResult& chunk : chunks) {
+    candidates_tried += chunk.candidates_tried;
+    backtracks += chunk.backtracks;
+    out.truncated = out.truncated || chunk.truncated;
+    if (out.homs.size() < options.max_results) {
+      const size_t room = options.max_results - out.homs.size();
+      const size_t take = std::min(room, chunk.homs.size());
+      out.homs.insert(out.homs.end(),
+                      std::make_move_iterator(chunk.homs.begin()),
+                      std::make_move_iterator(chunk.homs.begin() + take));
+    }
+  }
+  if (out.homs.size() >= options.max_results) out.truncated = true;
+  FlushSearchCounters(candidates_tried, backtracks, out.homs.size(),
+                      out.truncated);
+  return out;
+}
 
 }  // namespace
 
@@ -252,16 +395,39 @@ void ForEachHomomorphism(
   Matcher(pattern, target, options, callback).Run();
 }
 
+HomSearchResult FindHomomorphismsChecked(const std::vector<Atom>& pattern,
+                                         const Instance& target,
+                                         const HomSearchOptions& options) {
+  const std::function<bool(const Substitution&)> no_op =
+      [](const Substitution&) { return true; };
+  if (options.pool != nullptr && options.pool->num_threads() > 0 &&
+      !pattern.empty()) {
+    // Probe: seed + order + root candidate list, no search yet.
+    std::vector<uint32_t> roots;
+    Matcher probe(pattern, target, options, no_op);
+    if (probe.PlanRoot(&roots) &&
+        roots.size() >= options.parallel_min_candidates) {
+      return SearchParallel(pattern, target, options, roots);
+    }
+    // Conflicting seed or a small root set: fall through to the
+    // sequential search (which redoes the cheap seeding).
+  }
+  HomSearchResult out;
+  const std::function<bool(const Substitution&)> collect =
+      [&out](const Substitution& h) {
+        out.homs.push_back(h);
+        return true;
+      };
+  Matcher matcher(pattern, target, options, collect);
+  matcher.Run();
+  out.truncated = matcher.truncated();
+  return out;
+}
+
 std::vector<Substitution> FindHomomorphisms(const std::vector<Atom>& pattern,
                                             const Instance& target,
                                             const HomSearchOptions& options) {
-  std::vector<Substitution> out;
-  ForEachHomomorphism(pattern, target, options,
-                      [&out](const Substitution& h) {
-                        out.push_back(h);
-                        return true;
-                      });
-  return out;
+  return FindHomomorphismsChecked(pattern, target, options).homs;
 }
 
 std::optional<Substitution> FindHomomorphism(

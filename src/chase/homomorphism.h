@@ -20,6 +20,14 @@ namespace resilience {
 class ExecutionContext;
 }  // namespace resilience
 
+namespace obs {
+class SharedBudget;
+}  // namespace obs
+
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 struct HomSearchOptions {
   // Treat nulls in the pattern as mappable placeholders (used when the
   // pattern is itself an instance). Variables are always placeholders;
@@ -42,12 +50,37 @@ struct HomSearchOptions {
   // cadence (every 2^16 candidates). A trip stops the search as a
   // truncation (the partial result set is still sound). Not owned.
   const resilience::ExecutionContext* context = nullptr;
+  // Optional pool for FindHomomorphismsChecked/FindHomomorphisms: when
+  // the root atom has at least `parallel_min_candidates` candidate
+  // tuples, the search fans out over contiguous root slices and merges
+  // in slice order, reproducing the sequential result list exactly
+  // (docs/PARALLELISM.md). Not owned; null keeps the search sequential.
+  util::ThreadPool* pool = nullptr;
+  size_t parallel_min_candidates = 1024;
+  // Optional cross-search work budget, drawn in kBatch units at the
+  // pulse cadence; running dry truncates the search. Not owned.
+  obs::SharedBudget* shared_budget = nullptr;
+};
+
+// Result set plus an honest completeness bit: `truncated` is set when
+// the search stopped at max_results, a context trip, or a dry shared
+// budget — i.e. whenever `homs` may be a strict subset of all results.
+struct HomSearchResult {
+  std::vector<Substitution> homs;
+  bool truncated = false;
 };
 
 // All homomorphisms from the pattern atoms into `target`. Each result binds
 // exactly the placeholders occurring in the pattern (pre-bindings from
 // `options.fixed` included when the placeholder occurs).
 std::vector<Substitution> FindHomomorphisms(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options = HomSearchOptions());
+
+// FindHomomorphisms with the truncated-vs-complete status exposed, so a
+// caller capping via max_results can tell "that's all" from "that's the
+// cap". This is the entry point that honors options.pool.
+HomSearchResult FindHomomorphismsChecked(
     const std::vector<Atom>& pattern, const Instance& target,
     const HomSearchOptions& options = HomSearchOptions());
 

@@ -19,6 +19,7 @@
 #ifndef DXREC_CORE_CQ_SUBUNIVERSAL_H_
 #define DXREC_CORE_CQ_SUBUNIVERSAL_H_
 
+#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/cover.h"
@@ -47,11 +48,13 @@ struct SubUniversalResult {
   size_t num_classes = 0;  // after the equivalence-class reduction
 };
 
+DXREC_DEPRECATED("use dxrec::Engine::SubUniversal")
 Result<SubUniversalResult> ComputeCqSubUniversal(
     const DependencySet& sigma, const Instance& target,
     const SubUniversalOptions& options = SubUniversalOptions());
 
 // Sound certain answers for a source CQ via I_{Sigma,J} (Thm. 9).
+DXREC_DEPRECATED("use dxrec::Engine::SoundCqAnswers")
 Result<AnswerSet> SoundCqAnswers(
     const ConjunctiveQuery& query, const DependencySet& sigma,
     const Instance& target,

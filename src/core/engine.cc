@@ -23,59 +23,156 @@ const resilience::ExecutionContext* Arm(const ResilienceOptions& r,
 
 }  // namespace
 
-Status RecoveryEngine::Validate() const {
+InverseChaseOptions EngineOptions::ToInverseChaseOptions(
+    const resilience::ExecutionContext* context,
+    util::ThreadPool* pool) const {
+  InverseChaseOptions o;
+  o.cover.max_covers = budgets.max_covers;
+  o.cover.max_nodes = budgets.max_cover_nodes;
+  o.cover.context = context;
+  o.subsumption = ToSubsumptionOptions(context);
+  o.use_subsumption_filter = algorithms.use_subsumption_filter;
+  o.minimal_covers_only = algorithms.minimal_covers_only;
+  o.max_recoveries = budgets.max_recoveries;
+  o.max_g_homs_per_cover = budgets.max_g_homs_per_cover;
+  o.max_cover_work = budgets.max_cover_work;
+  o.dedup_isomorphic = algorithms.dedup_isomorphic;
+  o.core_recoveries = algorithms.core_recoveries;
+  o.explain = algorithms.explain;
+  o.num_threads = parallel.threads;
+  o.pool = pool;
+  o.parallel_min_candidates = parallel.min_root_candidates;
+  o.context = context;
+  return o;
+}
+
+SubsumptionOptions EngineOptions::ToSubsumptionOptions(
+    const resilience::ExecutionContext* context) const {
+  SubsumptionOptions o;
+  o.max_premises = budgets.max_sub_premises;
+  o.max_constraints = budgets.max_sub_constraints;
+  o.max_nodes = budgets.max_sub_nodes;
+  o.context = context;
+  return o;
+}
+
+SubUniversalOptions EngineOptions::ToSubUniversalOptions(
+    const resilience::ExecutionContext* context) const {
+  SubUniversalOptions o;
+  o.cover.max_covers = budgets.max_covers;
+  o.cover.max_nodes = budgets.max_cover_nodes;
+  o.cover.context = context;
+  o.filter_covers_by_subsumption = algorithms.subuniversal_sub_filter;
+  o.subsumption = ToSubsumptionOptions(context);
+  return o;
+}
+
+MaxRecoveryOptions EngineOptions::ToMaxRecoveryOptions(
+    const resilience::ExecutionContext* context) const {
+  MaxRecoveryOptions o;
+  o.max_subset_size = budgets.max_recovery_subset_size;
+  o.max_nodes = budgets.max_recovery_nodes;
+  o.context = context;
+  return o;
+}
+
+RepairOptions EngineOptions::ToRepairOptions(
+    const resilience::ExecutionContext* context,
+    util::ThreadPool* pool) const {
+  RepairOptions o;
+  o.max_validity_checks = budgets.max_validity_checks;
+  o.max_repairs = budgets.max_repairs;
+  o.inverse = ToInverseChaseOptions(context, pool);
+  return o;
+}
+
+EngineOptions LegacyEngineOptions::ToEngineOptions() const {
+  EngineOptions o;
+  o.budgets.max_covers = inverse.cover.max_covers;
+  o.budgets.max_cover_nodes = inverse.cover.max_nodes;
+  o.budgets.max_sub_premises = inverse.subsumption.max_premises;
+  o.budgets.max_sub_constraints = inverse.subsumption.max_constraints;
+  o.budgets.max_sub_nodes = inverse.subsumption.max_nodes;
+  o.budgets.max_recoveries = inverse.max_recoveries;
+  o.budgets.max_g_homs_per_cover = inverse.max_g_homs_per_cover;
+  o.budgets.max_cover_work = inverse.max_cover_work;
+  o.budgets.max_recovery_subset_size = max_recovery.max_subset_size;
+  o.budgets.max_recovery_nodes = max_recovery.max_nodes;
+  o.algorithms.use_subsumption_filter = inverse.use_subsumption_filter;
+  o.algorithms.minimal_covers_only = inverse.minimal_covers_only;
+  o.algorithms.dedup_isomorphic = inverse.dedup_isomorphic;
+  o.algorithms.core_recoveries = inverse.core_recoveries;
+  o.algorithms.explain = inverse.explain;
+  o.algorithms.subuniversal_sub_filter =
+      sub_universal.filter_covers_by_subsumption;
+  o.parallel.threads = inverse.num_threads;
+  o.parallel.min_root_candidates = inverse.parallel_min_candidates;
+  o.obs = obs;
+  o.resilience = resilience;
+  return o;
+}
+
+Status Engine::Validate() const {
   Result<MappingSchema> schema = sigma_.InferSchema();
   if (!schema.ok()) return schema.status();
   return schema->Validate();
 }
 
-Result<InverseChaseResult> RecoveryEngine::Recover(
-    const Instance& target) const {
+Result<InverseChaseResult> Engine::Recover(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  InverseChaseOptions options = options_.inverse;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
   // Pass-through keeps the full Status — in particular the BudgetInfo
   // payload of ResourceExhausted trips (see EngineBudget* tests).
   return InverseChase(sigma_, target, options);
 }
 
-Result<bool> RecoveryEngine::IsValid(const Instance& target) const {
+Result<bool> Engine::IsValid(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  InverseChaseOptions options = options_.inverse;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
   return IsValidForRecovery(sigma_, target, options);
 }
 
-Result<AnswerSet> RecoveryEngine::CertainAnswers(
+Result<bool> Engine::IsUniversalForSomeSource(const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
+  return IsUniversalSolutionForSomeSource(sigma_, target, options);
+}
+
+Result<bool> Engine::IsCanonicalForSomeSource(const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
+  return IsCanonicalSolutionForSomeSource(sigma_, target, options);
+}
+
+Result<AnswerSet> Engine::CertainAnswers(const UnionQuery& query,
+                                         const Instance& target) const {
+  obs::ProgressScope progress(options_.obs.progress_seconds,
+                              options_.obs.progress_stderr);
+  resilience::ExecutionContext ctx;
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
+  return dxrec::CertainAnswers(query, sigma_, target, options);
+}
+
+Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
     const UnionQuery& query, const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  InverseChaseOptions options = options_.inverse;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
-  return dxrec::CertainAnswers(query, sigma_, target, options);
-}
-
-Result<resilience::Degraded<AnswerSet>>
-RecoveryEngine::CertainAnswersDegraded(const UnionQuery& query,
-                                       const Instance& target) const {
-  obs::ProgressScope progress(options_.obs.progress_seconds,
-                              options_.obs.progress_stderr);
-  resilience::ExecutionContext ctx;
-  InverseChaseOptions options = options_.inverse;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
   Result<AnswerSet> exact =
       dxrec::CertainAnswers(query, sigma_, target, options);
   resilience::Degraded<AnswerSet> out;
@@ -99,11 +196,8 @@ RecoveryEngine::CertainAnswersDegraded(const UnionQuery& query,
   // the UCQ (a null-free answer of one disjunct over I_{Sigma,J} is an
   // answer of that disjunct, hence of Q, over every recovery). This rung
   // is budgeted on its own; a trip here just leaves the rung-2 answers.
-  SubUniversalOptions sub = options_.sub_universal;
-  sub.cover.context = nullptr;
-  sub.subsumption.context = nullptr;
-  Result<SubUniversalResult> sub_universal =
-      ComputeCqSubUniversal(sigma_, target, sub);
+  Result<SubUniversalResult> sub_universal = ComputeCqSubUniversal(
+      sigma_, target, options_.ToSubUniversalOptions(nullptr));
   if (sub_universal.ok()) {
     size_t before = out.value.size();
     AnswerSet cq_answers = EvaluateNullFree(query, sub_universal->instance);
@@ -114,15 +208,13 @@ RecoveryEngine::CertainAnswersDegraded(const UnionQuery& query,
   return out;
 }
 
-Result<resilience::Degraded<InverseChaseResult>>
-RecoveryEngine::RecoverDegraded(const Instance& target) const {
+Result<resilience::Degraded<InverseChaseResult>> Engine::RecoverDegraded(
+    const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  InverseChaseOptions options = options_.inverse;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
+  InverseChaseOptions options = options_.ToInverseChaseOptions(
+      Arm(options_.resilience, &ctx), pool_.get());
   resilience::Degraded<InverseChaseResult> out;
   Status interrupt;
   out.value = InverseChasePartial(sigma_, target, options, &interrupt);
@@ -138,104 +230,77 @@ RecoveryEngine::RecoverDegraded(const Instance& target) const {
   return out;
 }
 
-Result<TractabilityReport> RecoveryEngine::Analyze(
-    const Instance& target) const {
+Result<TractabilityReport> Engine::Analyze(const Instance& target) const {
   resilience::ExecutionContext ctx;
-  SubsumptionOptions options = options_.inverse.subsumption;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
-  return AnalyzeTractability(sigma_, target, options);
+  return AnalyzeTractability(
+      sigma_, target,
+      options_.ToSubsumptionOptions(Arm(options_.resilience, &ctx)));
 }
 
-Result<Instance> RecoveryEngine::CompleteUcqRecovery(
-    const Instance& target) const {
+Result<Instance> Engine::CompleteUcqRecovery(const Instance& target) const {
   resilience::ExecutionContext ctx;
-  SubsumptionOptions options = options_.inverse.subsumption;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
-  return dxrec::CompleteUcqRecovery(sigma_, target, options);
+  return dxrec::CompleteUcqRecovery(
+      sigma_, target,
+      options_.ToSubsumptionOptions(Arm(options_.resilience, &ctx)));
 }
 
-AnswerSet RecoveryEngine::SoundUcqAnswers(const UnionQuery& query,
-                                          const Instance& target) const {
+AnswerSet Engine::SoundUcqAnswers(const UnionQuery& query,
+                                  const Instance& target) const {
   return dxrec::SoundUcqAnswers(query, sigma_, target);
 }
 
-Result<SubUniversalResult> RecoveryEngine::SubUniversal(
-    const Instance& target) const {
+Result<SubUniversalResult> Engine::SubUniversal(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  SubUniversalOptions options = options_.sub_universal;
-  const resilience::ExecutionContext* armed = Arm(options_.resilience, &ctx);
-  if (options.cover.context == nullptr) options.cover.context = armed;
-  if (options.subsumption.context == nullptr) {
-    options.subsumption.context = armed;
-  }
-  return ComputeCqSubUniversal(sigma_, target, options);
+  return ComputeCqSubUniversal(
+      sigma_, target,
+      options_.ToSubUniversalOptions(Arm(options_.resilience, &ctx)));
 }
 
-Result<AnswerSet> RecoveryEngine::SoundCqAnswers(
-    const ConjunctiveQuery& query, const Instance& target) const {
+Result<AnswerSet> Engine::SoundCqAnswers(const ConjunctiveQuery& query,
+                                         const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  SubUniversalOptions options = options_.sub_universal;
-  const resilience::ExecutionContext* armed = Arm(options_.resilience, &ctx);
-  if (options.cover.context == nullptr) options.cover.context = armed;
-  if (options.subsumption.context == nullptr) {
-    options.subsumption.context = armed;
-  }
-  return dxrec::SoundCqAnswers(query, sigma_, target, options);
+  return dxrec::SoundCqAnswers(
+      query, sigma_, target,
+      options_.ToSubUniversalOptions(Arm(options_.resilience, &ctx)));
 }
 
-Result<DependencySet> RecoveryEngine::MaximumRecoveryMapping() const {
+Result<DependencySet> Engine::MaximumRecoveryMapping() const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  MaxRecoveryOptions options = options_.max_recovery;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
-  return CqMaximumRecoveryMapping(sigma_, options);
+  return CqMaximumRecoveryMapping(
+      sigma_, options_.ToMaxRecoveryOptions(Arm(options_.resilience, &ctx)));
 }
 
-Result<Instance> RecoveryEngine::BaselineRecoveredSource(
-    const Instance& target) const {
+Result<Instance> Engine::BaselineRecoveredSource(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  MaxRecoveryOptions options = options_.max_recovery;
-  if (options.context == nullptr) {
-    options.context = Arm(options_.resilience, &ctx);
-  }
-  return MaxRecoveryChase(sigma_, target, options);
+  return MaxRecoveryChase(
+      sigma_, target,
+      options_.ToMaxRecoveryOptions(Arm(options_.resilience, &ctx)));
 }
 
-Result<RepairResult> RecoveryEngine::Repair(const Instance& target) const {
+Result<RepairResult> Engine::Repair(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  RepairOptions options;
-  options.inverse = options_.inverse;
-  if (options.inverse.context == nullptr) {
-    options.inverse.context = Arm(options_.resilience, &ctx);
-  }
-  return RepairTarget(sigma_, target, options);
+  return RepairTarget(sigma_, target,
+                      options_.ToRepairOptions(Arm(options_.resilience, &ctx),
+                                               pool_.get()));
 }
 
-Result<Instance> RecoveryEngine::RepairGreedy(const Instance& target) const {
+Result<Instance> Engine::RepairGreedy(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  RepairOptions options;
-  options.inverse = options_.inverse;
-  if (options.inverse.context == nullptr) {
-    options.inverse.context = Arm(options_.resilience, &ctx);
-  }
-  return GreedyRepair(sigma_, target, options);
+  return GreedyRepair(sigma_, target,
+                      options_.ToRepairOptions(Arm(options_.resilience, &ctx),
+                                               pool_.get()));
 }
 
 }  // namespace dxrec

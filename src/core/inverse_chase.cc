@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
-#include <thread>
 #include <unordered_set>
 
 #include "base/fresh.h"
@@ -20,6 +20,7 @@
 #include "relational/instance_ops.h"
 #include "resilience/execution_context.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace dxrec {
 
@@ -27,17 +28,25 @@ namespace {
 
 // Homomorphisms g : chased -> target that are the identity on dom(target).
 // Constants are fixed automatically; target-owned nulls are pre-pinned.
-std::vector<Substitution> BackHomomorphisms(
-    const Instance& chased, const Instance& target, size_t max_results,
-    const resilience::ExecutionContext* context) {
+// With a pool, large candidate sets fan out over root slices; the result
+// list is identical either way.
+HomSearchResult BackHomomorphisms(const Instance& chased,
+                                  const Instance& target, size_t max_results,
+                                  const resilience::ExecutionContext* context,
+                                  util::ThreadPool* pool,
+                                  size_t parallel_min_candidates,
+                                  obs::SharedBudget* shared_budget) {
   HomSearchOptions options;
   options.map_nulls = true;
   options.max_results = max_results;
   options.context = context;
+  options.pool = pool;
+  options.parallel_min_candidates = parallel_min_candidates;
+  options.shared_budget = shared_budget;
   for (Term t : target.TermsOfKind(TermKind::kNull)) {
     options.fixed.Set(t, t);
   }
-  return FindHomomorphisms(chased.atoms(), target, options);
+  return FindHomomorphismsChecked(chased.atoms(), target, options);
 }
 
 // A verified recovery candidate produced from one (cover, g) pair.
@@ -48,12 +57,19 @@ struct VerifiedCandidate {
   std::optional<RecoveryExplanation> explanation;
 };
 
+// Why a cover's g-homomorphism enumeration stopped early, if it did.
+enum class GHomTruncation { kNone, kPerCoverCap, kSharedBudget };
+
 // Per-cover statistics (merged into InverseChaseStats).
 struct CoverOutcome {
   // First deadline/cancellation/injected failure hit while processing
   // this cover (Ok = clean). Candidates verified before the trip are kept.
   Status interrupt;
   bool passed_sub = false;
+  // Set when the g-hom search stopped before exhausting the space: this
+  // cover's candidate set is a lower bound, which exact mode must treat
+  // as a budget failure rather than a complete enumeration.
+  GHomTruncation truncation = GHomTruncation::kNone;
   size_t num_g_homs = 0;
   size_t num_candidates = 0;
   size_t num_rejected = 0;
@@ -69,12 +85,19 @@ struct CoverOutcome {
 
 // Runs Def. 9's steps 4-7 for one covering. Thread-safe given a warmed
 // target index: all mutated state is local or the atomic null counter.
+// `pool` (may be null) enables the within-cover fan-outs: the g-hom
+// search over root slices and the verification loop over g ranges —
+// both merge in deterministic order, so a cover's outcome does not
+// depend on where its pieces ran. `shared_budget` (may be null) is the
+// cross-cover work pool of options.max_cover_work.
 CoverOutcome ProcessCover(const DependencySet& sigma,
                           const Instance& target,
                           const std::vector<HeadHom>& homs,
                           const Cover& cover, size_t cover_index,
                           const std::vector<SubsumptionConstraint>& sub,
-                          const InverseChaseOptions& options) {
+                          const InverseChaseOptions& options,
+                          util::ThreadPool* pool,
+                          obs::SharedBudget* shared_budget) {
   CoverOutcome outcome;
   outcome.interrupt = resilience::CheckPoint(
       options.context, "inverse_chase.cover", "covers");
@@ -160,15 +183,31 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   std::vector<Substitution> gs;
   {
     obs::Span span("step6_g_hom_search");
-    gs = BackHomomorphisms(chased, target, options.max_g_homs_per_cover,
-                           options.context);
+    HomSearchResult search =
+        BackHomomorphisms(chased, target, options.max_g_homs_per_cover,
+                          options.context, pool,
+                          options.parallel_min_candidates, shared_budget);
+    gs = std::move(search.homs);
+    if (search.truncated) {
+      // Attribute the early stop: a tripped context is an interrupt (it
+      // outranks budget truncation at the merge), a dry shared pool is
+      // the cross-cover budget, anything else is the per-cover cap.
+      Status trip = resilience::CheckPoint(options.context,
+                                           "inverse_chase.ghom", "covers");
+      if (!trip.ok()) {
+        outcome.interrupt = std::move(trip);
+      } else if (shared_budget != nullptr && shared_budget->Dry()) {
+        outcome.truncation = GHomTruncation::kSharedBudget;
+      } else {
+        outcome.truncation = GHomTruncation::kPerCoverCap;
+      }
+    }
     span.AddArg("g_homs", static_cast<int64_t>(gs.size()));
     if (obs::EventsEnabled()) {
       obs::Emit("ghom.search",
                 {{"cover", static_cast<int64_t>(cover_index)},
                  {"g_homs", static_cast<int64_t>(gs.size())},
-                 {"truncated",
-                  gs.size() >= options.max_g_homs_per_cover ? 1 : 0}});
+                 {"truncated", search.truncated ? 1 : 0}});
     }
   }
   outcome.seconds_g_hom_search = phase_sw.ElapsedSeconds();
@@ -184,67 +223,113 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   // contained in I* that passes this check.
   const bool target_ground = target.IsGround();
   obs::Span verify_span("step7_verify_emit");
-  for (size_t g_index = 0; g_index < gs.size(); ++g_index) {
-    // Verification runs the exponential justification machinery per g;
-    // stop between candidates so a trip keeps the ones already verified.
-    outcome.interrupt = resilience::CheckPoint(
-        options.context, "inverse_chase.verify", "covers");
-    if (!outcome.interrupt.ok()) break;
-    const Substitution& g = gs[g_index];
-    Instance recovery = source.Apply(g);
-    if (options.core_recoveries) {
-      size_t before = recovery.size();
-      recovery = ComputeCore(recovery);
-      if (obs::EventsEnabled() && recovery.size() != before) {
-        obs::Emit("recovery.cored",
-                  {{"cover", static_cast<int64_t>(cover_index)},
-                   {"before", static_cast<int64_t>(before)},
-                   {"after", static_cast<int64_t>(recovery.size())}});
-      }
-    }
-    outcome.num_candidates++;
-    bool is_recovery = IsMinimalSolution(sigma, recovery, target);
-    if (!is_recovery && !target_ground) {
-      JustificationOptions justification;
-      justification.context = options.context;
-      Result<bool> justified =
-          IsJustifiedSolution(sigma, recovery, target, justification);
-      if (justified.ok()) {
-        is_recovery = *justified;
-      } else {
-        outcome.num_unverified++;
-      }
-    }
-    if (!is_recovery) {
-      outcome.num_rejected++;
-      if (obs::EventsEnabled()) {
-        obs::Emit("recovery.rejected",
-                  {{"cover", static_cast<int64_t>(cover_index)},
-                   {"g", static_cast<int64_t>(g_index)}});
-      }
-      continue;
-    }
-    VerifiedCandidate candidate;
-    candidate.cover_index = cover_index;
-    candidate.g_index = g_index;
-    if (options.explain) {
-      RecoveryExplanation explanation;
-      explanation.cover = h_set;
-      explanation.g = g;
-      for (size_t k = 0; k < per_hom_sources.size(); ++k) {
-        Instance covered = h_set[k].CoveredTuples(sigma);
-        for (const Atom& raw : per_hom_sources[k].atoms()) {
-          Atom mapped = raw.Apply(g);
-          // The core step may have folded this atom away.
-          if (!recovery.Contains(mapped)) continue;
-          explanation.atoms.push_back(
-              SourceAtomProvenance{mapped, h_set[k].tgd, covered});
+
+  // One contiguous range of g indices verified on one thread; slices
+  // merge in g order, so chunking never changes the emitted set.
+  struct VerifySlice {
+    Status interrupt;
+    size_t num_candidates = 0;
+    size_t num_rejected = 0;
+    size_t num_unverified = 0;
+    std::vector<VerifiedCandidate> candidates;
+  };
+  auto verify_range = [&](size_t g_lo, size_t g_hi) {
+    VerifySlice slice;
+    for (size_t g_index = g_lo; g_index < g_hi; ++g_index) {
+      // Verification runs the exponential justification machinery per g;
+      // stop between candidates so a trip keeps the ones already verified.
+      slice.interrupt = resilience::CheckPoint(
+          options.context, "inverse_chase.verify", "covers");
+      if (!slice.interrupt.ok()) break;
+      const Substitution& g = gs[g_index];
+      Instance recovery = source.Apply(g);
+      if (options.core_recoveries) {
+        size_t before = recovery.size();
+        recovery = ComputeCore(recovery);
+        if (obs::EventsEnabled() && recovery.size() != before) {
+          obs::Emit("recovery.cored",
+                    {{"cover", static_cast<int64_t>(cover_index)},
+                     {"before", static_cast<int64_t>(before)},
+                     {"after", static_cast<int64_t>(recovery.size())}});
         }
       }
-      candidate.explanation = std::move(explanation);
+      slice.num_candidates++;
+      bool is_recovery = IsMinimalSolution(sigma, recovery, target);
+      if (!is_recovery && !target_ground) {
+        JustificationOptions justification;
+        justification.context = options.context;
+        Result<bool> justified =
+            IsJustifiedSolution(sigma, recovery, target, justification);
+        if (justified.ok()) {
+          is_recovery = *justified;
+        } else {
+          slice.num_unverified++;
+        }
+      }
+      if (!is_recovery) {
+        slice.num_rejected++;
+        if (obs::EventsEnabled()) {
+          obs::Emit("recovery.rejected",
+                    {{"cover", static_cast<int64_t>(cover_index)},
+                     {"g", static_cast<int64_t>(g_index)}});
+        }
+        continue;
+      }
+      VerifiedCandidate candidate;
+      candidate.cover_index = cover_index;
+      candidate.g_index = g_index;
+      if (options.explain) {
+        RecoveryExplanation explanation;
+        explanation.cover = h_set;
+        explanation.g = g;
+        for (size_t k = 0; k < per_hom_sources.size(); ++k) {
+          Instance covered = h_set[k].CoveredTuples(sigma);
+          for (const Atom& raw : per_hom_sources[k].atoms()) {
+            Atom mapped = raw.Apply(g);
+            // The core step may have folded this atom away.
+            if (!recovery.Contains(mapped)) continue;
+            explanation.atoms.push_back(
+                SourceAtomProvenance{mapped, h_set[k].tgd, covered});
+          }
+        }
+        candidate.explanation = std::move(explanation);
+      }
+      candidate.recovery = std::move(recovery);
+      slice.candidates.push_back(std::move(candidate));
     }
-    candidate.recovery = std::move(recovery);
-    outcome.candidates.push_back(std::move(candidate));
+    return slice;
+  };
+
+  std::vector<VerifySlice> slices;
+  if (pool != nullptr && gs.size() >= 8) {
+    // E2-shaped workloads put nearly all their work here (one cover,
+    // thousands of g), so this inner fan-out is what keeps the pool busy
+    // when the cover-level fan-out alone cannot.
+    const size_t num_chunks =
+        std::min(gs.size(), (pool->num_threads() + 1) * 4);
+    slices.resize(num_chunks);
+    util::TaskGroup group(pool, options.context);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = gs.size() * c / num_chunks;
+      const size_t hi = gs.size() * (c + 1) / num_chunks;
+      group.Run([&verify_range, &slices, c, lo, hi] {
+        slices[c] = verify_range(lo, hi);
+      });
+    }
+    group.Wait();
+  } else {
+    slices.push_back(verify_range(0, gs.size()));
+  }
+  for (VerifySlice& slice : slices) {
+    if (!slice.interrupt.ok() && outcome.interrupt.ok()) {
+      outcome.interrupt = std::move(slice.interrupt);
+    }
+    outcome.num_candidates += slice.num_candidates;
+    outcome.num_rejected += slice.num_rejected;
+    outcome.num_unverified += slice.num_unverified;
+    for (VerifiedCandidate& candidate : slice.candidates) {
+      outcome.candidates.push_back(std::move(candidate));
+    }
   }
   outcome.seconds_verify = phase_sw.ElapsedSeconds();
   verify_span.AddArg("candidates", static_cast<int64_t>(outcome.num_candidates));
@@ -274,6 +359,7 @@ std::string InverseChaseStats::ToString() const {
          " passing_sub=" + std::to_string(num_covers_passing_sub) +
          " yielding=" + std::to_string(num_covers_yielding_recoveries) +
          " g_homs=" + std::to_string(num_g_homs) +
+         " truncated=" + std::to_string(num_covers_truncated) +
          " candidates=" + std::to_string(num_recoveries_before_dedup) +
          " rejected=" + std::to_string(num_candidates_rejected) +
          " unverified=" + std::to_string(num_candidates_unverified) +
@@ -414,34 +500,47 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
   result.stats.seconds_subsumption = phase_sw.ElapsedSeconds();
   phase_sw.Reset();
 
-  // Steps 4-7, per cover; optionally across threads. Outcomes are merged
-  // in cover order so the result is deterministic up to null labels.
+  // Steps 4-7, per cover; optionally across a work-stealing pool (each
+  // cover is one task, and ProcessCover opens nested task groups for its
+  // own g-hom and verification fan-outs). Outcomes are merged in cover
+  // order so the result is deterministic up to null labels.
   obs::SetPhase("covers");
   std::vector<CoverOutcome> outcomes(covers.size());
-  size_t num_threads = options.num_threads == 0 ? 1 : options.num_threads;
-  num_threads = std::min(num_threads, covers.size() + 1);
+  obs::SharedBudget cover_work("inverse_chase.cover_work", "covers",
+                               options.max_cover_work);
+  obs::SharedBudget* shared =
+      options.max_cover_work > 0 ? &cover_work : nullptr;
+  const size_t num_threads = options.num_threads == 0
+                                 ? util::ThreadPool::HardwareThreads()
+                                 : options.num_threads;
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> transient;
+  if (pool == nullptr && num_threads > 1 && !covers.empty()) {
+    transient = std::make_unique<util::ThreadPool>(num_threads);
+    pool = transient.get();
+  }
   {
     obs::Span span("steps4_7_covers");
     span.AddArg("covers", static_cast<int64_t>(covers.size()));
-    span.AddArg("threads", static_cast<int64_t>(num_threads));
-    if (num_threads <= 1 || covers.size() < 2) {
+    span.AddArg("threads",
+                static_cast<int64_t>(pool == nullptr ? 1
+                                                     : pool->num_threads()));
+    if (pool == nullptr) {
       for (size_t i = 0; i < covers.size(); ++i) {
         outcomes[i] = ProcessCover(sigma, target, homs, covers[i], i, sub,
-                                   options);
+                                   options, nullptr, shared);
       }
     } else {
       target.WarmIndex();  // concurrent readers need the index pre-built
-      std::vector<std::thread> workers;
-      workers.reserve(num_threads);
-      for (size_t w = 0; w < num_threads; ++w) {
-        workers.emplace_back([&, w]() {
-          for (size_t i = w; i < covers.size(); i += num_threads) {
-            outcomes[i] = ProcessCover(sigma, target, homs, covers[i], i,
-                                       sub, options);
-          }
+      util::TaskGroup group(pool, options.context);
+      for (size_t i = 0; i < covers.size(); ++i) {
+        group.Run([&sigma, &target, &homs, &covers, &sub, &options,
+                   &outcomes, pool, shared, i] {
+          outcomes[i] = ProcessCover(sigma, target, homs, covers[i], i,
+                                     sub, options, pool, shared);
         });
       }
-      for (std::thread& worker : workers) worker.join();
+      group.Wait();
     }
   }
   phase_sw.Reset();
@@ -454,6 +553,29 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
     if (!keep_partial) return fail(outcome.interrupt);
     if (interrupt.ok()) interrupt = outcome.interrupt;
     break;
+  }
+
+  // Then truncated g-hom enumerations, also first-in-cover-order: those
+  // covers' candidate sets are lower bounds, so exact mode fails instead
+  // of passing off a capped enumeration as exhaustive, and partial mode
+  // reports the budget through its interrupt. The structured error (and
+  // its budget.exhausted event) is built once, on this thread.
+  Status truncation_status;
+  for (const CoverOutcome& outcome : outcomes) {
+    if (outcome.truncation == GHomTruncation::kNone) continue;
+    result.stats.num_covers_truncated++;
+    if (truncation_status.ok()) {
+      truncation_status =
+          outcome.truncation == GHomTruncation::kSharedBudget
+              ? cover_work.Exhausted()
+              : obs::BudgetExhausted({"inverse_chase.g_homs",
+                                      options.max_g_homs_per_cover,
+                                      outcome.num_g_homs, "covers"});
+    }
+  }
+  if (!truncation_status.ok()) {
+    if (!keep_partial) return fail(std::move(truncation_status));
+    if (interrupt.ok()) interrupt = std::move(truncation_status);
   }
 
   // Merge, dedup, and enforce the recovery budget.

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/inverse_chase.h"
@@ -48,6 +49,7 @@ struct RepairResult {
 
 // Enumerates maximal valid-for-recovery subsets of `target`.
 // ResourceExhausted if the search exceeds its budgets.
+DXREC_DEPRECATED("use dxrec::Engine::Repair")
 Result<RepairResult> RepairTarget(
     const DependencySet& sigma, const Instance& target,
     const RepairOptions& options = RepairOptions());
@@ -55,6 +57,7 @@ Result<RepairResult> RepairTarget(
 // Greedy single repair: prunes uncoverable tuples, then removes one
 // offending tuple at a time until the remainder is valid. Returns a
 // valid subset (possibly empty), not necessarily maximal.
+DXREC_DEPRECATED("use dxrec::Engine::RepairGreedy")
 Result<Instance> GreedyRepair(
     const DependencySet& sigma, const Instance& target,
     const RepairOptions& options = RepairOptions());

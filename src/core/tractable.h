@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/subsumption.h"
@@ -44,12 +45,14 @@ struct TractabilityReport {
 };
 
 // Runs the Thm. 6 test and the Lemma 1 safety check.
+DXREC_DEPRECATED("use dxrec::Engine::Analyze")
 Result<TractabilityReport> AnalyzeTractability(
     const DependencySet& sigma, const Instance& target,
     const SubsumptionOptions& options = SubsumptionOptions());
 
 // Thm. 5: the unique complete UCQ recovery. FailedPrecondition when the
 // conditions do not hold.
+DXREC_DEPRECATED("use dxrec::Engine::CompleteUcqRecovery")
 Result<Instance> CompleteUcqRecovery(
     const DependencySet& sigma, const Instance& target,
     const SubsumptionOptions& options = SubsumptionOptions());
@@ -74,6 +77,7 @@ MaximalSubsetResult MaximalUniquelyCoveredSubset(const DependencySet& sigma,
                                                  const Instance& target);
 
 // Sound UCQ answers through the Thm. 7 instance.
+DXREC_DEPRECATED("use dxrec::Engine::SoundUcqAnswers")
 AnswerSet SoundUcqAnswers(const UnionQuery& query,
                           const DependencySet& sigma,
                           const Instance& target);

@@ -65,7 +65,7 @@ class ViewRecovery {
         engine_(std::move(sigma), std::move(options)) {}
 
   std::vector<ViewDefinition> views_;
-  RecoveryEngine engine_;
+  Engine engine_;
 };
 
 }  // namespace dxrec

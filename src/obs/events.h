@@ -187,6 +187,59 @@ class BudgetMeter {
   Status stop_;  // latched context/injection failure; Ok while running
 };
 
+// Cross-worker sibling of BudgetMeter for the parallel inverse chase:
+// one pool of work units drawn by many concurrent searches. Workers
+// consume whole kTickPeriod batches (at the matcher pulse cadence)
+// rather than single units, so the hot path stays local and the only
+// shared traffic is one relaxed fetch_add per 2^16 candidates. The draw
+// that crosses the limit still succeeds — totals may overshoot by at
+// most one batch per worker — and *which* worker sees the dry pool is
+// scheduling-dependent, like a deadline trip (docs/PARALLELISM.md).
+//
+// Unlike BudgetMeter, exhaustion here is detected by many workers but
+// reported once: the inverse-chase merge calls Exhausted() for the
+// first truncated cover in cover order, keeping the budget.exhausted
+// event count deterministic.
+class SharedBudget {
+ public:
+  static constexpr uint64_t kBatch = BudgetMeter::kTickPeriod;
+
+  // `name`/`phase` must be static-storage strings. limit 0 = unlimited.
+  SharedBudget(const char* name, const char* phase, uint64_t limit)
+      : name_(name), phase_(phase), limit_(limit) {}
+
+  // Draws `units` from the pool; false once the pool was already dry
+  // before this draw.
+  bool TryConsume(uint64_t units) {
+    if (limit_ == 0) return true;
+    uint64_t before = consumed_.fetch_add(units, std::memory_order_relaxed);
+    return before < limit_;
+  }
+
+  bool Dry() const {
+    return limit_ != 0 &&
+           consumed_.load(std::memory_order_relaxed) >= limit_;
+  }
+
+  uint64_t limit() const { return limit_; }
+  uint64_t consumed() const {
+    uint64_t raw = consumed_.load(std::memory_order_relaxed);
+    return limit_ == 0 ? raw : (raw < limit_ ? raw : limit_);
+  }
+
+  // Builds the structured budget error (and its one terminal event);
+  // call exactly once per run, from the merging thread.
+  Status Exhausted() const {
+    return BudgetExhausted({name_, limit_, consumed(), phase_});
+  }
+
+ private:
+  const char* name_;
+  const char* phase_;
+  uint64_t limit_;
+  std::atomic<uint64_t> consumed_{0};
+};
+
 }  // namespace obs
 }  // namespace dxrec
 

@@ -1,0 +1,170 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "resilience/execution_context.h"
+
+namespace dxrec {
+namespace util {
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+ThreadPool::ThreadPool(size_t num_threads, ThreadPoolOptions options)
+    : options_(options) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Every TaskGroup waits before destruction, so the queues are empty by
+  // the time the pool goes away; nothing to drain.
+}
+
+bool ThreadPool::Submit(std::function<void()>& fn, TaskGroup* group) {
+  const size_t n = queues_.size();
+  if (n == 0) return false;
+  size_t start = next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (size_t k = 0; k < n; ++k) {
+    WorkerQueue& queue = *queues_[(start + k) % n];
+    std::unique_lock<std::mutex> lock(queue.mu);
+    if (queue.tasks.size() >= options_.queue_capacity) continue;
+    queue.tasks.push_back(Task{std::move(fn), group});
+    lock.unlock();
+    queued_.fetch_add(1, std::memory_order_release);
+    work_cv_.notify_one();
+    return true;
+  }
+  return false;  // every queue full: caller runs
+}
+
+void ThreadPool::RunTask(Task task) {
+  task.fn();
+  if (task.group != nullptr) task.group->OnTaskDone();
+}
+
+bool ThreadPool::RunOneAsWorker(size_t worker_index) {
+  const size_t n = queues_.size();
+  // Own queue, newest first.
+  {
+    WorkerQueue& own = *queues_[worker_index];
+    std::unique_lock<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      Task task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      lock.unlock();
+      queued_.fetch_sub(1, std::memory_order_release);
+      RunTask(std::move(task));
+      return true;
+    }
+  }
+  // Steal, oldest first.
+  for (size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(worker_index + k) % n];
+    std::unique_lock<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    Task task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    lock.unlock();
+    queued_.fetch_sub(1, std::memory_order_release);
+    RunTask(std::move(task));
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::RunOneOf(TaskGroup* group) {
+  for (std::unique_ptr<WorkerQueue>& queue_ptr : queues_) {
+    WorkerQueue& queue = *queue_ptr;
+    std::unique_lock<std::mutex> lock(queue.mu);
+    for (auto it = queue.tasks.begin(); it != queue.tasks.end(); ++it) {
+      if (it->group != group) continue;
+      Task task = std::move(*it);
+      queue.tasks.erase(it);
+      lock.unlock();
+      queued_.fetch_sub(1, std::memory_order_release);
+      RunTask(std::move(task));
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  for (;;) {
+    if (RunOneAsWorker(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    work_cv_.wait(lock, [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool,
+                     const resilience::ExecutionContext* context)
+    : pool_(pool), context_(context) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Run(std::function<void()> fn) {
+  const bool tripped =
+      context_ != nullptr &&
+      context_->Check() != resilience::StopCause::kNone;
+  if (pool_ != nullptr && pool_->num_threads() > 0 && !tripped) {
+    ++submitted_;
+    if (pool_->Submit(fn, this)) return;  // consumes fn only on success
+    // Queues full: run here, keeping the submitted/done books balanced.
+    --submitted_;
+  }
+  fn();
+}
+
+void TaskGroup::Wait() {
+  if (submitted_ == 0) return;
+  if (pool_ != nullptr) {
+    while (done_.load(std::memory_order_acquire) < submitted_ &&
+           pool_->RunOneOf(this)) {
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return done_.load(std::memory_order_acquire) >= submitted_;
+  });
+  // All tasks finished; reset so the group can be reused for a second
+  // fork-join round by the same owner.
+  submitted_ = 0;
+  done_.store(0, std::memory_order_relaxed);
+}
+
+void TaskGroup::OnTaskDone() {
+  // Increment AND notify under the lock. The lock orders the increment
+  // against the waiter's predicate re-check (no missed notify), and
+  // notifying before release means Wait() cannot observe completion and
+  // let the group be destroyed while this thread still touches cv_.
+  std::lock_guard<std::mutex> lock(mu_);
+  done_.fetch_add(1, std::memory_order_release);
+  cv_.notify_all();
+}
+
+}  // namespace util
+}  // namespace dxrec

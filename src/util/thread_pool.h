@@ -1,0 +1,149 @@
+// Work-stealing thread pool and fork-join task groups for the parallel
+// inverse-chase engine (docs/PARALLELISM.md).
+//
+// Design, sized for this workload (few hundred coarse tasks per run, each
+// milliseconds-to-seconds of search):
+//
+//   - one bounded deque per worker; owners pop newest-first (LIFO keeps
+//     nested subtasks cache-hot), thieves and helpers steal oldest-first
+//     (FIFO drains a run's covers roughly in submission order);
+//   - submission round-robins across queues and, when every queue is at
+//     capacity, runs the task on the submitting thread instead of growing
+//     a queue without bound (caller-runs backpressure);
+//   - TaskGroup is the fork-join primitive: Run() submits, Wait() *helps*
+//     by stealing this group's still-queued tasks onto the waiting thread
+//     before blocking. Helping makes nested groups deadlock-free: a pool
+//     task may open its own TaskGroup on the same pool (the per-cover
+//     back-homomorphism fan-out does exactly this) because the waiter
+//     executes its children instead of holding a worker hostage;
+//   - cancellation is cooperative, matching resilience/execution_context:
+//     a TaskGroup carries an optional ExecutionContext, and once it trips
+//     Run() stops queueing and invokes tasks inline — each task's own
+//     checkpoints make that invocation cheap, and every task still runs
+//     exactly once, so index-tagged result slots are always filled.
+//
+// Tasks must not throw. The pool never spawns or retires threads after
+// construction; ~ThreadPool waits for queues to drain (every TaskGroup
+// waits in its destructor, so a pool outliving its groups is quiescent).
+#ifndef DXREC_UTIL_THREAD_POOL_H_
+#define DXREC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dxrec {
+
+namespace resilience {
+class ExecutionContext;
+}  // namespace resilience
+
+namespace util {
+
+class TaskGroup;
+
+struct ThreadPoolOptions {
+  // Per-worker deque bound; submissions beyond it run on the caller.
+  size_t queue_capacity = 256;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads,
+                      ThreadPoolOptions options = ThreadPoolOptions());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  // Queues one task for `group`, consuming `fn` only on success. Returns
+  // false (leaving `fn` intact for the caller to run) when every queue is
+  // at capacity.
+  bool Submit(std::function<void()>& fn, TaskGroup* group);
+
+  // Pops and runs one task: the worker's own newest task first, then the
+  // oldest task of any other queue. Returns false when nothing was run.
+  bool RunOneAsWorker(size_t worker_index);
+
+  // Pops and runs one still-queued task belonging to `group` (any queue,
+  // oldest first). Used by TaskGroup::Wait to help.
+  bool RunOneOf(TaskGroup* group);
+
+  static void RunTask(Task task);
+  void WorkerLoop(size_t worker_index);
+
+  ThreadPoolOptions options_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<uint64_t> queued_{0};  // tasks currently sitting in queues
+  std::atomic<bool> shutdown_{false};
+  std::mutex idle_mu_;
+  std::condition_variable work_cv_;
+};
+
+// Fork-join scope over a pool. Not thread-safe: one owner thread calls
+// Run()/Wait(); the tasks themselves may run anywhere (including on the
+// owner, via helping or caller-runs backpressure).
+class TaskGroup {
+ public:
+  // Null pool (or a zero-thread pool) degrades to inline execution, so
+  // callers need no separate sequential code path. `context` (optional,
+  // not owned) enables the cooperative-cancellation fast path.
+  explicit TaskGroup(ThreadPool* pool,
+                     const resilience::ExecutionContext* context = nullptr);
+  ~TaskGroup();  // waits
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Schedules fn; may execute it immediately on this thread (no pool, full
+  // queues, or tripped context). Every Run'd task executes exactly once.
+  void Run(std::function<void()> fn);
+
+  // Blocks until every Run'd task finished, helping with this group's
+  // still-queued tasks first.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  void OnTaskDone();
+
+  ThreadPool* pool_;
+  const resilience::ExecutionContext* context_;
+  size_t submitted_ = 0;  // owner-thread only
+  std::atomic<size_t> done_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace dxrec
+
+#endif  // DXREC_UTIL_THREAD_POOL_H_

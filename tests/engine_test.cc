@@ -1,4 +1,4 @@
-// Tests for the RecoveryEngine facade plus datagen/util helpers.
+// Tests for the Engine facade plus datagen/util helpers.
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
@@ -25,7 +25,7 @@ UnionQuery U(const char* text) {
 }
 
 TEST(Engine, EndToEndFlow) {
-  RecoveryEngine engine(TriangleScenario::Sigma());
+  Engine engine(TriangleScenario::Sigma());
   Instance j = TriangleScenario::Target(1, 2);
   Result<bool> valid = engine.IsValid(j);
   ASSERT_TRUE(valid.ok());
@@ -42,7 +42,7 @@ TEST(Engine, EndToEndFlow) {
 }
 
 TEST(Engine, TractablePathsAgree) {
-  RecoveryEngine engine(EmployeeScenario::Sigma());
+  Engine engine(EmployeeScenario::Sigma());
   Instance j = EmployeeScenario::Target(2, 1, 2);
   Result<TractabilityReport> report = engine.Analyze(j);
   ASSERT_TRUE(report.ok());
@@ -62,21 +62,21 @@ TEST(Engine, TractablePathsAgree) {
 }
 
 TEST(Engine, ValidateChecksSchemas) {
-  RecoveryEngine good(TriangleScenario::Sigma());
+  Engine good(TriangleScenario::Sigma());
   EXPECT_TRUE(good.Validate().ok());
 
   // A relation on both sides is rejected.
   Result<DependencySet> cyclic =
       ParseTgdSet("Rcy(x) -> Scy(x); Scy(y) -> Rcy(y)");
   ASSERT_TRUE(cyclic.ok());
-  RecoveryEngine bad(std::move(*cyclic));
+  Engine bad(std::move(*cyclic));
   Status status = bad.Validate();
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Engine, StatsRenderAllCounters) {
-  RecoveryEngine engine(TriangleScenario::Sigma());
+  Engine engine(TriangleScenario::Sigma());
   Result<InverseChaseResult> result =
       engine.Recover(TriangleScenario::Target(1, 1));
   ASSERT_TRUE(result.ok());
@@ -88,7 +88,7 @@ TEST(Engine, StatsRenderAllCounters) {
 }
 
 TEST(Engine, RepairThroughFacade) {
-  RecoveryEngine engine(DiamondScenario::Sigma());
+  Engine engine(DiamondScenario::Sigma());
   Instance damaged = DiamondScenario::InvalidTarget(3);
   Result<RepairResult> repair = engine.Repair(damaged);
   ASSERT_TRUE(repair.ok());
@@ -101,7 +101,7 @@ TEST(Engine, RepairThroughFacade) {
 }
 
 TEST(Engine, BaselineAccessible) {
-  RecoveryEngine engine(OverlapScenario::Sigma());
+  Engine engine(OverlapScenario::Sigma());
   Result<DependencySet> mapping = engine.MaximumRecoveryMapping();
   ASSERT_TRUE(mapping.ok());
   EXPECT_EQ(mapping->size(), 1u);
@@ -159,8 +159,8 @@ TEST(Datagen, ChaseTargetIsValidForRecovery) {
   EXPECT_TRUE(target.IsGround());
   if (!target.empty() && ComputeHomSet(sigma, target).size() <= 10) {
     EngineOptions options;
-    options.inverse.cover.max_covers = 4096;
-    RecoveryEngine engine(std::move(sigma), options);
+    options.budgets.max_covers = 4096;
+    Engine engine(std::move(sigma), options);
     Result<bool> valid = engine.IsValid(target);
     if (valid.ok()) {
       EXPECT_TRUE(*valid);

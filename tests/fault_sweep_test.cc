@@ -57,7 +57,7 @@ std::vector<Status> RunWorkload(bool degrade) {
   options.obs.progress_seconds = 0.001;  // exercise the watchdog thread
   options.obs.progress_stderr = false;
   {
-    RecoveryEngine engine(WarehouseSigma(), options);
+    Engine engine(WarehouseSigma(), options);
     Instance j = WarehouseTarget();
     Result<InverseChaseResult> recovered = engine.Recover(j);
     if (!recovered.ok()) errors.push_back(recovered.status());
@@ -71,10 +71,20 @@ std::vector<Status> RunWorkload(bool degrade) {
     // Overlap exercises multi-cover merge; threads exercise the
     // per-cover pipeline workers under injection.
     EngineOptions threaded = options;
-    threaded.inverse.num_threads = 2;
-    RecoveryEngine engine(OverlapScenario::Sigma(), threaded);
+    threaded.parallel.threads = 2;
+    Engine engine(OverlapScenario::Sigma(), threaded);
     Result<InverseChaseResult> recovered =
         engine.Recover(OverlapScenario::Target(1, 1));
+    if (!recovered.ok()) errors.push_back(recovered.status());
+  }
+  {
+    // threads=4 with more covers than workers: injected faults land on
+    // arbitrary workers mid-merge and must still surface structured.
+    EngineOptions threaded = options;
+    threaded.parallel.threads = 4;
+    Engine engine(OverlapScenario::Sigma(), threaded);
+    Result<InverseChaseResult> recovered =
+        engine.Recover(OverlapScenario::Target(2, 1));
     if (!recovered.ok()) errors.push_back(recovered.status());
   }
   return errors;

@@ -58,7 +58,7 @@ TEST(Integration, LibraryExchangeAndRecovery) {
                       " Borrowed(i1)}"));
 
   // The source is lost; recover from the target.
-  RecoveryEngine engine(std::move(sigma));
+  Engine engine(std::move(sigma));
   Result<InverseChaseResult> recovered = engine.Recover(target);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   ASSERT_TRUE(recovered->valid_for_recovery());
@@ -115,7 +115,7 @@ TEST(Integration, PersistRecoverReload) {
   Result<Instance> target = LoadInstanceFile(target_path);
   ASSERT_TRUE(target.ok());
 
-  RecoveryEngine engine(std::move(*sigma));
+  Engine engine(std::move(*sigma));
   Result<InverseChaseResult> recovered = engine.Recover(*target);
   ASSERT_TRUE(recovered.ok());
   ASSERT_EQ(recovered->recoveries.size(), 1u);
@@ -153,10 +153,10 @@ TEST(Integration, RandomWorkloadFullPipeline) {
   if (target.empty()) GTEST_SKIP() << "degenerate workload";
 
   EngineOptions options;
-  options.inverse.core_recoveries = true;
-  options.inverse.num_threads = 4;
-  options.inverse.cover.max_covers = 4096;
-  RecoveryEngine engine(std::move(sigma), options);
+  options.algorithms.core_recoveries = true;
+  options.parallel.threads = 4;
+  options.budgets.max_covers = 4096;
+  Engine engine(std::move(sigma), options);
   Result<InverseChaseResult> recovered = engine.Recover(target);
   if (!recovered.ok()) GTEST_SKIP() << recovered.status().ToString();
   EXPECT_TRUE(recovered->valid_for_recovery());
@@ -188,7 +188,7 @@ TEST(Integration, EngineOnAllScenariosSmoke) {
                    OverlapScenario::Target(1, 1)});
   cases.push_back({BlowupScenario::Sigma(), BlowupScenario::Target(1, 1)});
   for (Case& c : cases) {
-    RecoveryEngine engine(std::move(c.sigma));
+    Engine engine(std::move(c.sigma));
     Result<InverseChaseResult> recovered = engine.Recover(c.j);
     ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
     EXPECT_TRUE(recovered->valid_for_recovery());

@@ -148,7 +148,7 @@ TEST_F(ResilienceTest, CancelledCallReturnsStructuredError) {
   options.resilience.cancel = std::make_shared<resilience::CancelToken>();
   options.resilience.cancel->Cancel();  // cancelled before the call
   options.resilience.degrade = false;
-  RecoveryEngine engine(WarehouseSigma(), options);
+  Engine engine(WarehouseSigma(), options);
   Result<InverseChaseResult> result = engine.Recover(WarehouseTarget());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
@@ -161,7 +161,7 @@ TEST_F(ResilienceTest, ExpiredDeadlineDegradesCertToSoundAnswers) {
   // workload yields the Thm. 7 sound answers instead of a bare error.
   EngineOptions options;
   options.resilience.deadline_seconds = 1e-9;
-  RecoveryEngine engine(WarehouseSigma(), options);
+  Engine engine(WarehouseSigma(), options);
   Instance j = WarehouseTarget();
   UnionQuery q = U("Q(id) :- Order(id, cust, item)");
 
@@ -186,7 +186,7 @@ TEST_F(ResilienceTest, ExpiredDeadlineDegradesCertToSoundAnswers) {
     }
   }
   // ... and is sound: contained in the exact certain answers.
-  RecoveryEngine exact(WarehouseSigma());
+  Engine exact(WarehouseSigma());
   Result<AnswerSet> cert = exact.CertainAnswers(q, j);
   ASSERT_TRUE(cert.ok()) << cert.status().ToString();
   for (const AnswerTuple& t : degraded->value) {
@@ -202,8 +202,8 @@ TEST_F(ResilienceTest, ExpiredDeadlineDegradesCertToSoundAnswers) {
 void CheckLadder(DependencySet sigma, const Instance& j,
                  const UnionQuery& q) {
   EngineOptions tight;
-  tight.inverse.cover.max_nodes = 2;
-  RecoveryEngine engine(DependencySet(sigma), tight);
+  tight.budgets.max_cover_nodes = 2;
+  Engine engine(DependencySet(sigma), tight);
   Result<resilience::Degraded<AnswerSet>> degraded =
       engine.CertainAnswersDegraded(q, j);
   ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
@@ -221,7 +221,7 @@ void CheckLadder(DependencySet sigma, const Instance& j,
     EXPECT_EQ(degraded->value, sound_ucq);
   }
 
-  RecoveryEngine exact(std::move(sigma));
+  Engine exact(std::move(sigma));
   Result<AnswerSet> cert = exact.CertainAnswers(q, j);
   ASSERT_TRUE(cert.ok()) << cert.status().ToString();
   for (const AnswerTuple& t : degraded->value) {
@@ -248,7 +248,7 @@ TEST_F(ResilienceTest, LadderSoundOnEmployee) {
 TEST_F(ResilienceTest, SoundUcqIsSubsetOfExactCert) {
   // When the exact path succeeds, the rung-2 answers it would degrade to
   // are contained in it (Thm. 7 soundness, ladder invariant).
-  RecoveryEngine engine(EmployeeScenario::Sigma());
+  Engine engine(EmployeeScenario::Sigma());
   Instance j = EmployeeScenario::Target(2, 1, 2);
   UnionQuery q = U("Q(x) :- Bnf('dept0', x)");
   Result<resilience::Degraded<AnswerSet>> degraded =
@@ -265,8 +265,8 @@ TEST_F(ResilienceTest, SoundUcqIsSubsetOfExactCert) {
 TEST_F(ResilienceTest, RecoverDegradedReturnsPartialPrefix) {
   // Overlap(1, 1) has 3 recoveries; a cap of 1 trips the merge budget.
   EngineOptions options;
-  options.inverse.max_recoveries = 1;
-  RecoveryEngine engine(OverlapScenario::Sigma(), options);
+  options.budgets.max_recoveries = 1;
+  Engine engine(OverlapScenario::Sigma(), options);
   Instance j = OverlapScenario::Target(1, 1);
   Result<resilience::Degraded<InverseChaseResult>> degraded =
       engine.RecoverDegraded(j);
@@ -287,9 +287,9 @@ TEST_F(ResilienceTest, RecoverDegradedReturnsPartialPrefix) {
 
 TEST_F(ResilienceTest, DegradeOffPropagatesTheError) {
   EngineOptions options;
-  options.inverse.max_recoveries = 1;
+  options.budgets.max_recoveries = 1;
   options.resilience.degrade = false;
-  RecoveryEngine engine(OverlapScenario::Sigma(), options);
+  Engine engine(OverlapScenario::Sigma(), options);
   Result<resilience::Degraded<InverseChaseResult>> degraded =
       engine.RecoverDegraded(OverlapScenario::Target(1, 1));
   ASSERT_FALSE(degraded.ok());
@@ -304,8 +304,8 @@ TEST_F(ResilienceTest, DegradeOffPropagatesTheError) {
 // caller.
 TEST_F(ResilienceTest, BudgetPayloadSurvivesRecoverPlumbing) {
   EngineOptions options;
-  options.inverse.cover.max_nodes = 2;
-  RecoveryEngine engine(WarehouseSigma(), options);
+  options.budgets.max_cover_nodes = 2;
+  Engine engine(WarehouseSigma(), options);
   Result<InverseChaseResult> result = engine.Recover(WarehouseTarget());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
@@ -326,8 +326,8 @@ TEST_F(ResilienceTest, DegradationLogRecordsRungAndCause) {
   obs::SetEnabled(true);
   resilience::ClearDegradationLog();
   EngineOptions tight;
-  tight.inverse.cover.max_nodes = 2;
-  RecoveryEngine engine(WarehouseSigma(), tight);
+  tight.budgets.max_cover_nodes = 2;
+  Engine engine(WarehouseSigma(), tight);
   Result<resilience::Degraded<AnswerSet>> degraded =
       engine.CertainAnswersDegraded(U("Q(id) :- Order(id, cust, item)"),
                                     WarehouseTarget());
@@ -352,7 +352,7 @@ TEST_F(ResilienceTest, InjectedBudgetFaultPropagatesWithPayload) {
   dxrec::testing::FaultInjector::Global().Arm(plan);
   EngineOptions options;
   options.resilience.degrade = false;
-  RecoveryEngine engine(WarehouseSigma(), options);
+  Engine engine(WarehouseSigma(), options);
   Result<InverseChaseResult> result = engine.Recover(WarehouseTarget());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
@@ -366,7 +366,7 @@ TEST_F(ResilienceTest, InjectedFaultDegradesLikeARealTrip) {
   plan.site = "cover.nodes";
   plan.seed = 0;
   dxrec::testing::FaultInjector::Global().Arm(plan);
-  RecoveryEngine engine(WarehouseSigma());
+  Engine engine(WarehouseSigma());
   Instance j = WarehouseTarget();
   UnionQuery q = U("Q(id) :- Order(id, cust, item)");
   Result<resilience::Degraded<AnswerSet>> degraded =
@@ -404,9 +404,9 @@ TEST_F(ResilienceTest, HeartbeatJoinedOnErrorReturnPaths) {
   EngineOptions options;
   options.obs.progress_seconds = 0.001;
   options.obs.progress_stderr = false;
-  options.inverse.cover.max_nodes = 2;
+  options.budgets.max_cover_nodes = 2;
   options.resilience.degrade = false;
-  RecoveryEngine engine(WarehouseSigma(), options);
+  Engine engine(WarehouseSigma(), options);
   Result<InverseChaseResult> result = engine.Recover(WarehouseTarget());
   ASSERT_FALSE(result.ok());
   EXPECT_FALSE(obs::ProgressActive()) << "heartbeat outlived the call";

@@ -1,0 +1,179 @@
+// Unit tests for the work-stealing pool and its fork-join task groups
+// (util/thread_pool.h, docs/PARALLELISM.md).
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "resilience/execution_context.h"
+
+namespace dxrec {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsHasAFloorOfOne) {
+  EXPECT_GE(util::ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  util::ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  {
+    util::TaskGroup group(&pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.Run([&runs, i] { runs[i].fetch_add(1); });
+    }
+    group.Wait();
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(runs[i].load(), 1) << "task " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, GroupIsReusableAfterWait) {
+  util::ThreadPool pool(2);
+  util::TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      group.Run([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 100);
+  }
+}
+
+TEST(ThreadPool, TinyQueuesFallBackToCallerRuns) {
+  // With capacity 1 most submissions find every queue full; the pool must
+  // run those on the caller instead of dropping or blocking.
+  util::ThreadPoolOptions options;
+  options.queue_capacity = 1;
+  util::ThreadPool pool(2, options);
+  std::atomic<int> count{0};
+  util::TaskGroup group(&pool);
+  for (int i = 0; i < 500; ++i) {
+    group.Run([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // Every pool task opens its own group on the same (small) pool — the
+  // shape of the per-cover back-homomorphism fan-out. Help-first Wait
+  // must keep this from starving: 2 workers, 8 outer x 16 inner tasks.
+  util::ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  util::TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Run([&pool, &inner_runs] {
+      util::TaskGroup inner(&pool);
+      for (int j = 0; j < 16; ++j) {
+        inner.Run([&inner_runs] { inner_runs.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_runs.load(), 8 * 16);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks rendezvous: each waits (with a deadline) for the other to
+  // start, which only succeeds if two threads run them at the same time.
+  util::ThreadPool pool(4);
+  std::atomic<int> started{0};
+  std::atomic<int> met{0};
+  auto rendezvous = [&started, &met] {
+    started.fetch_add(1);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (started.load() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    if (started.load() >= 2) met.fetch_add(1);
+  };
+  util::TaskGroup group(&pool);
+  group.Run(rendezvous);
+  group.Run(rendezvous);
+  group.Wait();
+  EXPECT_EQ(met.load(), 2);
+}
+
+TEST(TaskGroup, NullPoolRunsInline) {
+  std::atomic<int> count{0};
+  util::TaskGroup group(nullptr);
+  std::thread::id owner = std::this_thread::get_id();
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&count, owner] {
+      EXPECT_EQ(std::this_thread::get_id(), owner);
+      count.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(TaskGroup, TrippedContextStillRunsEveryTask) {
+  // Cancellation is cooperative: a tripped context makes Run() execute
+  // inline (cheap — the task's own checkpoints bail out), but every task
+  // still runs exactly once so index-tagged result slots stay filled.
+  util::ThreadPool pool(2);
+  auto cancel = std::make_shared<resilience::CancelToken>();
+  resilience::ExecutionContext context;
+  context.SetCancelToken(cancel);
+  cancel->Cancel();
+  ASSERT_NE(context.Check(), resilience::StopCause::kNone);
+
+  std::atomic<int> count{0};
+  util::TaskGroup group(&pool, &context);
+  for (int i = 0; i < 50; ++i) {
+    group.Run([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGroup, DestructorWaitsForOutstandingTasks) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    util::TaskGroup group(&pool);
+    for (int i = 0; i < 200; ++i) {
+      group.Run([&count] { count.fetch_add(1); });
+    }
+    // No explicit Wait: ~TaskGroup must block until all 200 ran.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ManyGroupsFromManyThreads) {
+  // Owner threads submitting concurrently into one shared pool — the
+  // Engine's shape when several calls share its long-lived pool.
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> owners;
+  for (int t = 0; t < 4; ++t) {
+    owners.emplace_back([&pool, &count] {
+      for (int round = 0; round < 5; ++round) {
+        util::TaskGroup group(&pool);
+        for (int i = 0; i < 50; ++i) {
+          group.Run([&count] { count.fetch_add(1); });
+        }
+        group.Wait();
+      }
+    });
+  }
+  for (std::thread& owner : owners) owner.join();
+  EXPECT_EQ(count.load(), 4 * 5 * 50);
+}
+
+}  // namespace
+}  // namespace dxrec
