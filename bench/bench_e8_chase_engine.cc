@@ -15,6 +15,8 @@
 #include "datagen/generators.h"
 #include "datagen/scenarios.h"
 #include "logic/parser.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace dxrec {
 namespace {
@@ -114,6 +116,52 @@ BENCHMARK(BM_InverseChase)
     ->Args({6, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Observability overhead A/B: the same forward chase with obs off
+// (baseline), obs on (spans + metrics), and obs + the sampling profiler
+// (frame stacks + the 200 Hz sampler thread). Run the three variants in
+// one binary invocation (ideally with --benchmark_enable_random_
+// interleaving) so they share machine state; scripts/check.sh's
+// DXREC_CHECK_OBS_OVERHEAD gate compares their medians. Modes: 0 = obs
+// off, 1 = obs on, 2 = obs + profiler.
+void ForwardChaseObsBody(benchmark::State& state, int mode) {
+  DependencySet sigma = BenchSigma();
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(mode >= 1);
+  if (mode == 2) obs::Profiler::Global().Start();
+  for (auto _ : state) {
+    obs::Span span("bench_e8_chase");
+    Instance result = Chase(sigma, source, &FreshNulls());
+    benchmark::DoNotOptimize(result.size());
+    // Keep the span buffer bounded: a benchmark loop would otherwise
+    // accumulate one trace event per iteration forever.
+    state.PauseTiming();
+    obs::Tracer::Global().Clear();
+    state.ResumeTiming();
+  }
+  if (mode == 2) {
+    obs::Profiler::Global().Stop();
+    obs::Profiler::Global().Clear();
+  }
+  obs::SetEnabled(was_enabled);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ForwardChaseObsOff(benchmark::State& state) {
+  ForwardChaseObsBody(state, 0);
+}
+BENCHMARK(BM_ForwardChaseObsOff)->Arg(1000);
+
+void BM_ForwardChaseObsOn(benchmark::State& state) {
+  ForwardChaseObsBody(state, 1);
+}
+BENCHMARK(BM_ForwardChaseObsOn)->Arg(1000);
+
+void BM_ForwardChaseObsProfiled(benchmark::State& state) {
+  ForwardChaseObsBody(state, 2);
+}
+BENCHMARK(BM_ForwardChaseObsProfiled)->Arg(1000);
 
 void BM_Satisfies(benchmark::State& state) {
   DependencySet sigma = BenchSigma();

@@ -30,6 +30,12 @@
 //                            (default dxrec_events.jsonl)
 //   --progress[=<secs>]      heartbeat + stall watchdog on stderr
 //                            (default every 1s)
+//   --profile[=<file>]       sampling profiler; write folded stacks on
+//                            exit (default dxrec_profile.folded)
+//   --openmetrics[=<file>]   write an OpenMetrics exposition on exit
+//                            (default dxrec_metrics.om)
+//   --snapshot-interval=<s>  periodic JSONL metric snapshots + window
+//                            rotation (dxrec_snapshots.jsonl)
 //
 // Resilience flags (see docs/ROBUSTNESS.md):
 //   --deadline=<secs>        wall-clock deadline per command
@@ -41,10 +47,12 @@
 //   target {S(a), P(b1), P(b2)}
 //   recover
 //   cert Q(x) :- R(x, 'b2')
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/engine.h"
@@ -52,6 +60,8 @@
 #include "logic/parser.h"
 #include "logic/printer.h"
 #include "obs/events.h"
+#include "obs/export.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "relational/instance_ops.h"
@@ -69,7 +79,7 @@ void PrintHelp() {
       "          loadtarget <path> | savetarget <path> |\n"
       "          set <key> <value> | help | quit\n"
       "set keys: cover_nodes cover_covers max_recoveries threads\n"
-      "          deadline_ms degrade\n"
+      "          deadline_ms degrade profile snapshot_interval\n"
       "flags:    --trace[=<file>]        Chrome trace-event JSON on exit\n"
       "                                  (default dxrec_trace.json)\n"
       "          --metrics-json[=<file>] metrics/span run report on exit\n"
@@ -78,6 +88,13 @@ void PrintHelp() {
       "                                  (default dxrec_events.jsonl)\n"
       "          --progress[=<secs>]     stderr heartbeat + stall watchdog\n"
       "                                  (default every 1s)\n"
+      "          --profile[=<file>]      sampling profiler; folded stacks\n"
+      "                                  on exit (default "
+      "dxrec_profile.folded)\n"
+      "          --openmetrics[=<file>]  OpenMetrics exposition on exit\n"
+      "                                  (default dxrec_metrics.om)\n"
+      "          --snapshot-interval=<s> periodic JSONL metric snapshots\n"
+      "                                  (dxrec_snapshots.jsonl)\n"
       "          --deadline=<secs>       wall-clock deadline per command\n"
       "          --degrade=on|off        degrade to sound answers on trips\n"
       "                                  (default on)\n"
@@ -312,6 +329,17 @@ class Shell {
           static_cast<double>(value) / 1000.0;
     } else if (key == "degrade") {
       options_.resilience.degrade = (raw == "on" || raw == "1");
+    } else if (key == "profile") {
+      // Starts the sampling profiler; never stops a running one (the
+      // obs collectors' never-turns-off contract).
+      options_.obs.profile = (raw == "on" || raw == "1");
+      options_.obs.enabled = options_.obs.enabled || options_.obs.profile;
+      obs::Apply(options_.obs);
+    } else if (key == "snapshot_interval") {
+      options_.obs.snapshot_interval_seconds =
+          std::strtod(raw.c_str(), nullptr);
+      options_.obs.enabled = true;
+      obs::Apply(options_.obs);
     } else {
       std::printf("unknown key '%s' (try 'help')\n", key.c_str());
       return;
@@ -355,6 +383,9 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string events_path;
   std::string progress_secs;
+  std::string profile_path;
+  std::string openmetrics_path;
+  std::string snapshot_secs;
   std::string deadline_secs;
   std::string degrade;
   std::string threads;
@@ -365,6 +396,10 @@ int main(int argc, char** argv) {
                   &metrics_path) ||
         MatchFlag(arg, "--events", "dxrec_events.jsonl", &events_path) ||
         MatchFlag(arg, "--progress", "1", &progress_secs) ||
+        MatchFlag(arg, "--profile", "dxrec_profile.folded", &profile_path) ||
+        MatchFlag(arg, "--openmetrics", "dxrec_metrics.om",
+                  &openmetrics_path) ||
+        MatchFlag(arg, "--snapshot-interval", "1", &snapshot_secs) ||
         MatchFlag(arg, "--deadline", "0", &deadline_secs) ||
         MatchFlag(arg, "--degrade", "on", &degrade) ||
         MatchFlag(arg, "--threads", "0", &threads)) {
@@ -377,10 +412,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
     return 1;
   }
-  if (!trace_path.empty() || !metrics_path.empty() ||
-      !events_path.empty() || !progress_secs.empty()) {
-    obs::SetEnabled(true);
+  obs::ObsOptions obs_options;
+  obs_options.enabled = !trace_path.empty() || !metrics_path.empty() ||
+                        !events_path.empty() || !progress_secs.empty() ||
+                        !openmetrics_path.empty();
+  obs_options.profile = !profile_path.empty();
+  if (!snapshot_secs.empty()) {
+    obs_options.snapshot_interval_seconds =
+        std::strtod(snapshot_secs.c_str(), nullptr);
+    if (obs_options.snapshot_interval_seconds <= 0) {
+      obs_options.snapshot_interval_seconds = 1.0;
+    }
+    obs_options.enabled = true;
+    // Registered before the snapshotter starts so its very first tick
+    // reaches the file.
+    obs::ExporterRegistry::Global().Add(
+        std::make_shared<obs::JsonlSnapshotExporter>("dxrec_snapshots.jsonl"));
   }
+  obs::Apply(obs_options);
   if (!events_path.empty()) obs::SetEventsEnabled(true);
   if (!progress_secs.empty()) {
     obs::ProgressOptions progress;
@@ -390,6 +439,7 @@ int main(int argc, char** argv) {
   }
 
   EngineOptions options;
+  options.obs = obs_options;
   if (!deadline_secs.empty()) {
     options.resilience.deadline_seconds =
         std::strtod(deadline_secs.c_str(), nullptr);
@@ -400,9 +450,22 @@ int main(int argc, char** argv) {
   if (!threads.empty()) {
     options.parallel.threads = std::strtoull(threads.c_str(), nullptr, 10);
   }
-  Shell(std::move(options)).Run();
+  const auto session_started = std::chrono::steady_clock::now();
+  {
+    // Root span so the profiler has a frame covering the whole session:
+    // per-phase self times then sum to the session's wall time.
+    std::optional<obs::Span> session;
+    if (!profile_path.empty()) session.emplace("session");
+    Shell(std::move(options)).Run();
+    obs::Profiler::Global().Stop();  // final flush while `session` is live
+  }
+  const int64_t session_wall_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - session_started)
+          .count();
 
   obs::ProgressMonitor::Global().Stop();
+  obs::Snapshotter::Global().Stop();
   int exit_code = 0;
   if (!events_path.empty()) {
     Status status = obs::WriteEventsJsonl(events_path);
@@ -434,6 +497,37 @@ int main(int argc, char** argv) {
       std::printf("metrics written to %s\n", metrics_path.c_str());
     } else {
       std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (!profile_path.empty()) {
+    Status status =
+        obs::WriteTextFile(profile_path, obs::Profiler::Global().FoldedStacks());
+    if (status.ok()) {
+      std::printf("profile written to %s (%lld us sampled / %lld us wall)\n",
+                  profile_path.c_str(),
+                  static_cast<long long>(
+                      obs::Profiler::Global().TotalSampledUs()),
+                  static_cast<long long>(session_wall_us));
+    } else {
+      std::fprintf(stderr, "profile: %s\n", status.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  if (!openmetrics_path.empty()) {
+    obs::UpdateDerivedGauges();
+    obs::MetricsSnapshot cumulative = obs::MetricsRegistry::Global().Read();
+    obs::MetricsSnapshot window;
+    double window_seconds = 0;
+    const bool have_window = obs::MetricsWindow::Global().Window(
+        60.0, &window, &window_seconds);
+    Status status = obs::WriteOpenMetrics(openmetrics_path, cumulative,
+                                          have_window ? &window : nullptr,
+                                          window_seconds);
+    if (status.ok()) {
+      std::printf("openmetrics written to %s\n", openmetrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "openmetrics: %s\n", status.ToString().c_str());
       exit_code = 1;
     }
   }

@@ -17,6 +17,11 @@
 # whatever presets were requested — cheap enough to use while iterating
 # on the pool or the parallel inverse chase without a full tsan suite.
 #
+# Always validates the CLI's --openmetrics exposition (and a non-empty
+# --profile folded-stack file) via scripts/validate_openmetrics.py; with
+# DXREC_CHECK_OBS_OVERHEAD=1 additionally gates the obs+profiler
+# overhead at 3% of the obs-off bench_e8 median.
+#
 # Also enforces source-level invariants (budget failures must go through
 # obs::BudgetExhausted) and, with DXREC_CHECK_BENCH=1, records a
 # bench_e8 perf snapshot under bench_history/ and diffs it against the
@@ -73,7 +78,25 @@ if [ "${DXREC_CHECK_TSAN:-0}" = "1" ]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$jobs"
   ctest --preset tsan -j "$jobs" --repeat until-fail:3 \
-      -R 'thread_pool_test|parallel_engine_test|fault_sweep_test|obs_events_test|resilience_test'
+      -R 'thread_pool_test|parallel_engine_test|fault_sweep_test|obs_events_test|obs_test|obs_profiler_test|obs_export_test|resilience_test'
+fi
+
+# OpenMetrics exposition check: drive the CLI with --openmetrics over
+# the warehouse example and validate the output against the format rules
+# (scripts/validate_openmetrics.py). Cheap, so it always runs; uses the
+# default preset's CLI binary, building just that target if needed.
+echo "=== openmetrics exposition check ==="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target dxrec_cli >/dev/null
+om_dir=$(mktemp -d)
+trap 'rm -rf "$om_dir"' EXIT
+printf 'loadsigma examples/data/warehouse.tgds\ntarget {Ledger(ann, o1), Shipment(o1, tea), Available(tea)}\nrecover\nquit\n' \
+  | build/examples/dxrec_cli --openmetrics="$om_dir/metrics.om" \
+      --profile="$om_dir/profile.folded" >/dev/null
+python3 scripts/validate_openmetrics.py "$om_dir/metrics.om"
+if [ ! -s "$om_dir/profile.folded" ]; then
+  echo "--profile produced an empty folded-stack file" >&2
+  exit 1
 fi
 
 # Robustness sweep (opt-in: needs the asan preset built). Runs the
@@ -144,6 +167,48 @@ if [ "${DXREC_CHECK_BENCH:-0}" = "1" ]; then
           --min-speedup "$min_speedup" "$snap"
     fi
   fi
+fi
+
+# Observability overhead gate (opt-in: slow and timing-sensitive). Runs
+# the bench_e8 obs A/B trio — obs off / obs on / obs + profiler — with
+# random interleaving so the variants share machine state, then asserts
+# the obs+profiler median stays within 3% of the obs-off median. This is
+# the "observability is cheap enough to leave on" budget from
+# docs/OBSERVABILITY.md, checked end-to-end including the sampler thread.
+if [ "${DXREC_CHECK_OBS_OVERHEAD:-0}" = "1" ]; then
+  echo "=== obs overhead gate (bench_e8 medians, obs+profiler vs off) ==="
+  cmake --build --preset default -j "$jobs" --target bench_e8_chase_engine \
+      >/dev/null
+  DXREC_BENCH_JSON_DIR="$om_dir" build/bench/bench_e8_chase_engine \
+      --benchmark_filter='ForwardChaseObs' \
+      --benchmark_repetitions=9 \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_enable_random_interleaving=true \
+      --benchmark_min_time=0.05 >"$om_dir/obs_overhead.txt" 2>&1
+  python3 - "$om_dir/BENCH_E8.json" <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+medians = {}
+for row in rows:
+    name = row.get("name", "")
+    if name.endswith("_median"):
+        for variant in ("ObsOff", "ObsOn", "ObsProfiled"):
+            if variant in name:
+                medians[variant] = float(row["real_time"])
+missing = [v for v in ("ObsOff", "ObsProfiled") if v not in medians]
+if missing:
+    sys.exit(f"obs overhead gate: no median rows for {missing}")
+off, profiled = medians["ObsOff"], medians["ObsProfiled"]
+ratio = profiled / off
+print(f"obs-off median:      {off:.0f} ns")
+if "ObsOn" in medians:
+    print(f"obs-on median:       {medians['ObsOn']:.0f} ns "
+          f"({medians['ObsOn'] / off:+.2%} vs off)")
+print(f"obs+profiler median: {profiled:.0f} ns ({ratio - 1:+.2%} vs off)")
+if ratio > 1.03:
+    sys.exit(f"obs+profiler overhead {ratio - 1:.2%} exceeds the 3% budget")
+print("within the 3% budget")
+EOF
 fi
 
 echo "All requested configurations passed: ${presets[*]}"

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validates an OpenMetrics v1 text exposition (what `dxrec_cli
+--openmetrics` writes).
+
+Checks, without external dependencies:
+
+  - the file ends with exactly one `# EOF` line and nothing follows it;
+  - every sample belongs to a preceding `# TYPE` declaration, with the
+    suffix rules of its type (counters expose `<name>_total`, histograms
+    expose `_bucket`/`_sum`/`_count`);
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  - every sample value parses as a number;
+  - histogram bucket counts are cumulative (non-decreasing in `le`
+    order), the `le="+Inf"` bucket is present, and it equals `_count`;
+  - no metric family is declared twice.
+
+Usage: validate_openmetrics.py <file> [<file> ...]
+Exit status 0 when every file validates, 1 otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)(?: (\S+))?$")
+LABEL_RE = re.compile(r'^(\w+)="((?:[^"\\]|\\.)*)"$')
+
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "info",
+               "stateset", "unknown"}
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)  # raises ValueError on garbage
+
+
+def family_for(name, families):
+    """Maps a sample name to its declared family, honoring suffixes."""
+    if name in families:
+        return name
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def validate(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+
+    if not text.endswith("# EOF\n"):
+        errors.append("missing terminal '# EOF' line")
+    lines = text.splitlines()
+    eof_seen = False
+
+    families = {}  # name -> type
+    # histogram family -> list of (le, cumulative_count), plus counts
+    buckets = {}
+    counts = {}
+
+    for lineno, line in enumerate(lines, 1):
+        def err(message):
+            errors.append(f"line {lineno}: {message}: {line!r}")
+
+        if eof_seen:
+            err("content after '# EOF'")
+            break
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m is None:
+                if line.startswith("# TYPE"):
+                    err("malformed TYPE declaration")
+                continue  # HELP/UNIT comments: ignored
+            name, family_type = m.groups()
+            if family_type not in VALID_TYPES:
+                err(f"unknown family type '{family_type}'")
+            if name in families:
+                err(f"family '{name}' declared twice")
+            families[name] = family_type
+            continue
+        if not line.strip():
+            err("blank line")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err("unparseable sample line")
+            continue
+        name, labels, raw_value = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            err(f"invalid metric name '{name}'")
+            continue
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            err(f"unparseable value '{raw_value}'")
+            continue
+
+        family = family_for(name, families)
+        if family is None:
+            err(f"sample '{name}' has no TYPE declaration")
+            continue
+        family_type = families[family]
+
+        if family_type == "counter" and not name.endswith(
+                ("_total", "_created")):
+            err(f"counter sample '{name}' must end in _total")
+        if family_type == "gauge" and name != family:
+            err(f"gauge sample '{name}' must not carry a suffix")
+
+        if family_type == "histogram":
+            if name == family + "_bucket":
+                le = None
+                if labels:
+                    for part in labels[1:-1].split(","):
+                        lm = LABEL_RE.match(part)
+                        if lm is None:
+                            err(f"malformed label '{part}'")
+                        elif lm.group(1) == "le":
+                            le = lm.group(2)
+                if le is None:
+                    err("histogram bucket without an 'le' label")
+                    continue
+                try:
+                    le_value = parse_value(le)
+                except ValueError:
+                    err(f"unparseable le value '{le}'")
+                    continue
+                buckets.setdefault(family, []).append(
+                    (lineno, le_value, value))
+            elif name == family + "_count":
+                counts[family] = (lineno, value)
+            elif name not in (family + "_sum", family + "_created"):
+                err(f"unexpected histogram sample '{name}'")
+
+    if not eof_seen:
+        errors.append("no '# EOF' line found")
+
+    for family, rows in buckets.items():
+        prev_le, prev_count = None, None
+        inf_count = None
+        for lineno, le_value, count in rows:
+            if prev_le is not None and le_value <= prev_le:
+                errors.append(
+                    f"line {lineno}: {family}_bucket le values not "
+                    f"increasing ({le_value} after {prev_le})")
+            if prev_count is not None and count < prev_count:
+                errors.append(
+                    f"line {lineno}: {family}_bucket counts not cumulative "
+                    f"({count} after {prev_count})")
+            prev_le, prev_count = le_value, count
+            if le_value == float("inf"):
+                inf_count = count
+        if inf_count is None:
+            errors.append(f"{family}: no le=\"+Inf\" bucket")
+        elif family in counts and counts[family][1] != inf_count:
+            errors.append(
+                f"{family}: +Inf bucket ({inf_count}) != _count "
+                f"({counts[family][1]})")
+    for family, (lineno, _) in counts.items():
+        if family not in buckets:
+            errors.append(f"{family}: _count without any _bucket samples")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID", file=sys.stderr)
+            for error in errors[:50]:
+                print(f"  {error}", file=sys.stderr)
+            if len(errors) > 50:
+                print(f"  ... and {len(errors) - 50} more", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

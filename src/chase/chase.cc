@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include "chase/homomorphism.h"
+#include "obs/alloc.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,6 +17,7 @@ std::string Trigger::ToString(const DependencySet& sigma) const {
 std::vector<Trigger> FindTriggers(const DependencySet& sigma,
                                   const Instance& input,
                                   const resilience::ExecutionContext* context) {
+  obs::alloc::AllocScope alloc_scope("chase");
   std::vector<Trigger> out;
   HomSearchOptions options;
   options.context = context;
@@ -62,6 +64,7 @@ Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
                        NullSource* nulls,
                        const resilience::ExecutionContext* context) {
   (void)input;  // triggers already reference the input's terms
+  obs::alloc::AllocScope alloc_scope("chase");
   Instance out;
   uint64_t fired_count = 0;
   for (const Trigger& trigger : triggers) {

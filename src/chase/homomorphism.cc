@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/alloc.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -392,12 +393,14 @@ void ForEachHomomorphism(
     const std::vector<Atom>& pattern, const Instance& target,
     const HomSearchOptions& options,
     const std::function<bool(const Substitution&)>& callback) {
+  obs::alloc::AllocScope alloc_scope("hom_search");
   Matcher(pattern, target, options, callback).Run();
 }
 
 HomSearchResult FindHomomorphismsChecked(const std::vector<Atom>& pattern,
                                          const Instance& target,
                                          const HomSearchOptions& options) {
+  obs::alloc::AllocScope alloc_scope("hom_search");
   const std::function<bool(const Substitution&)> no_op =
       [](const Substitution&) { return true; };
   if (options.pool != nullptr && options.pool->num_threads() > 0 &&

@@ -3,12 +3,19 @@
 #include <utility>
 
 #include "obs/progress.h"
+#include "obs/report.h"
 #include "resilience/degraded.h"
 #include "resilience/execution_context.h"
 
 namespace dxrec {
 
 namespace {
+
+// Re-baselines the per-run metrics delta (obs/report.h) so each engine
+// call reports its own numbers, not the process lifetime's.
+void MarkRun() {
+  if (obs::Enabled()) obs::MarkRunStart();
+}
 
 // Arms `ctx` from the engine's resilience options and returns the pointer
 // to thread into per-call options — null when neither a deadline nor a
@@ -119,6 +126,7 @@ Status Engine::Validate() const {
 }
 
 Result<InverseChaseResult> Engine::Recover(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -130,6 +138,7 @@ Result<InverseChaseResult> Engine::Recover(const Instance& target) const {
 }
 
 Result<bool> Engine::IsValid(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -139,6 +148,7 @@ Result<bool> Engine::IsValid(const Instance& target) const {
 }
 
 Result<bool> Engine::IsUniversalForSomeSource(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -148,6 +158,7 @@ Result<bool> Engine::IsUniversalForSomeSource(const Instance& target) const {
 }
 
 Result<bool> Engine::IsCanonicalForSomeSource(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -158,6 +169,7 @@ Result<bool> Engine::IsCanonicalForSomeSource(const Instance& target) const {
 
 Result<AnswerSet> Engine::CertainAnswers(const UnionQuery& query,
                                          const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -168,6 +180,7 @@ Result<AnswerSet> Engine::CertainAnswers(const UnionQuery& query,
 
 Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
     const UnionQuery& query, const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -210,6 +223,7 @@ Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
 
 Result<resilience::Degraded<InverseChaseResult>> Engine::RecoverDegraded(
     const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -231,6 +245,7 @@ Result<resilience::Degraded<InverseChaseResult>> Engine::RecoverDegraded(
 }
 
 Result<TractabilityReport> Engine::Analyze(const Instance& target) const {
+  MarkRun();
   resilience::ExecutionContext ctx;
   return AnalyzeTractability(
       sigma_, target,
@@ -238,6 +253,7 @@ Result<TractabilityReport> Engine::Analyze(const Instance& target) const {
 }
 
 Result<Instance> Engine::CompleteUcqRecovery(const Instance& target) const {
+  MarkRun();
   resilience::ExecutionContext ctx;
   return dxrec::CompleteUcqRecovery(
       sigma_, target,
@@ -246,10 +262,12 @@ Result<Instance> Engine::CompleteUcqRecovery(const Instance& target) const {
 
 AnswerSet Engine::SoundUcqAnswers(const UnionQuery& query,
                                   const Instance& target) const {
+  MarkRun();
   return dxrec::SoundUcqAnswers(query, sigma_, target);
 }
 
 Result<SubUniversalResult> Engine::SubUniversal(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -260,6 +278,7 @@ Result<SubUniversalResult> Engine::SubUniversal(const Instance& target) const {
 
 Result<AnswerSet> Engine::SoundCqAnswers(const ConjunctiveQuery& query,
                                          const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -269,6 +288,7 @@ Result<AnswerSet> Engine::SoundCqAnswers(const ConjunctiveQuery& query,
 }
 
 Result<DependencySet> Engine::MaximumRecoveryMapping() const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -277,6 +297,7 @@ Result<DependencySet> Engine::MaximumRecoveryMapping() const {
 }
 
 Result<Instance> Engine::BaselineRecoveredSource(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -286,6 +307,7 @@ Result<Instance> Engine::BaselineRecoveredSource(const Instance& target) const {
 }
 
 Result<RepairResult> Engine::Repair(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
@@ -295,6 +317,7 @@ Result<RepairResult> Engine::Repair(const Instance& target) const {
 }
 
 Result<Instance> Engine::RepairGreedy(const Instance& target) const {
+  MarkRun();
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;

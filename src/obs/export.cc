@@ -1,0 +1,298 @@
+#include "obs/export.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/events.h"
+#include "obs/report.h"
+
+namespace dxrec {
+namespace obs {
+
+ExporterRegistry& ExporterRegistry::Global() {
+  static ExporterRegistry* registry = new ExporterRegistry();  // leaked
+  return *registry;
+}
+
+void ExporterRegistry::Add(std::shared_ptr<Exporter> exporter) {
+  if (exporter == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  exporters_.push_back(std::move(exporter));
+}
+
+void ExporterRegistry::Remove(const Exporter* exporter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = exporters_.begin(); it != exporters_.end(); ++it) {
+    if (it->get() == exporter) {
+      exporters_.erase(it);
+      return;
+    }
+  }
+}
+
+size_t ExporterRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exporters_.size();
+}
+
+void ExporterRegistry::EmitMetrics(double t_seconds,
+                                   const MetricsSnapshot& cumulative,
+                                   const MetricsSnapshot* window,
+                                   double window_seconds) {
+  std::vector<std::shared_ptr<Exporter>> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks = exporters_;
+  }
+  for (const std::shared_ptr<Exporter>& sink : sinks) {
+    sink->ExportMetrics(t_seconds, cumulative, window, window_seconds);
+  }
+}
+
+void ExporterRegistry::EmitHeartbeat(const HeartbeatSample& sample) {
+  std::vector<std::shared_ptr<Exporter>> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks = exporters_;
+  }
+  for (const std::shared_ptr<Exporter>& sink : sinks) {
+    sink->ExportHeartbeat(sample);
+  }
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "dxrec_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+// Canonical-ish float rendering for `le` label values ("127.0", "+Inf").
+std::string LeValue(uint64_t ub) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ub));
+  return buf;
+}
+
+void AppendCounterFamily(const std::string& name, uint64_t value,
+                         std::string* out) {
+  const std::string metric = SanitizeMetricName(name);
+  *out += "# TYPE " + metric + " counter\n";
+  *out += metric + "_total " + std::to_string(value) + "\n";
+}
+
+void AppendGaugeFamily(const std::string& name, int64_t value,
+                       std::string* out) {
+  const std::string metric = SanitizeMetricName(name);
+  *out += "# TYPE " + metric + " gauge\n";
+  *out += metric + " " + std::to_string(value) + "\n";
+}
+
+void AppendHistogramFamily(const std::string& name,
+                           const HistogramSnapshot& h, std::string* out) {
+  const std::string metric = SanitizeMetricName(name);
+  *out += "# TYPE " + metric + " histogram\n";
+  uint64_t cumulative = 0;
+  for (const HistogramBucketSnapshot& bucket : h.buckets) {
+    cumulative += bucket.count;
+    *out += metric + "_bucket{le=\"" + LeValue(bucket.ub) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+  *out += metric + "_sum " + std::to_string(h.sum) + "\n";
+  *out += metric + "_count " + std::to_string(h.count) + "\n";
+}
+
+}  // namespace
+
+std::string OpenMetricsText(const MetricsSnapshot& snapshot,
+                            const MetricsSnapshot* window,
+                            double window_seconds) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendCounterFamily(name, value, &out);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendGaugeFamily(name, value, &out);
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    AppendHistogramFamily(h.name, h, &out);
+  }
+  if (window != nullptr) {
+    // Windowed deltas: counters become gauges (a delta is not monotone),
+    // histograms keep their shape, all under `<name>_window` names with
+    // the achieved span published alongside.
+    char span[32];
+    std::snprintf(span, sizeof(span), "%.3f", window_seconds);
+    out += "# TYPE dxrec_window_seconds gauge\n";
+    out += "dxrec_window_seconds ";
+    out += span;
+    out += "\n";
+    for (const auto& [name, value] : window->counters) {
+      AppendGaugeFamily(name + ".window", static_cast<int64_t>(value), &out);
+    }
+    for (const HistogramSnapshot& h : window->histograms) {
+      AppendHistogramFamily(h.name + ".window", h, &out);
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+Status WriteOpenMetrics(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const MetricsSnapshot* window,
+                        double window_seconds) {
+  return WriteTextFile(path,
+                       OpenMetricsText(snapshot, window, window_seconds));
+}
+
+JsonlSnapshotExporter::JsonlSnapshotExporter(std::string path)
+    : path_(std::move(path)) {}
+
+void JsonlSnapshotExporter::ExportMetrics(double t_seconds,
+                                          const MetricsSnapshot& cumulative,
+                                          const MetricsSnapshot* window,
+                                          double window_seconds) {
+  char t_buf[32];
+  std::snprintf(t_buf, sizeof(t_buf), "%.3f", t_seconds);
+  std::string line = "{\"t\":";
+  line += t_buf;
+  line += ",\"metrics\":" + MetricsJson(cumulative);
+  if (window != nullptr) {
+    char span[32];
+    std::snprintf(span, sizeof(span), "%.3f", window_seconds);
+    line += ",\"window_seconds\":";
+    line += span;
+    line += ",\"window\":" + MetricsJson(*window);
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) {
+    status_ = Status::NotFound("cannot open '" + path_ + "' for appending");
+    return;
+  }
+  const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != line.size() || close_err != 0) {
+    status_ = Status::Internal("short write to '" + path_ + "'");
+    return;
+  }
+  ++lines_;
+}
+
+uint64_t JsonlSnapshotExporter::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void StderrHeartbeatExporter::ExportHeartbeat(const HeartbeatSample& sample) {
+  std::fprintf(stderr,
+               "[dxrec] phase=%s work=%" PRIu64 " covers=%" PRIu64
+               " budget=%s:%" PRId64 " elapsed=%.1fs\n",
+               sample.phase[0] == '\0' ? "-" : sample.phase, sample.work,
+               sample.covers,
+               sample.budget_name[0] == '\0' ? "-" : sample.budget_name,
+               sample.budget_remaining, sample.elapsed_seconds);
+  if (sample.stalled) {
+    std::fprintf(stderr,
+                 "[dxrec] WATCHDOG: no forward progress for %.1fs "
+                 "(phase=%s work=%" PRIu64 ")\n",
+                 sample.stalled_seconds,
+                 sample.phase[0] == '\0' ? "-" : sample.phase, sample.work);
+  }
+}
+
+void UpdateDerivedGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EventSink& sink = EventSink::Global();
+  static Gauge* recorded = registry.GetGauge("events.recorded");
+  static Gauge* dropped = registry.GetGauge("events.dropped");
+  recorded->Set(static_cast<int64_t>(sink.recorded()));
+  dropped->Set(static_cast<int64_t>(sink.dropped()));
+}
+
+Snapshotter& Snapshotter::Global() {
+  static Snapshotter* snapshotter = new Snapshotter();  // leaked
+  return *snapshotter;
+}
+
+bool Snapshotter::Start(double interval_seconds) {
+  if (interval_seconds <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return false;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this, interval_seconds] { Loop(interval_seconds); });
+  return true;
+}
+
+void Snapshotter::Stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    worker = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
+}
+
+bool Snapshotter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t Snapshotter::ticks() const {
+  return ticks_.load(std::memory_order_relaxed);
+}
+
+void Snapshotter::Loop(double interval_seconds) {
+  const auto started = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(interval_seconds),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    TickOnce(t);
+    lock.lock();
+  }
+  // Final snapshot so short runs still leave at least one line behind.
+  lock.unlock();
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+  TickOnce(t);
+  lock.lock();
+}
+
+void Snapshotter::TickOnce(double t_seconds) {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  UpdateDerivedGauges();
+  MetricsWindow& window = MetricsWindow::Global();
+  window.Rotate(t_seconds);
+  MetricsSnapshot cumulative = MetricsRegistry::Global().Read();
+  MetricsSnapshot delta;
+  double actual = 0;
+  const bool have_window = window.Window(60.0, &delta, &actual);
+  ExporterRegistry::Global().EmitMetrics(
+      t_seconds, cumulative, have_window ? &delta : nullptr, actual);
+}
+
+}  // namespace obs
+}  // namespace dxrec

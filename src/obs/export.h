@@ -1,0 +1,176 @@
+// Pluggable telemetry sinks over the obs collectors.
+//
+// `Exporter` is the sink interface: it receives periodic metric
+// snapshots (cumulative plus an optional windowed delta) and progress
+// heartbeats. Implementations here:
+//
+//   - OpenMetricsText / WriteOpenMetrics: OpenMetrics v1 text exposition
+//     of a MetricsSnapshot (counters as `_total`, gauges, histograms
+//     with cumulative `le` buckets, `# EOF` terminator) — what a scrape
+//     endpoint or `dxrec_cli --openmetrics` serves;
+//   - JsonlSnapshotExporter: appends one JSON line per snapshot to a
+//     file (the flight-data companion to the one-shot run report);
+//   - StderrHeartbeatExporter: the `--progress` one-liner, fed by
+//     ProgressMonitor through the same interface as every other sink so
+//     stderr and scrape output can never disagree on values.
+//
+// `Snapshotter` is the periodic driver: every interval it rotates
+// MetricsWindow::Global() and fans the cumulative + windowed snapshots
+// out to every registered exporter. Tests call TickOnce(t) directly.
+#ifndef DXREC_OBS_EXPORT_H_
+#define DXREC_OBS_EXPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+
+namespace dxrec {
+namespace obs {
+
+// One progress heartbeat, as sampled by ProgressMonitor::TickOnce.
+struct HeartbeatSample {
+  const char* phase = "";
+  uint64_t work = 0;
+  uint64_t covers = 0;
+  const char* budget_name = "";
+  int64_t budget_remaining = -1;
+  double elapsed_seconds = 0;
+  // Watchdog: set on the tick that first detects a stall episode.
+  bool stalled = false;
+  double stalled_seconds = 0;
+};
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+
+  // Periodic metrics push. `window` is the delta over the last
+  // `window_seconds` (null when the ring has fewer than two rotations).
+  virtual void ExportMetrics(double t_seconds,
+                             const MetricsSnapshot& cumulative,
+                             const MetricsSnapshot* window,
+                             double window_seconds) {
+    (void)t_seconds;
+    (void)cumulative;
+    (void)window;
+    (void)window_seconds;
+  }
+
+  // Progress heartbeat (one per ProgressMonitor tick).
+  virtual void ExportHeartbeat(const HeartbeatSample& sample) {
+    (void)sample;
+  }
+};
+
+// Process-global fan-out point. Sinks are shared_ptrs so removal is safe
+// while another thread is mid-emit (the emitting thread keeps its copy
+// alive).
+class ExporterRegistry {
+ public:
+  static ExporterRegistry& Global();
+
+  void Add(std::shared_ptr<Exporter> exporter);
+  void Remove(const Exporter* exporter);
+  size_t size() const;
+
+  void EmitMetrics(double t_seconds, const MetricsSnapshot& cumulative,
+                   const MetricsSnapshot* window, double window_seconds);
+  void EmitHeartbeat(const HeartbeatSample& sample);
+
+ private:
+  ExporterRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Exporter>> exporters_;
+};
+
+// `chase.triggers_fired` -> `dxrec_chase_triggers_fired` (prefix, dots
+// and other invalid characters to underscores).
+std::string SanitizeMetricName(const std::string& name);
+
+// OpenMetrics v1 text exposition, `# EOF`-terminated. When `window` is
+// non-null its histograms/counters are additionally exported as
+// `<name>_window` families with a `window_seconds` annotation gauge.
+std::string OpenMetricsText(const MetricsSnapshot& snapshot,
+                            const MetricsSnapshot* window = nullptr,
+                            double window_seconds = 0);
+
+Status WriteOpenMetrics(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const MetricsSnapshot* window = nullptr,
+                        double window_seconds = 0);
+
+// Appends `{"t":..,"metrics":{..},"window":{..},"window_seconds":..}`
+// lines to `path` on every ExportMetrics.
+class JsonlSnapshotExporter : public Exporter {
+ public:
+  explicit JsonlSnapshotExporter(std::string path);
+
+  void ExportMetrics(double t_seconds, const MetricsSnapshot& cumulative,
+                     const MetricsSnapshot* window,
+                     double window_seconds) override;
+
+  uint64_t lines_written() const;
+  const Status& last_status() const { return status_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  uint64_t lines_ = 0;
+  Status status_ = Status::Ok();
+};
+
+// The `--progress` stderr one-liner (plus the watchdog warning), moved
+// behind the Exporter interface.
+class StderrHeartbeatExporter : public Exporter {
+ public:
+  void ExportHeartbeat(const HeartbeatSample& sample) override;
+};
+
+// Background driver: rotates the global MetricsWindow and fans snapshots
+// out to the ExporterRegistry every `interval_seconds`. One global
+// instance; Start/Stop idempotent, mirroring ProgressMonitor.
+class Snapshotter {
+ public:
+  static Snapshotter& Global();
+
+  // True when this call started it (false: already running).
+  bool Start(double interval_seconds);
+  void Stop();
+  bool running() const;
+
+  // One rotation + fan-out at logical time `t_seconds`; the background
+  // thread calls this on its schedule, tests call it directly.
+  void TickOnce(double t_seconds);
+
+  uint64_t ticks() const;
+
+ private:
+  Snapshotter() = default;
+  void Loop(double interval_seconds);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::atomic<uint64_t> ticks_{0};
+};
+
+// Refreshes registry gauges derived from other collectors (currently the
+// event sink: `events.recorded` / `events.dropped`) so exports carry
+// them. Called by Snapshotter::TickOnce and the report writer.
+void UpdateDerivedGauges();
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_EXPORT_H_

@@ -1,41 +1,67 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace dxrec {
 namespace obs {
 
 namespace {
 
-size_t BucketIndex(uint64_t value) {
-  return static_cast<size_t>(std::bit_width(value));
-}
-
-// Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
-uint64_t BucketUpperBound(size_t bucket) {
-  if (bucket == 0) return 0;
-  if (bucket >= 64) return ~uint64_t{0};
-  return (uint64_t{1} << bucket) - 1;
-}
-
-void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
-  uint64_t seen = slot->load(std::memory_order_relaxed);
-  while (seen < value && !slot->compare_exchange_weak(
-                             seen, value, std::memory_order_relaxed)) {
+// Raise-to-max over a relaxed atomic; losing a race is fine because the
+// winner wrote a larger value.
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t current = slot.load(std::memory_order_relaxed);
+  while (current < value &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
   }
 }
 
+// Midpoint of an inclusive bucket range; the representative value used
+// for quantiles so error is at most half the bucket width.
+uint64_t Midpoint(const BucketBounds& b) { return b.lb + (b.ub - b.lb) / 2; }
+
 }  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kExactLimit) return static_cast<size_t>(value);
+  // Highest set bit e >= 7; sub-bucket = the 6 bits below it.
+  const int e = std::bit_width(value) - 1;
+  const int shift = e - 6;
+  const size_t sub = static_cast<size_t>(value >> shift) - kSubBucketsPerOctave;
+  return kExactLimit +
+         static_cast<size_t>(e - static_cast<int>(kSubBucketBits)) *
+             kSubBucketsPerOctave +
+         sub;
+}
+
+BucketBounds Histogram::BucketBoundsFor(size_t index) {
+  BucketBounds bounds;
+  if (index < kExactLimit) {
+    bounds.lb = bounds.ub = index;
+    return bounds;
+  }
+  const size_t offset = index - kExactLimit;
+  const int e =
+      static_cast<int>(offset / kSubBucketsPerOctave + kSubBucketBits);
+  const uint64_t sub = offset % kSubBucketsPerOctave;
+  const int shift = e - 6;
+  bounds.lb = (kSubBucketsPerOctave + sub) << shift;
+  bounds.ub = bounds.lb + ((uint64_t{1} << shift) - 1);
+  return bounds;
+}
 
 void Histogram::Record(uint64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
-  AtomicMax(&max_, value);
+  AtomicMax(max_, value);
 }
 
 double Histogram::Mean() const {
-  uint64_t n = Count();
+  const uint64_t n = Count();
   return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
 }
 
@@ -45,11 +71,154 @@ uint64_t Histogram::BucketCount(size_t bucket) const {
              : 0;
 }
 
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1,
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return Midpoint(BucketBoundsFor(i));
+  }
+  return Max();  // count_ raced ahead of a bucket write; max is safe
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t SnapshotValueAtQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(snapshot.count))));
+  uint64_t seen = 0;
+  for (const HistogramBucketSnapshot& bucket : snapshot.buckets) {
+    seen += bucket.count;
+    if (seen >= rank) return Midpoint(BucketBounds{bucket.lb, bucket.ub});
+  }
+  return snapshot.max;
+}
+
+namespace {
+
+// end - start for one histogram. Buckets are matched by lower bound
+// (both sides use the same layout); a total count that shrank means the
+// instrument was reset mid-window, in which case the end value stands.
+HistogramSnapshot DiffHistogram(const HistogramSnapshot& start,
+                                const HistogramSnapshot& end) {
+  if (end.count < start.count) return end;  // reset between snapshots
+  HistogramSnapshot diff;
+  diff.name = end.name;
+  diff.count = end.count - start.count;
+  diff.sum = end.sum >= start.sum ? end.sum - start.sum : end.sum;
+  diff.max = end.max;
+  size_t si = 0;
+  for (const HistogramBucketSnapshot& eb : end.buckets) {
+    while (si < start.buckets.size() && start.buckets[si].lb < eb.lb) ++si;
+    uint64_t before = 0;
+    if (si < start.buckets.size() && start.buckets[si].lb == eb.lb) {
+      before = start.buckets[si].count;
+    }
+    if (eb.count > before) {
+      diff.buckets.push_back({eb.lb, eb.ub, eb.count - before});
+    }
+  }
+  return diff;
+}
+
+}  // namespace
+
+MetricsSnapshot DiffMetrics(const MetricsSnapshot& start,
+                            const MetricsSnapshot& end) {
+  MetricsSnapshot diff;
+  // Snapshots are sorted by name (map iteration order), so merge-walk.
+  size_t si = 0;
+  for (const auto& [name, value] : end.counters) {
+    while (si < start.counters.size() && start.counters[si].first < name) ++si;
+    uint64_t before = 0;
+    if (si < start.counters.size() && start.counters[si].first == name) {
+      before = start.counters[si].second;
+    }
+    diff.counters.emplace_back(name, value >= before ? value - before : value);
+  }
+  diff.gauges = end.gauges;  // point-in-time: end wins
+  si = 0;
+  for (const HistogramSnapshot& eh : end.histograms) {
+    while (si < start.histograms.size() &&
+           start.histograms[si].name < eh.name) {
+      ++si;
+    }
+    if (si < start.histograms.size() && start.histograms[si].name == eh.name) {
+      diff.histograms.push_back(DiffHistogram(start.histograms[si], eh));
+    } else {
+      diff.histograms.push_back(eh);
+    }
+  }
+  return diff;
+}
+
+MetricsWindow::MetricsWindow(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+MetricsWindow& MetricsWindow::Global() {
+  static MetricsWindow* window = new MetricsWindow();  // leaked
+  return *window;
+}
+
+void MetricsWindow::RotateWith(double t_seconds, MetricsSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.emplace_back(t_seconds, std::move(snapshot));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void MetricsWindow::Rotate(double t_seconds) {
+  RotateWith(t_seconds, MetricsRegistry::Global().Read());
+}
+
+bool MetricsWindow::Window(double seconds, MetricsSnapshot* delta,
+                           double* actual_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) return false;
+  const auto& newest = ring_.back();
+  // Entry whose age (relative to the newest rotation) is closest to the
+  // requested window, excluding the newest itself.
+  size_t best = 0;
+  double best_gap = std::abs((newest.first - ring_[0].first) - seconds);
+  for (size_t i = 1; i + 1 < ring_.size(); ++i) {
+    const double gap = std::abs((newest.first - ring_[i].first) - seconds);
+    if (gap < best_gap) {
+      best = i;
+      best_gap = gap;
+    }
+  }
+  if (delta != nullptr) *delta = DiffMetrics(ring_[best].second, newest.second);
+  if (actual_seconds != nullptr) {
+    *actual_seconds = newest.first - ring_[best].first;
+  }
+  return true;
+}
+
+size_t MetricsWindow::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void MetricsWindow::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::vector<std::pair<double, MetricsSnapshot>> MetricsWindow::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -98,7 +267,9 @@ MetricsSnapshot MetricsRegistry::Read() const {
     snap.max = histogram->Max();
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       uint64_t c = histogram->BucketCount(i);
-      if (c > 0) snap.buckets.emplace_back(BucketUpperBound(i), c);
+      if (c == 0) continue;
+      const BucketBounds bounds = Histogram::BucketBoundsFor(i);
+      snap.buckets.push_back({bounds.lb, bounds.ub, c});
     }
     out.histograms.push_back(std::move(snap));
   }

@@ -10,18 +10,30 @@
 //     fired->Add(triggers.size());
 //   }
 //
-// Counters and gauges are single atomics; histograms use power-of-two
-// buckets with atomic cells, so recording never takes a lock. Lookup by
+// Counters and gauges are single atomics. Histograms are HDR-style
+// log-linear: values below 2^7 = 128 are recorded exactly (one bucket
+// per value), larger values land in one of 64 linear sub-buckets per
+// power-of-two octave, bounding the relative quantization error of any
+// reported percentile by 1/128 < 1% (see ValueAtQuantile). Recording is
+// one relaxed atomic add per cell and never takes a lock. Lookup by
 // name takes the registry mutex (cold path only).
+//
+// Long-lived processes additionally get *windowed* views: MetricsWindow
+// keeps a ring of timestamped cumulative snapshots (rotated by the JSONL
+// snapshotter in obs/export.h, or manually), and DiffMetrics subtracts
+// two snapshots so "the last N seconds" can be reported with rates and
+// percentiles instead of process-lifetime totals.
 #ifndef DXREC_OBS_METRICS_H_
 #define DXREC_OBS_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dxrec {
@@ -49,13 +61,33 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-// Distribution of non-negative integer samples (sizes, microseconds).
-// Bucket i holds samples whose bit width is i, i.e. value 0 goes to
-// bucket 0 and v > 0 to bucket floor(log2(v)) + 1; bucket upper bounds
-// are 0, 1, 3, 7, 15, ...
+// Inclusive value range covered by one histogram bucket.
+struct BucketBounds {
+  uint64_t lb = 0;
+  uint64_t ub = 0;
+};
+
+// Distribution of non-negative integer samples (sizes, microseconds)
+// with accurate tail percentiles.
+//
+// Layout (HDR log-linear): bucket i = value i for i < 128 (exact), and
+// for v >= 128 each power-of-two octave [2^e, 2^(e+1)) is split into 64
+// linear sub-buckets of width 2^(e-6). Reported bucket values are range
+// midpoints, so the relative error of any quantile is at most
+// 1/(2*64) < 1%.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 64;
+  static constexpr size_t kSubBucketBits = 7;            // exact below 128
+  static constexpr uint64_t kExactLimit = 1u << kSubBucketBits;
+  static constexpr size_t kSubBucketsPerOctave = kExactLimit / 2;  // 64
+  // Octaves e = 7..63 after the exact region.
+  static constexpr size_t kNumBuckets =
+      kExactLimit + (64 - kSubBucketBits) * kSubBucketsPerOctave;
+
+  // Maps a value to its bucket index (public for tests).
+  static size_t BucketIndex(uint64_t value);
+  // Inclusive [lb, ub] covered by bucket `index`.
+  static BucketBounds BucketBoundsFor(size_t index);
 
   void Record(uint64_t value);
 
@@ -64,6 +96,12 @@ class Histogram {
   uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const;
   uint64_t BucketCount(size_t bucket) const;
+
+  // Smallest recorded-range value v such that at least ceil(q * Count())
+  // samples are <= its bucket; reported as the bucket midpoint (exact
+  // below 128). q is clamped to [0, 1]; 0 with no samples.
+  uint64_t ValueAtQuantile(double q) const;
+
   void Reset();
 
  private:
@@ -73,21 +111,75 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
-// Read-only copy of one histogram, for reporting.
+// One non-empty bucket in a snapshot: inclusive bounds plus count.
+struct HistogramBucketSnapshot {
+  uint64_t lb = 0;
+  uint64_t ub = 0;
+  uint64_t count = 0;
+};
+
+// Read-only copy of one histogram, for reporting and diffing.
 struct HistogramSnapshot {
   std::string name;
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t max = 0;
-  // (upper bound, count) for non-empty buckets, ascending.
-  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  // Non-empty buckets, ascending by bounds.
+  std::vector<HistogramBucketSnapshot> buckets;
 };
+
+// Quantile over a snapshot's buckets (same contract as
+// Histogram::ValueAtQuantile).
+uint64_t SnapshotValueAtQuantile(const HistogramSnapshot& snapshot, double q);
 
 // Read-only copy of the whole registry, sorted by name.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramSnapshot> histograms;
+};
+
+// end - start, element-wise: counters and histogram buckets subtract
+// (instruments appearing only in `end`, or reset since `start`, keep
+// their end values), gauges are point-in-time so the end value wins, and
+// a diffed histogram's max is the end max (a maximum cannot be
+// un-observed). Both snapshots must come from the same registry.
+MetricsSnapshot DiffMetrics(const MetricsSnapshot& start,
+                            const MetricsSnapshot& end);
+
+// Ring of timestamped cumulative snapshots for windowed queries. The
+// caller supplies timestamps (seconds on any monotone clock), so tests
+// can drive rotation deterministically; the JSONL snapshotter rotates
+// the Global() window on its interval. Thread-safe.
+class MetricsWindow {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit MetricsWindow(size_t capacity = kDefaultCapacity);
+
+  // Shared window rotated by the periodic snapshotter (obs/export.h).
+  static MetricsWindow& Global();
+
+  // Appends one cumulative snapshot; the oldest falls off past capacity.
+  void RotateWith(double t_seconds, MetricsSnapshot snapshot);
+  // Convenience: snapshots the global registry.
+  void Rotate(double t_seconds);
+
+  // Delta between the newest rotation and the rotation whose age is
+  // closest to `seconds` (so "last 10s" rounds to the nearest interval
+  // boundary the ring still holds). *actual_seconds gets the achieved
+  // span; rates are delta / actual_seconds. False with < 2 rotations.
+  bool Window(double seconds, MetricsSnapshot* delta,
+              double* actual_seconds) const;
+
+  size_t size() const;
+  void Clear();
+  std::vector<std::pair<double, MetricsSnapshot>> Entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<std::pair<double, MetricsSnapshot>> ring_;
 };
 
 class MetricsRegistry {

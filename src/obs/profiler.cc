@@ -1,0 +1,237 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace obs {
+
+namespace {
+
+constexpr double kDefaultIntervalSeconds = 0.005;  // 200 Hz
+
+// Registry of every thread's frame stack. Stacks are heap-allocated and
+// leaked so the sampler can keep reading them after their thread exits.
+std::mutex g_stacks_mu;
+std::vector<FrameStack*>& RegisteredStacks() {
+  static std::vector<FrameStack*>* stacks = new std::vector<FrameStack*>();
+  return *stacks;
+}
+
+FrameStack* ThisThreadStack() {
+  thread_local FrameStack* stack = [] {
+    FrameStack* s = new FrameStack();  // leaked, see above
+    s->thread_id = CurrentThreadId();
+    std::lock_guard<std::mutex> lock(g_stacks_mu);
+    RegisteredStacks().push_back(s);
+    return s;
+  }();
+  return stack;
+}
+
+}  // namespace
+
+void PushFrame(const char* name) {
+  FrameStack* stack = ThisThreadStack();
+  const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+  if (d >= FrameStack::kMaxDepth) return;  // overflow: drop, keep depth
+  stack->frames[d].store(name, std::memory_order_relaxed);
+  // Publish the frame before the new depth so the sampler never reads an
+  // unwritten slot.
+  stack->depth.store(d + 1, std::memory_order_release);
+}
+
+void PopFrame() {
+  FrameStack* stack = ThisThreadStack();
+  const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+  if (d == 0) return;  // paired with an overflowed push
+  stack->depth.store(d - 1, std::memory_order_release);
+}
+
+const char* CurrentFrameName() {
+  FrameStack* stack = ThisThreadStack();
+  const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+  if (d == 0) return "";
+  return stack->frames[d - 1].load(std::memory_order_relaxed);
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // leaked
+  return *profiler;
+}
+
+void Profiler::Start(double interval_seconds) {
+  if (interval_seconds <= 0) interval_seconds = kDefaultIntervalSeconds;
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return;
+  internal::g_frames_enabled.store(true, std::memory_order_relaxed);
+  running_ = true;
+  stop_requested_ = false;
+  sampler_ = std::thread([this, interval_seconds] { Loop(interval_seconds); });
+  // Anchored after the thread ctor: spawning can cost milliseconds on a
+  // loaded box, and that startup belongs to the profiler, not to whatever
+  // phase happens to be live at the first tick. (The new thread can't
+  // read last_tick_ before we release thread_mu_.)
+  last_tick_ = Clock::now();
+}
+
+void Profiler::Stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    worker = std::move(sampler_);
+  }
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
+  // Final flush on the caller's thread: the sampler has exited, so
+  // last_tick_ is stable, and the caller's own live spans (still on its
+  // frame stack) get the tail attributed — this is what makes runs
+  // shorter than the sampling interval show up at all, even when the
+  // sampler thread was never scheduled before Stop.
+  const int64_t tail_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - last_tick_)
+                              .count();
+  if (tail_us > 0) SampleOnce(tail_us);
+}
+
+bool Profiler::running() const {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  return running_;
+}
+
+void Profiler::Loop(double interval_seconds) {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(interval_seconds),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;  // tail attributed by Stop()'s flush
+    const auto now = Clock::now();
+    const int64_t dt_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - last_tick_)
+            .count();
+    last_tick_ = now;
+    lock.unlock();
+    if (dt_us > 0) SampleOnce(dt_us);
+    lock.lock();
+  }
+}
+
+void Profiler::SampleOnce(int64_t dt_us) {
+  std::vector<FrameStack*> stacks;
+  {
+    std::lock_guard<std::mutex> lock(g_stacks_mu);
+    stacks = RegisteredStacks();
+  }
+  // Read each stack without locks: acquire the depth, then the frames
+  // below it (published before the depth by PushFrame).
+  struct Sampled {
+    uint32_t thread_id;
+    std::vector<const char*> frames;
+  };
+  std::vector<Sampled> live;
+  for (FrameStack* stack : stacks) {
+    const uint32_t d = stack->depth.load(std::memory_order_acquire);
+    if (d == 0) continue;
+    Sampled s;
+    s.thread_id = stack->thread_id;
+    s.frames.reserve(d);
+    for (uint32_t i = 0; i < d && i < FrameStack::kMaxDepth; ++i) {
+      const char* name = stack->frames[i].load(std::memory_order_relaxed);
+      if (name == nullptr) break;  // racing pop/push; take the prefix
+      s.frames.push_back(name);
+    }
+    if (!s.frames.empty()) live.push_back(std::move(s));
+  }
+  if (live.empty()) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Sampled& s : live) {
+    std::string key = "t" + std::to_string(s.thread_id);
+    for (const char* frame : s.frames) {
+      key.push_back(';');
+      key += frame;
+    }
+    folded_[key] += dt_us;
+    total_sampled_us_ += dt_us;
+    // total: every distinct phase on the stack; self: the leaf.
+    for (size_t i = 0; i < s.frames.size(); ++i) {
+      bool seen_before = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (s.frames[j] == s.frames[i]) {  // same literal: recursion
+          seen_before = true;
+          break;
+        }
+      }
+      if (seen_before) continue;  // recursive phase: count total once
+      phases_[s.frames[i]].total_us += dt_us;
+    }
+    PhaseCell& leaf = phases_[s.frames.back()];
+    leaf.self_us += dt_us;
+    leaf.samples += 1;
+  }
+}
+
+std::string Profiler::FoldedStacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [stack, us] : folded_) {
+    out += stack;
+    out.push_back(' ');
+    out += std::to_string(us);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<PhaseProfile> Profiler::PhaseTable() const {
+  std::vector<PhaseProfile> table;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    table.reserve(phases_.size());
+    for (const auto& [name, cell] : phases_) {
+      PhaseProfile row;
+      row.name = name;
+      row.self_us = cell.self_us;
+      row.total_us = cell.total_us;
+      row.samples = cell.samples;
+      row.alloc_bytes = cell.alloc_bytes;
+      row.peak_bytes = cell.peak_bytes;
+      table.push_back(std::move(row));
+    }
+  }
+  std::sort(table.begin(), table.end(),
+            [](const PhaseProfile& a, const PhaseProfile& b) {
+              return a.self_us != b.self_us ? a.self_us > b.self_us
+                                           : a.name < b.name;
+            });
+  return table;
+}
+
+int64_t Profiler::TotalSampledUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_sampled_us_;
+}
+
+void Profiler::RecordAlloc(const char* phase, int64_t alloc_bytes,
+                           int64_t peak_bytes) {
+  if (phase == nullptr || phase[0] == '\0') phase = "(no phase)";
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseCell& cell = phases_[phase];
+  cell.alloc_bytes += alloc_bytes;
+  cell.peak_bytes = std::max(cell.peak_bytes, peak_bytes);
+}
+
+void Profiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  folded_.clear();
+  phases_.clear();
+  total_sampled_us_ = 0;
+}
+
+}  // namespace obs
+}  // namespace dxrec

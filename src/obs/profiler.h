@@ -1,0 +1,148 @@
+// In-process sampling profiler over the live span tree.
+//
+// Every active `obs::Span` pushes its (static-storage) name onto a
+// lock-free per-thread frame stack on construction and pops it on
+// destruction — two relaxed/release stores, cheap enough to leave on
+// whenever tracing is enabled. A background sampler thread periodically
+// walks every registered frame stack and attributes the wall time since
+// its previous tick to the sampled stacks (elapsed-weighted, so the
+// attributed total tracks real wall time even when ticks jitter), per
+// worker thread:
+//
+//   - folded-stack output (`t3;session;inverse_chase;chase 12345`) that
+//     flamegraph.pl / speedscope consume directly;
+//   - a per-phase table: self time (phase was the innermost frame),
+//     total time (phase was anywhere on the stack), sample count, and —
+//     via obs/alloc.h AllocScopes — allocated/peak heap bytes.
+//
+// Frame names are string literals, so a sampler reading a frame slot
+// that a worker is concurrently popping sees a stale-but-valid pointer;
+// the depth counter is published with release/acquire so no torn stacks
+// are ever attributed. `Stop()` takes one final elapsed-weighted sample,
+// which makes the profile meaningful even for runs shorter than the
+// sampling interval.
+#ifndef DXREC_OBS_PROFILER_H_
+#define DXREC_OBS_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dxrec {
+namespace obs {
+
+// One thread's live span stack, readable by the sampler without locks.
+// Leaked on thread exit (the sampler may still hold a pointer); depth is
+// back to 0 by then because spans are strictly scoped.
+struct FrameStack {
+  static constexpr size_t kMaxDepth = 64;
+  uint32_t thread_id = 0;
+  std::atomic<uint32_t> depth{0};
+  std::atomic<const char*> frames[kMaxDepth] = {};
+};
+
+namespace internal {
+inline std::atomic<bool> g_frames_enabled{false};
+}  // namespace internal
+
+// True while frame push/pop should run (set for the process lifetime the
+// first time a Profiler starts; the stores are too cheap to warrant
+// turning back off).
+inline bool FramesEnabled() {
+  return internal::g_frames_enabled.load(std::memory_order_relaxed);
+}
+
+// Called by Span's constructor/destructor. `name` must have static
+// storage duration.
+void PushFrame(const char* name);
+void PopFrame();
+
+// Innermost live frame name on the calling thread, or "" — used by
+// obs/alloc.h to attribute allocation deltas to the enclosing phase.
+const char* CurrentFrameName();
+
+// Aggregated profile for one phase (frame name), across all threads.
+struct PhaseProfile {
+  std::string name;
+  int64_t self_us = 0;      // sampled with this phase innermost
+  int64_t total_us = 0;     // sampled with this phase anywhere on stack
+  uint64_t samples = 0;     // ticks where this phase was innermost
+  int64_t alloc_bytes = 0;  // from AllocScope, cumulative allocations
+  int64_t peak_bytes = 0;   // from AllocScope, max single-scope peak
+};
+
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  // Starts the sampler thread (idempotent) and enables frame tracking.
+  // interval_seconds <= 0 picks the 5 ms default.
+  void Start(double interval_seconds = 0);
+  // Joins the sampler after one final flush sample covering the time
+  // since the last tick. Safe to call when not running.
+  void Stop();
+  bool running() const;
+
+  // One sampling pass attributing `dt_us` across the live stacks; the
+  // sampler thread calls this on its schedule, tests call it directly
+  // for determinism.
+  void SampleOnce(int64_t dt_us);
+
+  // Folded-stack lines, one per (thread, stack): "t1;a;b <micros>\n".
+  std::string FoldedStacks() const;
+
+  // Per-phase table sorted by self time, descending.
+  std::vector<PhaseProfile> PhaseTable() const;
+
+  // Sum of attributed self time across all stacks (== wall time covered
+  // by sampling, per thread summed).
+  int64_t TotalSampledUs() const;
+
+  // Called by AllocScope's destructor with the scope's phase attribution.
+  void RecordAlloc(const char* phase, int64_t alloc_bytes,
+                   int64_t peak_bytes);
+
+  // Drops accumulated samples (not the registered stacks).
+  void Clear();
+
+ private:
+  Profiler() = default;
+  void Loop(double interval_seconds);
+
+  using Clock = std::chrono::steady_clock;
+
+  struct PhaseCell {
+    int64_t self_us = 0;
+    int64_t total_us = 0;
+    uint64_t samples = 0;
+    int64_t alloc_bytes = 0;
+    int64_t peak_bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> folded_;  // "t<tid>;a;b" -> micros
+  std::map<std::string, PhaseCell> phases_;
+  int64_t total_sampled_us_ = 0;
+
+  mutable std::mutex thread_mu_;
+  std::thread sampler_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  // Start of the not-yet-attributed interval. Set by Start(), advanced
+  // by each sampler tick (under thread_mu_), consumed by Stop()'s final
+  // flush — so the Start→Stop window is tiled exactly once even when the
+  // sampler thread never gets scheduled before Stop.
+  Clock::time_point last_tick_{};
+  std::condition_variable cv_;
+};
+
+}  // namespace obs
+}  // namespace dxrec
+
+#endif  // DXREC_OBS_PROFILER_H_

@@ -1,9 +1,7 @@
 #include "obs/progress.h"
 
-#include <cinttypes>
-#include <cstdio>
-
 #include "obs/events.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 
 namespace dxrec {
@@ -143,14 +141,6 @@ void ProgressMonitor::TickOnce() {
           {"budget_remaining", budget_remaining}},
          {{"phase", phase}});
   }
-  if (options.stderr_status) {
-    std::fprintf(stderr,
-                 "[dxrec] phase=%s work=%" PRIu64 " covers=%" PRIu64
-                 " budget=%s:%" PRId64 " elapsed=%.1fs\n",
-                 phase[0] == '\0' ? "-" : phase, work, covers,
-                 budget_name[0] == '\0' ? "-" : budget_name,
-                 budget_remaining, elapsed);
-  }
 
   // Stall watchdog: no forward-progress pulse since the last change for
   // stall_seconds or more. Reported once per episode.
@@ -179,13 +169,26 @@ void ProgressMonitor::TickOnce() {
             {"work", static_cast<int64_t>(work)}},
            {{"phase", phase}});
     }
-    if (options.stderr_status) {
-      std::fprintf(stderr,
-                   "[dxrec] WATCHDOG: no forward progress for %.1fs "
-                   "(phase=%s work=%" PRIu64 ")\n",
-                   stalled_for, phase[0] == '\0' ? "-" : phase, work);
-    }
   }
+
+  // One sample feeds every sink: the stderr one-liner goes through the
+  // same Exporter interface (and the same values) as any registered
+  // exporter, so `--progress` and `--openmetrics` cannot disagree.
+  HeartbeatSample sample;
+  sample.phase = phase;
+  sample.work = work;
+  sample.covers = covers;
+  sample.budget_name = budget_name;
+  sample.budget_remaining = budget_remaining;
+  sample.elapsed_seconds = elapsed;
+  sample.stalled = stalled;
+  sample.stalled_seconds = stalled_for;
+  if (options.stderr_status) {
+    static StderrHeartbeatExporter* stderr_exporter =
+        new StderrHeartbeatExporter();  // leaked
+    stderr_exporter->ExportHeartbeat(sample);
+  }
+  ExporterRegistry::Global().EmitHeartbeat(sample);
 }
 
 ProgressScope::ProgressScope(double interval_seconds, bool stderr_status) {

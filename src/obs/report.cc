@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/events.h"
+#include "obs/profiler.h"
 #include "resilience/degraded.h"
 
 namespace dxrec {
@@ -123,13 +124,18 @@ std::string MetricsJson(const MetricsSnapshot& snapshot) {
     AppendJsonString(h.name, &out);
     out += ",\"count\":" + std::to_string(h.count) +
            ",\"sum\":" + std::to_string(h.sum) +
-           ",\"max\":" + std::to_string(h.max) + ",\"buckets\":[";
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"p50\":" + std::to_string(SnapshotValueAtQuantile(h, 0.50)) +
+           ",\"p90\":" + std::to_string(SnapshotValueAtQuantile(h, 0.90)) +
+           ",\"p99\":" + std::to_string(SnapshotValueAtQuantile(h, 0.99)) +
+           ",\"p999\":" + std::to_string(SnapshotValueAtQuantile(h, 0.999)) +
+           ",\"buckets\":[";
     bool first_bucket = true;
-    for (const auto& [le, count] : h.buckets) {
+    for (const HistogramBucketSnapshot& bucket : h.buckets) {
       if (!first_bucket) out += ",";
       first_bucket = false;
-      out += "{\"le\":" + std::to_string(le) +
-             ",\"count\":" + std::to_string(count) + "}";
+      out += "{\"le\":" + std::to_string(bucket.ub) +
+             ",\"count\":" + std::to_string(bucket.count) + "}";
     }
     out += "]}";
   }
@@ -153,10 +159,32 @@ std::vector<SpanAggregate> AggregateSpans(
   return out;
 }
 
+namespace {
+
+// Baseline snapshot taken by the most recent MarkRunStart, if any.
+std::mutex g_run_start_mu;
+MetricsSnapshot* g_run_start = nullptr;
+
+}  // namespace
+
+void MarkRunStart() {
+  MetricsSnapshot baseline = MetricsRegistry::Global().Read();
+  std::lock_guard<std::mutex> lock(g_run_start_mu);
+  if (g_run_start == nullptr) g_run_start = new MetricsSnapshot();  // leaked
+  *g_run_start = std::move(baseline);
+}
+
+MetricsSnapshot RunMetricsDelta() {
+  MetricsSnapshot end = MetricsRegistry::Global().Read();
+  std::lock_guard<std::mutex> lock(g_run_start_mu);
+  if (g_run_start == nullptr) return end;
+  return DiffMetrics(*g_run_start, end);
+}
+
 std::string RunReportJson() {
   std::vector<TraceEvent> events = Tracer::Global().Snapshot();
   std::string out = "{\"metrics\":";
-  out += MetricsJson(MetricsRegistry::Global().Read());
+  out += MetricsJson(RunMetricsDelta());
   out += ",\"spans\":[";
   bool first = true;
   for (const SpanAggregate& agg : AggregateSpans(events)) {
@@ -169,6 +197,24 @@ std::string RunReportJson() {
            ",\"max_us\":" + std::to_string(agg.max_us) + "}";
   }
   out += "\n]";
+
+  // Sampling-profiler per-phase table (empty array when never started).
+  out += ",\"profile\":{\"total_sampled_us\":" +
+         std::to_string(Profiler::Global().TotalSampledUs()) +
+         ",\"phases\":[";
+  first = true;
+  for (const PhaseProfile& phase : Profiler::Global().PhaseTable()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":";
+    AppendJsonString(phase.name, &out);
+    out += ",\"self_us\":" + std::to_string(phase.self_us) +
+           ",\"total_us\":" + std::to_string(phase.total_us) +
+           ",\"samples\":" + std::to_string(phase.samples) +
+           ",\"alloc_bytes\":" + std::to_string(phase.alloc_bytes) +
+           ",\"peak_bytes\":" + std::to_string(phase.peak_bytes) + "}";
+  }
+  out += "\n]}";
 
   // Event-sink accounting: totals plus per-type counts over the events
   // still in the ring.

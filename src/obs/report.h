@@ -44,8 +44,20 @@ struct SpanAggregate {
 std::vector<SpanAggregate> AggregateSpans(
     const std::vector<TraceEvent>& events);
 
-// Full run report over the global collectors: metrics, span aggregates,
-// event-sink accounting (recorded/dropped + per-type counts), and the
+// Marks the start of a run by snapshotting the registry. Report writers
+// subtract this baseline, so run reports stay per-run even when one
+// process reuses the lifetime-scoped instruments across several engine
+// calls. Engine entry points call this when collection is enabled.
+void MarkRunStart();
+
+// Metrics accumulated since the last MarkRunStart (process lifetime when
+// never marked).
+MetricsSnapshot RunMetricsDelta();
+
+// Full run report over the global collectors: per-run metrics (see
+// MarkRunStart) with p50/p90/p99/p99.9 per histogram, span aggregates,
+// the profiler's per-phase table when samples exist, event-sink
+// accounting (recorded/dropped + per-type counts), and the
 // budget-exhaustion log (name/limit/consumed/phase per occurrence).
 std::string RunReportJson();
 

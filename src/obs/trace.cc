@@ -2,7 +2,10 @@
 
 #include <chrono>
 
+#include "obs/alloc.h"
 #include "obs/events.h"
+#include "obs/export.h"
+#include "obs/profiler.h"
 
 namespace dxrec {
 namespace obs {
@@ -29,10 +32,18 @@ void SetEnabled(bool enabled) {
 }
 
 void Apply(const ObsOptions& options) {
-  if (options.enabled || options.events) SetEnabled(true);
+  if (options.enabled || options.events || options.profile) SetEnabled(true);
   if (options.events) SetEventsEnabled(true);
   if (options.event_capacity != 0) {
     EventSink::Global().Configure(options.event_capacity);
+  }
+  if (options.profile) {
+    alloc::EnsureLinked();
+    alloc::SetEnabled(true);
+    Profiler::Global().Start(options.profile_interval_seconds);
+  }
+  if (options.snapshot_interval_seconds > 0) {
+    Snapshotter::Global().Start(options.snapshot_interval_seconds);
   }
 }
 
@@ -92,10 +103,15 @@ Span::Span(const char* name, const char* category) {
   event_.parent_id = parent_ == nullptr ? 0 : parent_->id();
   event_.start_us = Tracer::Global().NowMicros();
   t_current_span = this;
+  if (FramesEnabled()) {
+    PushFrame(name);
+    pushed_ = true;
+  }
 }
 
 Span::~Span() {
   if (!active_) return;
+  if (pushed_) PopFrame();
   event_.duration_us = Tracer::Global().NowMicros() - event_.start_us;
   t_current_span = parent_;
   Tracer::Global().Record(std::move(event_));

@@ -52,6 +52,16 @@ struct ObsOptions {
   double progress_seconds = 0;
   // Heartbeat one-liners to stderr (only meaningful with the above).
   bool progress_stderr = true;
+  // Starts the global sampling profiler (obs/profiler.h) with per-phase
+  // allocation accounting; implies `enabled`. Never stops a running
+  // profiler (same never-turns-off contract as the collectors).
+  bool profile = false;
+  // Profiler sampling interval; <= 0 picks the default (5 ms).
+  double profile_interval_seconds = 0;
+  // > 0: starts the periodic snapshotter (obs/export.h), which rotates
+  // the global metrics window and feeds registered exporters at this
+  // interval.
+  double snapshot_interval_seconds = 0;
 };
 
 // Applies the knobs to the global state (currently: enables collection).
@@ -116,6 +126,7 @@ class Span {
 
  private:
   bool active_ = false;
+  bool pushed_ = false;     // frame pushed onto the profiler stack
   Span* parent_ = nullptr;  // enclosing span on this thread
   TraceEvent event_;
 };

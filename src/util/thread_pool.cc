@@ -2,10 +2,32 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resilience/execution_context.h"
 
 namespace dxrec {
 namespace util {
+
+namespace {
+
+// Scheduling telemetry for the exporters (docs/OBSERVABILITY.md). One
+// relaxed store/add per transition, only when collection is on.
+void NoteQueueDepth(uint64_t depth) {
+  if (!obs::Enabled()) return;
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("pool.queue_depth");
+  gauge->Set(static_cast<int64_t>(depth));
+}
+
+void NoteSteal() {
+  if (!obs::Enabled()) return;
+  static obs::Counter* steals =
+      obs::MetricsRegistry::Global().GetCounter("pool.steals");
+  steals->Add(1);
+}
+
+}  // namespace
 
 size_t ThreadPool::HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
@@ -46,7 +68,7 @@ bool ThreadPool::Submit(std::function<void()>& fn, TaskGroup* group) {
     if (queue.tasks.size() >= options_.queue_capacity) continue;
     queue.tasks.push_back(Task{std::move(fn), group});
     lock.unlock();
-    queued_.fetch_add(1, std::memory_order_release);
+    NoteQueueDepth(queued_.fetch_add(1, std::memory_order_release) + 1);
     work_cv_.notify_one();
     return true;
   }
@@ -68,7 +90,7 @@ bool ThreadPool::RunOneAsWorker(size_t worker_index) {
       Task task = std::move(own.tasks.back());
       own.tasks.pop_back();
       lock.unlock();
-      queued_.fetch_sub(1, std::memory_order_release);
+      NoteQueueDepth(queued_.fetch_sub(1, std::memory_order_release) - 1);
       RunTask(std::move(task));
       return true;
     }
@@ -81,7 +103,8 @@ bool ThreadPool::RunOneAsWorker(size_t worker_index) {
     Task task = std::move(victim.tasks.front());
     victim.tasks.pop_front();
     lock.unlock();
-    queued_.fetch_sub(1, std::memory_order_release);
+    NoteSteal();
+    NoteQueueDepth(queued_.fetch_sub(1, std::memory_order_release) - 1);
     RunTask(std::move(task));
     return true;
   }
@@ -97,7 +120,7 @@ bool ThreadPool::RunOneOf(TaskGroup* group) {
       Task task = std::move(*it);
       queue.tasks.erase(it);
       lock.unlock();
-      queued_.fetch_sub(1, std::memory_order_release);
+      NoteQueueDepth(queued_.fetch_sub(1, std::memory_order_release) - 1);
       RunTask(std::move(task));
       return true;
     }

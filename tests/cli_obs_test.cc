@@ -188,6 +188,90 @@ TEST(CliObs, BudgetExhaustionReportsNameLimitConsumed) {
   EXPECT_NE(report.find("\"phase\":\"cover_enum\""), std::string::npos);
 }
 
+TEST(CliObs, ProfileAndOpenMetricsEndToEnd) {
+  std::string dir = TempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string profile_path = dir + "/profile.folded";
+  std::string om_path = dir + "/metrics.om";
+  std::string out;
+  int code = RunCli(dir,
+                    "--profile=" + profile_path + " --openmetrics=" + om_path,
+                    WarehouseSession(), &out);
+  EXPECT_EQ(code, 0);
+
+  // The CLI reports both artifacts and the sampled-vs-wall accounting.
+  EXPECT_NE(out.find("openmetrics written to"), std::string::npos) << out;
+  size_t at = out.find("profile written to");
+  ASSERT_NE(at, std::string::npos) << out;
+  long long sampled_us = 0;
+  long long wall_us = 0;
+  ASSERT_EQ(std::sscanf(out.c_str() + at,
+                        "profile written to %*s (%lld us sampled / %lld us "
+                        "wall)",
+                        &sampled_us, &wall_us),
+            2)
+      << out;
+  EXPECT_GT(sampled_us, 0);
+  EXPECT_GT(wall_us, 0);
+  // Sequential run: attributed self time must track session wall time.
+  // 10% relative plus a small absolute allowance for scheduling jitter
+  // around start/stop on a loaded box.
+  EXPECT_LE(std::llabs(sampled_us - wall_us),
+            wall_us / 10 + 20000)
+      << "sampled=" << sampled_us << " wall=" << wall_us;
+
+  // The folded-stack profile is non-empty and rooted at the session span.
+  std::string folded = ReadFile(profile_path);
+  ASSERT_FALSE(folded.empty());
+  EXPECT_NE(folded.find(";session"), std::string::npos) << folded;
+  // Every line is "<stack> <micros>".
+  std::istringstream folded_lines(folded);
+  std::string line;
+  while (std::getline(folded_lines, line)) {
+    if (line.empty()) continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::atoll(line.c_str() + space + 1), 0) << line;
+  }
+
+  // The OpenMetrics exposition is well-formed and carries pipeline
+  // counters from the run.
+  std::string om = ReadFile(om_path);
+  ASSERT_FALSE(om.empty());
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  EXPECT_NE(om.find("# TYPE dxrec_chase_triggers_fired counter\n"),
+            std::string::npos)
+      << om;
+  EXPECT_NE(om.find("dxrec_chase_triggers_fired_total "), std::string::npos);
+  EXPECT_NE(om.find("_bucket{le=\"+Inf\"} "), std::string::npos) << om;
+
+  // The run report's profile section mirrors the folded output.
+  std::string report_path = dir + "/report.json";
+  code = RunCli(dir,
+                "--profile=" + profile_path + " --metrics-json=" +
+                    report_path,
+                WarehouseSession(), &out);
+  EXPECT_EQ(code, 0);
+  std::string report = ReadFile(report_path);
+  EXPECT_NE(report.find("\"profile\":{"), std::string::npos);
+  EXPECT_NE(report.find("\"total_sampled_us\":"), std::string::npos);
+  EXPECT_NE(report.find("\"self_us\":"), std::string::npos);
+}
+
+TEST(CliObs, SetProfileAndSnapshotIntervalVerbs) {
+  std::string dir = TempDir();
+  ASSERT_FALSE(dir.empty());
+  std::string session = WarehouseSession();
+  size_t at = session.find("recover");
+  session.insert(at, "set profile on\nset snapshot_interval 10\n");
+  std::string out;
+  int code = RunCli(dir, "", session, &out);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(out.find("unknown key"), std::string::npos) << out;
+  EXPECT_NE(out.find("recoveries"), std::string::npos) << out;
+}
+
 TEST(CliObs, UnknownSetKeyIsRejected) {
   std::string dir = TempDir();
   ASSERT_FALSE(dir.empty());

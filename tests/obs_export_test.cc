@@ -1,0 +1,320 @@
+// Tests for the exporter layer (obs/export.h): OpenMetrics text
+// exposition, the JSONL snapshotter, the exporter registry fan-out, the
+// periodic Snapshotter driver, and the heartbeat routing that keeps
+// `--progress` and scrape output on the same values.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace {
+
+// Captures every emitted snapshot/heartbeat for inspection.
+class CaptureExporter : public obs::Exporter {
+ public:
+  struct MetricsCall {
+    double t = 0;
+    obs::MetricsSnapshot cumulative;
+    bool has_window = false;
+    obs::MetricsSnapshot window;
+    double window_seconds = 0;
+  };
+
+  void ExportMetrics(double t_seconds,
+                     const obs::MetricsSnapshot& cumulative,
+                     const obs::MetricsSnapshot* window,
+                     double window_seconds) override {
+    MetricsCall call;
+    call.t = t_seconds;
+    call.cumulative = cumulative;
+    if (window != nullptr) {
+      call.has_window = true;
+      call.window = *window;
+    }
+    call.window_seconds = window_seconds;
+    metrics_calls.push_back(std::move(call));
+  }
+
+  void ExportHeartbeat(const obs::HeartbeatSample& sample) override {
+    heartbeats.push_back(sample);
+  }
+
+  std::vector<MetricsCall> metrics_calls;
+  std::vector<obs::HeartbeatSample> heartbeats;
+};
+
+// Registers an exporter for one test body and removes it on exit (the
+// registry is process-global).
+class ScopedExporter {
+ public:
+  explicit ScopedExporter(std::shared_ptr<obs::Exporter> exporter)
+      : raw_(exporter.get()) {
+    obs::ExporterRegistry::Global().Add(std::move(exporter));
+  }
+  ~ScopedExporter() { obs::ExporterRegistry::Global().Remove(raw_); }
+
+ private:
+  const obs::Exporter* raw_;
+};
+
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                      const std::string& name, uint64_t fallback = 0) {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+TEST(ObsExport, SanitizeMetricName) {
+  EXPECT_EQ(obs::SanitizeMetricName("chase.triggers_fired"),
+            "dxrec_chase_triggers_fired");
+  EXPECT_EQ(obs::SanitizeMetricName("pool.queue_depth"),
+            "dxrec_pool_queue_depth");
+  EXPECT_EQ(obs::SanitizeMetricName("a-b c+d"), "dxrec_a_b_c_d");
+  EXPECT_EQ(obs::SanitizeMetricName("ok_name:sub"), "dxrec_ok_name:sub");
+}
+
+TEST(ObsExport, OpenMetricsTextShape) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("test.om_counter", 42);
+  snapshot.gauges.emplace_back("test.om_gauge", -7);
+  obs::HistogramSnapshot h;
+  h.name = "test.om_histogram";
+  h.count = 3;
+  h.sum = 30;
+  h.max = 20;
+  h.buckets.push_back({5, 5, 2});
+  h.buckets.push_back({20, 20, 1});
+  snapshot.histograms.push_back(h);
+
+  std::string text = obs::OpenMetricsText(snapshot);
+  EXPECT_NE(text.find("# TYPE dxrec_test_om_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_om_counter_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dxrec_test_om_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_om_gauge -7\n"), std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf == count.
+  EXPECT_NE(text.find("dxrec_test_om_histogram_bucket{le=\"5.0\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_om_histogram_bucket{le=\"20.0\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_om_histogram_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_om_histogram_sum 30\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_om_histogram_count 3\n"),
+            std::string::npos);
+  // Exactly one terminator, at the very end.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_EQ(text.find("# EOF\n"), text.size() - 6);
+}
+
+TEST(ObsExport, OpenMetricsWindowedSection) {
+  obs::MetricsSnapshot cumulative;
+  cumulative.counters.emplace_back("test.win_counter", 100);
+  obs::MetricsSnapshot window;
+  window.counters.emplace_back("test.win_counter", 25);
+
+  std::string text = obs::OpenMetricsText(cumulative, &window, 10.5);
+  EXPECT_NE(text.find("dxrec_window_seconds 10.500\n"), std::string::npos);
+  // The windowed delta is exported as a gauge (not monotone) under a
+  // `_window`-suffixed name, alongside the cumulative counter.
+  EXPECT_NE(text.find("dxrec_test_win_counter_total 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dxrec_test_win_counter_window gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dxrec_test_win_counter_window 25\n"),
+            std::string::npos);
+}
+
+TEST(ObsExport, WriteOpenMetricsRoundTrips) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("test.write_counter", 9);
+  std::string path = testing::TempDir() + "/dxrec_metrics_test.om";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::WriteOpenMetrics(path, snapshot).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), obs::OpenMetricsText(snapshot));
+  std::remove(path.c_str());
+}
+
+TEST(ObsExport, JsonlSnapshotExporterAppendsLines) {
+  std::string path = testing::TempDir() + "/dxrec_snapshots_test.jsonl";
+  std::remove(path.c_str());
+  obs::JsonlSnapshotExporter exporter(path);
+
+  obs::MetricsSnapshot cumulative;
+  cumulative.counters.emplace_back("test.jsonl_counter", 5);
+  exporter.ExportMetrics(1.0, cumulative, nullptr, 0);
+  obs::MetricsSnapshot window;
+  window.counters.emplace_back("test.jsonl_counter", 2);
+  exporter.ExportMetrics(2.0, cumulative, &window, 1.0);
+
+  EXPECT_EQ(exporter.lines_written(), 2u);
+  EXPECT_TRUE(exporter.last_status().ok());
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"t\":1.000"), std::string::npos);
+  EXPECT_NE(line.find("\"test.jsonl_counter\":5"), std::string::npos);
+  EXPECT_EQ(line.find("\"window\""), std::string::npos);
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"window_seconds\":1.000"), std::string::npos);
+  EXPECT_NE(line.find("\"window\":"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(ObsExport, JsonlSnapshotExporterReportsWriteFailure) {
+  obs::JsonlSnapshotExporter exporter("/nonexistent_dir/x.jsonl");
+  obs::MetricsSnapshot snapshot;
+  exporter.ExportMetrics(0.0, snapshot, nullptr, 0);
+  EXPECT_EQ(exporter.lines_written(), 0u);
+  EXPECT_FALSE(exporter.last_status().ok());
+}
+
+TEST(ObsExport, RegistryFansOutAndRemoves) {
+  auto a = std::make_shared<CaptureExporter>();
+  auto b = std::make_shared<CaptureExporter>();
+  obs::ExporterRegistry& registry = obs::ExporterRegistry::Global();
+  const size_t base = registry.size();
+  {
+    ScopedExporter scoped_a(a);
+    ScopedExporter scoped_b(b);
+    EXPECT_EQ(registry.size(), base + 2);
+
+    obs::MetricsSnapshot snapshot;
+    registry.EmitMetrics(3.0, snapshot, nullptr, 0);
+    obs::HeartbeatSample sample;
+    sample.work = 17;
+    registry.EmitHeartbeat(sample);
+
+    ASSERT_EQ(a->metrics_calls.size(), 1u);
+    ASSERT_EQ(b->metrics_calls.size(), 1u);
+    EXPECT_DOUBLE_EQ(a->metrics_calls[0].t, 3.0);
+    EXPECT_FALSE(a->metrics_calls[0].has_window);
+    ASSERT_EQ(a->heartbeats.size(), 1u);
+    EXPECT_EQ(a->heartbeats[0].work, 17u);
+    EXPECT_EQ(b->heartbeats.size(), 1u);
+  }
+  EXPECT_EQ(registry.size(), base);
+  obs::MetricsSnapshot snapshot;
+  registry.EmitMetrics(4.0, snapshot, nullptr, 0);
+  EXPECT_EQ(a->metrics_calls.size(), 1u);  // removed: no further calls
+}
+
+TEST(ObsExport, SnapshotterTickRotatesWindowAndEmits) {
+  auto capture = std::make_shared<CaptureExporter>();
+  ScopedExporter scoped(capture);
+  obs::MetricsWindow::Global().Clear();
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("test.snapshotter_counter");
+  counter->Reset();
+
+  obs::Snapshotter& snapshotter = obs::Snapshotter::Global();
+  counter->Add(10);
+  snapshotter.TickOnce(0.0);  // first rotation: no window yet
+  counter->Add(32);
+  snapshotter.TickOnce(5.0);  // second rotation: window vs t=0
+
+  ASSERT_EQ(capture->metrics_calls.size(), 2u);
+  EXPECT_FALSE(capture->metrics_calls[0].has_window);
+  EXPECT_EQ(
+      CounterValue(capture->metrics_calls[0].cumulative,
+                   "test.snapshotter_counter"),
+      10u);
+  ASSERT_TRUE(capture->metrics_calls[1].has_window);
+  EXPECT_DOUBLE_EQ(capture->metrics_calls[1].window_seconds, 5.0);
+  EXPECT_EQ(CounterValue(capture->metrics_calls[1].cumulative,
+                         "test.snapshotter_counter"),
+            42u);
+  EXPECT_EQ(CounterValue(capture->metrics_calls[1].window,
+                         "test.snapshotter_counter"),
+            32u);
+  EXPECT_GE(obs::MetricsWindow::Global().size(), 2u);
+  obs::MetricsWindow::Global().Clear();
+}
+
+TEST(ObsExport, SnapshotterStartStopBackgroundThread) {
+  obs::Snapshotter& snapshotter = obs::Snapshotter::Global();
+  const uint64_t before = snapshotter.ticks();
+  ASSERT_TRUE(snapshotter.Start(0.005));
+  EXPECT_FALSE(snapshotter.Start(0.005));  // already running
+  EXPECT_TRUE(snapshotter.running());
+  snapshotter.Stop();
+  EXPECT_FALSE(snapshotter.running());
+  // The loop always takes a final snapshot on the way out.
+  EXPECT_GT(snapshotter.ticks(), before);
+  obs::MetricsWindow::Global().Clear();
+}
+
+// Satellite 2: the heartbeat reaches registered exporters with the same
+// values the stderr one-liner prints, via ProgressMonitor::TickOnce.
+TEST(ObsExport, HeartbeatRoutedThroughExporterRegistry) {
+  auto capture = std::make_shared<CaptureExporter>();
+  ScopedExporter scoped(capture);
+
+  obs::ProgressOptions options;
+  options.stderr_status = false;  // values still flow to exporters
+  options.stall_seconds = 1e9;
+  obs::ProgressMonitor::Global().Configure(options);
+
+  obs::SetPhase("export_test_phase");
+  obs::NoteWork(123);
+  obs::NoteBudgetRemaining("test.budget", 55);
+  obs::ProgressMonitor::Global().TickOnce();
+  obs::SetPhase("");
+
+  ASSERT_EQ(capture->heartbeats.size(), 1u);
+  const obs::HeartbeatSample& sample = capture->heartbeats[0];
+  EXPECT_STREQ(sample.phase, "export_test_phase");
+  EXPECT_GE(sample.work, 123u);
+  EXPECT_STREQ(sample.budget_name, "test.budget");
+  EXPECT_EQ(sample.budget_remaining, 55);
+  EXPECT_FALSE(sample.stalled);
+
+  // The progress.* gauges published by the same tick agree with the
+  // heartbeat's values — one sample feeds every sink.
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Read();
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "progress.work") {
+      EXPECT_EQ(static_cast<uint64_t>(value), sample.work);
+    }
+    if (name == "progress.budget_remaining") {
+      EXPECT_EQ(value, sample.budget_remaining);
+    }
+  }
+}
+
+TEST(ObsExport, UpdateDerivedGaugesPublishesEventCounts) {
+  obs::UpdateDerivedGauges();
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Read();
+  bool recorded_found = false;
+  bool dropped_found = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "events.recorded") recorded_found = true;
+    if (name == "events.dropped") dropped_found = true;
+    (void)value;
+  }
+  EXPECT_TRUE(recorded_found);
+  EXPECT_TRUE(dropped_found);
+}
+
+}  // namespace
+}  // namespace dxrec

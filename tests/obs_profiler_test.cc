@@ -1,0 +1,243 @@
+// Tests for the sampling profiler (obs/profiler.h) and the heap
+// accounting that feeds its per-phase table (obs/alloc.h). Sampling is
+// driven through SampleOnce(dt) for determinism; one smoke test at the
+// end exercises the real background sampler thread.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alloc.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace dxrec {
+namespace {
+
+const obs::PhaseProfile* FindPhase(
+    const std::vector<obs::PhaseProfile>& table, const char* name) {
+  for (const obs::PhaseProfile& p : table) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+TEST(ObsProfiler, FramePushPopTracksInnermost) {
+  EXPECT_STREQ(obs::CurrentFrameName(), "");
+  obs::PushFrame("alpha");
+  EXPECT_STREQ(obs::CurrentFrameName(), "alpha");
+  obs::PushFrame("beta");
+  EXPECT_STREQ(obs::CurrentFrameName(), "beta");
+  obs::PopFrame();
+  EXPECT_STREQ(obs::CurrentFrameName(), "alpha");
+  obs::PopFrame();
+  EXPECT_STREQ(obs::CurrentFrameName(), "");
+}
+
+TEST(ObsProfiler, SampleOnceAttributesSelfAndTotal) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Clear();
+
+  obs::PushFrame("alpha");
+  obs::PushFrame("beta");
+  profiler.SampleOnce(1000);
+  obs::PopFrame();
+  profiler.SampleOnce(500);
+  obs::PopFrame();
+
+  std::vector<obs::PhaseProfile> table = profiler.PhaseTable();
+  const obs::PhaseProfile* alpha = FindPhase(table, "alpha");
+  const obs::PhaseProfile* beta = FindPhase(table, "beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+
+  // beta was innermost for the first tick only.
+  EXPECT_EQ(beta->self_us, 1000);
+  EXPECT_EQ(beta->total_us, 1000);
+  EXPECT_EQ(beta->samples, 1u);
+  // alpha: innermost for the second tick, on-stack for both.
+  EXPECT_EQ(alpha->self_us, 500);
+  EXPECT_EQ(alpha->total_us, 1500);
+  EXPECT_EQ(alpha->samples, 1u);
+
+  EXPECT_EQ(profiler.TotalSampledUs(), 1500);
+
+  // Folded stacks carry the full path and per-stack totals.
+  std::string folded = profiler.FoldedStacks();
+  EXPECT_NE(folded.find(";alpha;beta 1000"), std::string::npos) << folded;
+  EXPECT_NE(folded.find(";alpha 500"), std::string::npos) << folded;
+}
+
+TEST(ObsProfiler, RecursiveFramesCountTotalOnce) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Clear();
+
+  obs::PushFrame("recur");
+  obs::PushFrame("recur");
+  profiler.SampleOnce(700);
+  obs::PopFrame();
+  obs::PopFrame();
+
+  std::vector<obs::PhaseProfile> table = profiler.PhaseTable();
+  const obs::PhaseProfile* recur = FindPhase(table, "recur");
+  ASSERT_NE(recur, nullptr);
+  EXPECT_EQ(recur->self_us, 700);
+  // Total is per distinct frame, not per occurrence: no double count.
+  EXPECT_EQ(recur->total_us, 700);
+}
+
+TEST(ObsProfiler, SamplesIdleThreadsAsNothing) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Clear();
+  // Depth 0 everywhere: a tick attributes nothing and creates no rows.
+  profiler.SampleOnce(1000);
+  EXPECT_EQ(profiler.TotalSampledUs(), 0);
+  EXPECT_EQ(profiler.FoldedStacks(), "");
+}
+
+TEST(ObsProfiler, WorkerThreadsGetOwnFoldedPrefix) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Clear();
+
+  obs::PushFrame("main_phase");
+  std::thread worker([&] {
+    obs::PushFrame("worker_phase");
+    profiler.SampleOnce(400);
+    obs::PopFrame();
+  });
+  worker.join();
+  obs::PopFrame();
+
+  std::string folded = profiler.FoldedStacks();
+  // Both stacks were live during the worker's tick, under distinct
+  // thread prefixes.
+  EXPECT_NE(folded.find(";worker_phase 400"), std::string::npos) << folded;
+  EXPECT_NE(folded.find(";main_phase 400"), std::string::npos) << folded;
+  std::vector<obs::PhaseProfile> table = profiler.PhaseTable();
+  const obs::PhaseProfile* worker_phase = FindPhase(table, "worker_phase");
+  ASSERT_NE(worker_phase, nullptr);
+  EXPECT_EQ(worker_phase->self_us, 400);
+}
+
+TEST(ObsProfiler, RecordAllocAggregatesPerPhase) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Clear();
+  profiler.RecordAlloc("allocphase", 100, 60);
+  profiler.RecordAlloc("allocphase", 50, 90);
+  std::vector<obs::PhaseProfile> table = profiler.PhaseTable();
+  const obs::PhaseProfile* phase = FindPhase(table, "allocphase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->alloc_bytes, 150);  // cumulative
+  EXPECT_EQ(phase->peak_bytes, 90);    // max over scopes
+}
+
+TEST(ObsAlloc, CountersTrackNewDelete) {
+  obs::alloc::EnsureLinked();
+  obs::alloc::SetEnabled(true);
+  obs::alloc::ThreadCounters before = obs::alloc::Snapshot();
+  {
+    std::vector<char> block(1 << 16);
+    block[0] = 1;
+    obs::alloc::ThreadCounters during = obs::alloc::Snapshot();
+    EXPECT_GE(during.allocated - before.allocated, 1 << 16);
+    EXPECT_GE(during.live, before.live + (1 << 16));
+  }
+  obs::alloc::ThreadCounters after = obs::alloc::Snapshot();
+  EXPECT_GE(after.freed - before.freed, 1 << 16);
+  EXPECT_GE(after.peak_live, before.live + (1 << 16));
+  obs::alloc::SetEnabled(false);
+}
+
+TEST(ObsAlloc, AllocScopeRecordsHistogramsAndProfiler) {
+  bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::alloc::EnsureLinked();
+  obs::alloc::SetEnabled(true);
+  obs::Profiler::Global().Clear();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* alloc_hist =
+      registry.GetHistogram("scope_site.alloc_bytes");
+  obs::Histogram* peak_hist = registry.GetHistogram("scope_site.peak_bytes");
+  alloc_hist->Reset();
+  peak_hist->Reset();
+
+  {
+    obs::alloc::AllocScope scope("scope_site");
+    std::vector<char> block(1 << 18);
+    block[0] = 1;
+    EXPECT_GE(scope.AllocatedSoFar(), 1 << 18);
+  }
+
+  EXPECT_EQ(alloc_hist->Count(), 1u);
+  EXPECT_GE(alloc_hist->Max(), static_cast<uint64_t>(1 << 18));
+  EXPECT_EQ(peak_hist->Count(), 1u);
+  EXPECT_GE(peak_hist->Max(), static_cast<uint64_t>(1 << 18));
+
+  // With no live frame the profiler row lands on the site label.
+  std::vector<obs::PhaseProfile> table =
+      obs::Profiler::Global().PhaseTable();
+  const obs::PhaseProfile* phase = FindPhase(table, "scope_site");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_GE(phase->alloc_bytes, 1 << 18);
+  EXPECT_GE(phase->peak_bytes, 1 << 18);
+
+  obs::alloc::SetEnabled(false);
+  obs::SetEnabled(was_enabled);
+}
+
+TEST(ObsAlloc, NestedScopesRestoreOuterPeak) {
+  obs::alloc::EnsureLinked();
+  obs::alloc::SetEnabled(true);
+  {
+    obs::alloc::AllocScope outer("outer_site");
+    std::vector<char> kept(1 << 12);
+    kept[0] = 1;
+    {
+      obs::alloc::AllocScope inner("inner_site");
+      std::vector<char> temp(1 << 14);
+      temp[0] = 1;
+      EXPECT_GE(inner.AllocatedSoFar(), 1 << 14);
+    }
+    // Outer keeps counting after the inner scope unwinds.
+    EXPECT_GE(outer.AllocatedSoFar(), (1 << 12) + (1 << 14));
+  }
+  obs::alloc::SetEnabled(false);
+}
+
+// Real sampler thread + spans: spans push frames once the profiler has
+// started, and Stop()'s final flush attributes wall time even when the
+// run is shorter than the sampling interval.
+TEST(ObsProfiler, BackgroundSamplerSmokeTest) {
+  bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::Profiler& profiler = obs::Profiler::Global();
+  profiler.Clear();
+  profiler.Start(0.002);
+  EXPECT_TRUE(profiler.running());
+  EXPECT_TRUE(obs::FramesEnabled());
+  {
+    obs::Span span("smoke_phase");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  {
+    obs::Span span("smoke_phase");  // span alive at Stop: flush covers it
+    profiler.Stop();
+  }
+  EXPECT_FALSE(profiler.running());
+  EXPECT_GT(profiler.TotalSampledUs(), 0);
+  std::string folded = profiler.FoldedStacks();
+  EXPECT_NE(folded.find("smoke_phase"), std::string::npos) << folded;
+  std::vector<obs::PhaseProfile> table = profiler.PhaseTable();
+  const obs::PhaseProfile* phase = FindPhase(table, "smoke_phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_GT(phase->total_us, 0);
+  profiler.Clear();
+  obs::SetEnabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace dxrec

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
 #include <thread>
+#include <vector>
 
+#include "core/engine.h"
 #include "core/inverse_chase.h"
 #include "logic/parser.h"
 #include "obs/metrics.h"
@@ -174,10 +179,282 @@ TEST(ObsMetrics, CounterGaugeHistogramBasics) {
   EXPECT_EQ(histogram->Sum(), 108u);
   EXPECT_EQ(histogram->Max(), 100u);
   EXPECT_DOUBLE_EQ(histogram->Mean(), 27.0);
-  EXPECT_EQ(histogram->BucketCount(0), 1u);  // value 0
-  EXPECT_EQ(histogram->BucketCount(1), 1u);  // value 1
-  EXPECT_EQ(histogram->BucketCount(3), 1u);  // 4..7
-  EXPECT_EQ(histogram->BucketCount(7), 1u);  // 64..127
+  // Values below 128 land in the exact region: bucket index == value.
+  EXPECT_EQ(histogram->BucketCount(0), 1u);
+  EXPECT_EQ(histogram->BucketCount(1), 1u);
+  EXPECT_EQ(histogram->BucketCount(7), 1u);
+  EXPECT_EQ(histogram->BucketCount(100), 1u);
+}
+
+TEST(ObsMetrics, HdrBucketIndexRoundTrips) {
+  // Exact region: one bucket per value.
+  for (uint64_t v : {0ull, 1ull, 63ull, 127ull}) {
+    EXPECT_EQ(obs::Histogram::BucketIndex(v), v);
+    obs::BucketBounds b =
+        obs::Histogram::BucketBoundsFor(obs::Histogram::BucketIndex(v));
+    EXPECT_EQ(b.lb, v);
+    EXPECT_EQ(b.ub, v);
+  }
+  // Log-linear region: every value falls inside its bucket's bounds, and
+  // the relative quantization error of the midpoint stays under 1%.
+  for (uint64_t v = 128; v < (1ull << 40); v = v * 17 / 16 + 3) {
+    size_t index = obs::Histogram::BucketIndex(v);
+    obs::BucketBounds b = obs::Histogram::BucketBoundsFor(index);
+    ASSERT_LE(b.lb, v) << v;
+    ASSERT_GE(b.ub, v) << v;
+    double mid = static_cast<double>(b.lb) +
+                 static_cast<double>(b.ub - b.lb) / 2;
+    EXPECT_LT(std::abs(mid - static_cast<double>(v)) /
+                  static_cast<double>(v),
+              0.01)
+        << v;
+  }
+  // Buckets tile the value space: consecutive indexes touch.
+  for (size_t i = 1; i < 1000; ++i) {
+    obs::BucketBounds prev = obs::Histogram::BucketBoundsFor(i - 1);
+    obs::BucketBounds cur = obs::Histogram::BucketBoundsFor(i);
+    ASSERT_EQ(prev.ub + 1, cur.lb) << i;
+  }
+}
+
+// Exact quantile with the same rank rule the histogram uses: the value
+// at rank max(1, ceil(q * n)) in sorted order.
+uint64_t ExactQuantile(std::vector<uint64_t>& values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank < 1) rank = 1;
+  return values[rank - 1];
+}
+
+void CheckQuantiles(const std::vector<uint64_t>& values, const char* label) {
+  obs::Histogram histogram_storage;  // local; not via registry on purpose
+  obs::Histogram* histogram = &histogram_storage;
+  for (uint64_t v : values) histogram->Record(v);
+  std::vector<uint64_t> sorted = values;
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    uint64_t exact = ExactQuantile(sorted, q);
+    uint64_t approx = histogram->ValueAtQuantile(q);
+    double denom = std::max<double>(1.0, static_cast<double>(exact));
+    EXPECT_LT(std::abs(static_cast<double>(approx) -
+                       static_cast<double>(exact)) /
+                  denom,
+              0.01)
+        << label << " q=" << q << " exact=" << exact
+        << " approx=" << approx;
+  }
+  // q=1 reports the max's bucket midpoint, within 1% of the true max.
+  double max_value = static_cast<double>(histogram->Max());
+  EXPECT_LT(std::abs(static_cast<double>(histogram->ValueAtQuantile(1.0)) -
+                     max_value) /
+                std::max(1.0, max_value),
+            0.01)
+      << label;
+}
+
+TEST(ObsMetrics, HdrQuantilesWithinOnePercent) {
+  std::mt19937_64 rng(20150531);
+  // Uniform over a wide range.
+  {
+    std::uniform_int_distribution<uint64_t> dist(0, 1u << 20);
+    std::vector<uint64_t> values(20000);
+    for (uint64_t& v : values) v = dist(rng);
+    CheckQuantiles(values, "uniform");
+  }
+  // Lognormal: heavy tail, the case power-of-two buckets got wrong.
+  {
+    std::lognormal_distribution<double> dist(8.0, 1.5);
+    std::vector<uint64_t> values(20000);
+    for (uint64_t& v : values) v = static_cast<uint64_t>(dist(rng));
+    CheckQuantiles(values, "lognormal");
+  }
+  // Point mass: every quantile is the mass point.
+  {
+    std::vector<uint64_t> values(5000, 777);
+    CheckQuantiles(values, "point-mass");
+  }
+}
+
+TEST(ObsMetrics, DiffMetricsSubtractsBaseline) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* counter = registry.GetCounter("test.diff_counter");
+  obs::Gauge* gauge = registry.GetGauge("test.diff_gauge");
+  obs::Histogram* histogram = registry.GetHistogram("test.diff_histogram");
+  counter->Reset();
+  gauge->Reset();
+  histogram->Reset();
+
+  counter->Add(10);
+  gauge->Set(5);
+  histogram->Record(3);
+  histogram->Record(500);
+  obs::MetricsSnapshot start = registry.Read();
+
+  counter->Add(7);
+  gauge->Set(-2);
+  histogram->Record(3);
+  histogram->Record(9000);
+  obs::MetricsSnapshot end = registry.Read();
+
+  obs::MetricsSnapshot delta = obs::DiffMetrics(start, end);
+  for (const auto& [name, value] : delta.counters) {
+    if (name == "test.diff_counter") EXPECT_EQ(value, 7u);
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    if (name == "test.diff_gauge") EXPECT_EQ(value, -2);  // end value wins
+  }
+  for (const obs::HistogramSnapshot& h : delta.histograms) {
+    if (h.name != "test.diff_histogram") continue;
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.sum, 9003u);
+    uint64_t bucket_total = 0;
+    for (const obs::HistogramBucketSnapshot& b : h.buckets) {
+      bucket_total += b.count;
+    }
+    EXPECT_EQ(bucket_total, 2u);
+    // Only the samples recorded after `start` remain: 3 and ~9000.
+    EXPECT_EQ(obs::SnapshotValueAtQuantile(h, 0.25), 3u);
+  }
+
+  // A reset between snapshots must not underflow: end values stand.
+  counter->Reset();
+  counter->Add(4);
+  obs::MetricsSnapshot after_reset = registry.Read();
+  obs::MetricsSnapshot clamped = obs::DiffMetrics(start, after_reset);
+  for (const auto& [name, value] : clamped.counters) {
+    if (name == "test.diff_counter") EXPECT_EQ(value, 4u);
+  }
+}
+
+TEST(ObsMetrics, MetricsWindowPicksClosestSpan) {
+  obs::MetricsWindow window(8);
+  obs::MetricsSnapshot delta;
+  double actual = 0;
+  EXPECT_FALSE(window.Window(10.0, &delta, &actual));  // empty
+
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("test.window_counter");
+  counter->Reset();
+  for (int i = 0; i < 5; ++i) {
+    window.Rotate(static_cast<double>(i));  // t = 0..4, counter = 10*i
+    counter->Add(10);
+  }
+  ASSERT_EQ(window.size(), 5u);
+
+  // "Last 2 seconds" from t=4 should diff against the t=2 rotation.
+  ASSERT_TRUE(window.Window(2.0, &delta, &actual));
+  EXPECT_DOUBLE_EQ(actual, 2.0);
+  for (const auto& [name, value] : delta.counters) {
+    if (name == "test.window_counter") EXPECT_EQ(value, 20u);
+  }
+
+  // Asking for more history than the ring holds falls back to the oldest.
+  ASSERT_TRUE(window.Window(100.0, &delta, &actual));
+  EXPECT_DOUBLE_EQ(actual, 4.0);
+  for (const auto& [name, value] : delta.counters) {
+    if (name == "test.window_counter") EXPECT_EQ(value, 40u);
+  }
+
+  // Capacity evicts oldest entries.
+  for (int i = 5; i < 20; ++i) window.Rotate(static_cast<double>(i));
+  EXPECT_EQ(window.size(), 8u);
+  window.Clear();
+  EXPECT_EQ(window.size(), 0u);
+}
+
+// Eight writers hammer one histogram while the main thread rotates a
+// window through it. Totals are deterministic regardless of interleaving;
+// under TSan this also proves Record vs snapshot-read is race-free.
+TEST(ObsMetrics, ConcurrentRecordWithWindowRotation) {
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 20000;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* histogram =
+      registry.GetHistogram("test.concurrent_histogram");
+  obs::Counter* counter = registry.GetCounter("test.concurrent_counter");
+  histogram->Reset();
+  counter->Reset();
+
+  obs::MetricsWindow window(16);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        histogram->Record(static_cast<uint64_t>((w * kPerWriter + i) % 4096));
+        counter->Add(1);
+      }
+    });
+  }
+  std::thread rotator([&] {
+    double t = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      window.Rotate(t);
+      t += 1.0;
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  rotator.join();
+  window.Rotate(1e9);  // final rotation sees the complete totals
+
+  EXPECT_EQ(histogram->Count(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  EXPECT_EQ(counter->Get(), static_cast<uint64_t>(kWriters) * kPerWriter);
+  uint64_t bucket_total = 0;
+  obs::MetricsSnapshot snapshot = registry.Read();
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name != "test.concurrent_histogram") continue;
+    for (const obs::HistogramBucketSnapshot& b : h.buckets) {
+      bucket_total += b.count;
+    }
+  }
+  EXPECT_EQ(bucket_total, static_cast<uint64_t>(kWriters) * kPerWriter);
+
+  // The last full-total rotation diffed against any earlier one never
+  // exceeds the true grand totals.
+  obs::MetricsSnapshot delta;
+  double actual = 0;
+  if (window.Window(1.0, &delta, &actual)) {
+    for (const auto& [name, value] : delta.counters) {
+      if (name == "test.concurrent_counter") {
+        EXPECT_LE(value, static_cast<uint64_t>(kWriters) * kPerWriter);
+      }
+    }
+  }
+}
+
+// Satellite: per-run metric deltas. Two identical back-to-back
+// recoveries must report the same per-run counters — the second run's
+// report must not include the first run's work.
+TEST(ObsMetrics, PerRunDeltaCoversOnlyLatestRun) {
+  ScopedTracing tracing;
+  Result<DependencySet> sigma =
+      ParseTgdSet("Rpt(x) -> Spt(x); Spt(x) -> Tpt(x)");
+  ASSERT_TRUE(sigma.ok());
+  Result<Instance> j = ParseInstance("{Tpt(a), Spt(b)}");
+  ASSERT_TRUE(j.ok());
+
+  auto fired_in_run = [&]() -> uint64_t {
+    obs::MetricsSnapshot delta = obs::RunMetricsDelta();
+    for (const auto& [name, value] : delta.counters) {
+      if (name == "chase.triggers_fired") return value;
+    }
+    return 0;
+  };
+
+  Engine engine(*sigma, EngineOptions());
+  ASSERT_TRUE(engine.Recover(*j).ok());
+  uint64_t first = fired_in_run();
+
+  ASSERT_TRUE(engine.Recover(*j).ok());
+  uint64_t second = fired_in_run();
+
+  // Identical inputs, identical per-run work; cumulative counters kept
+  // growing in between, so equality here proves the baseline moved.
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 0u);
 }
 
 TEST(ObsMetrics, SnapshotAndJson) {
