@@ -63,6 +63,10 @@ class JsonReporter {
     Row& Put(const char* key, bool value) {
       return PutRaw(key, value ? "true" : "false");
     }
+    // Pre-serialized JSON payload (e.g. a nested counters object).
+    Row& PutJson(const char* key, const std::string& json_value) {
+      return PutRaw(key, json_value);
+    }
 
    private:
     friend class JsonReporter;
@@ -128,12 +132,28 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
 
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
-      json_->NewRow()
-          .Put("name", run.benchmark_name())
-          .Put("iterations", static_cast<size_t>(run.iterations))
-          .Put("real_time", run.GetAdjustedRealTime())
-          .Put("cpu_time", run.GetAdjustedCPUTime())
-          .Put("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      JsonReporter::Row& row =
+          json_->NewRow()
+              .Put("name", run.benchmark_name())
+              .Put("iterations", static_cast<size_t>(run.iterations))
+              .Put("real_time", run.GetAdjustedRealTime())
+              .Put("cpu_time", run.GetAdjustedCPUTime())
+              .Put("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      if (!run.counters.empty()) {
+        // User counters (state.counters[...]) as a nested object, so
+        // access-path numbers ride the same history as the timings.
+        std::string counters = "{";
+        bool first = true;
+        for (const auto& [name, counter] : run.counters) {
+          if (!first) counters += ",";
+          first = false;
+          char value[32];
+          std::snprintf(value, sizeof(value), "%.6g", counter.value);
+          counters += "\"" + obs::JsonEscape(name) + "\":" + value;
+        }
+        counters += "}";
+        row.PutJson("counters", counters);
+      }
     }
     ConsoleReporter::ReportRuns(runs);
   }

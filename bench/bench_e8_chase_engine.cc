@@ -16,6 +16,7 @@
 #include "datagen/scenarios.h"
 #include "logic/parser.h"
 #include "obs/profiler.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 
 namespace dxrec {
@@ -81,6 +82,36 @@ void HomSearchBody(benchmark::State& state, bool use_index) {
     benchmark::DoNotOptimize(count);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+
+  // One instrumented probe outside the timed loop: access-path counters
+  // for the same search, teed into BENCH_E8.json so candidate fan-out
+  // and selectivity trends are machine-comparable across snapshots.
+  {
+    const bool was_enabled = obs::stats::Enabled();
+    obs::stats::SetEnabled(true);
+    obs::stats::SearchStats probe;
+    {
+      obs::stats::ScopedSearch scope(&probe);
+      size_t count = 0;
+      ForEachHomomorphism(pattern_holder->body(), source, options,
+                          [&count](const Substitution&) {
+                            ++count;
+                            return true;
+                          });
+      benchmark::DoNotOptimize(count);
+    }
+    obs::stats::SetEnabled(was_enabled);
+    obs::stats::RelationAccess totals = probe.Totals();
+    state.counters["candidates"] =
+        static_cast<double>(probe.candidates_tried);
+    state.counters["backtracks"] = static_cast<double>(probe.backtracks);
+    state.counters["results"] = static_cast<double>(probe.results);
+    state.counters["tuples_scanned"] =
+        static_cast<double>(totals.tuples_scanned);
+    state.counters["tuples_matched"] =
+        static_cast<double>(totals.tuples_matched);
+    state.counters["selectivity"] = totals.Selectivity();
+  }
 }
 
 void BM_HomSearchIndexed(benchmark::State& state) {
@@ -162,6 +193,40 @@ void BM_ForwardChaseObsProfiled(benchmark::State& state) {
   ForwardChaseObsBody(state, 2);
 }
 BENCHMARK(BM_ForwardChaseObsProfiled)->Arg(1000);
+
+// Stats-gate overhead A/B: the indexed hom search with access-path
+// statistics off vs on, in one binary run (interleave for shared machine
+// state). scripts/check.sh's DXREC_CHECK_STATS_OVERHEAD gate compares
+// the medians against the 3% budget for the stats-off relaxed load.
+void HomSearchStatsBody(benchmark::State& state, bool stats_on) {
+  Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  Result<Tgd> pattern_holder =
+      ParseTgd("E8R(hx, hy), E8R(hy, hz) -> E8T(hx, hz)");
+  HomSearchOptions options;
+  const bool was_enabled = obs::stats::Enabled();
+  obs::stats::SetEnabled(stats_on);
+  for (auto _ : state) {
+    size_t count = 0;
+    ForEachHomomorphism(pattern_holder->body(), source, options,
+                        [&count](const Substitution&) {
+                          ++count;
+                          return true;
+                        });
+    benchmark::DoNotOptimize(count);
+  }
+  obs::stats::SetEnabled(was_enabled);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_HomSearchStatsOff(benchmark::State& state) {
+  HomSearchStatsBody(state, /*stats_on=*/false);
+}
+BENCHMARK(BM_HomSearchStatsOff)->Arg(1000);
+
+void BM_HomSearchStatsOn(benchmark::State& state) {
+  HomSearchStatsBody(state, /*stats_on=*/true);
+}
+BENCHMARK(BM_HomSearchStatsOn)->Arg(1000);
 
 void BM_Satisfies(benchmark::State& state) {
   DependencySet sigma = BenchSigma();

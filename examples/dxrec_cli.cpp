@@ -13,6 +13,8 @@
 //   mapping                     print the CQ-maximum recovery mapping
 //   baseline                    chase J with that mapping
 //   explain                     recoveries with per-atom provenance
+//   explain analyze [timing]    access-path stats operator tree (adds
+//                               wall-time/alloc columns with 'timing')
 //   repair                      maximal valid subsets of an invalid J
 //   greedyrepair                single fast valid subset
 //   loadsigma <path>            load the mapping from a file
@@ -62,6 +64,7 @@
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/profiler.h"
+#include "obs/stats.h"
 #include "obs/progress.h"
 #include "obs/report.h"
 #include "relational/instance_ops.h"
@@ -73,13 +76,14 @@ using namespace dxrec;  // NOLINT: example brevity
 void PrintHelp() {
   std::printf(
       "commands: sigma <tgds> | target <instance> | validate | analyze |\n"
-      "          recover | explain | cert <ucq> | sound <ucq> |\n"
+      "          recover | explain | explain analyze [timing] |\n"
+      "          cert <ucq> | sound <ucq> |\n"
       "          soundcq <cq> | subuniversal | mapping | baseline |\n"
       "          repair | greedyrepair | loadsigma <path> |\n"
       "          loadtarget <path> | savetarget <path> |\n"
       "          set <key> <value> | help | quit\n"
       "set keys: cover_nodes cover_covers max_recoveries threads\n"
-      "          deadline_ms degrade profile snapshot_interval\n"
+      "          deadline_ms degrade profile snapshot_interval stats\n"
       "flags:    --trace[=<file>]        Chrome trace-event JSON on exit\n"
       "                                  (default dxrec_trace.json)\n"
       "          --metrics-json[=<file>] metrics/span run report on exit\n"
@@ -245,6 +249,34 @@ class Shell {
       } else {
         Report(sub.status());
       }
+    } else if (cmd == "explain" && rest.rfind("analyze", 0) == 0) {
+      // EXPLAIN ANALYZE for steps 1-7: rerun the pipeline with
+      // access-path statistics on and render the operator tree. The
+      // default output is byte-identical at any thread count; 'timing'
+      // adds wall-time/alloc columns (not byte-stable, like Postgres's
+      // EXPLAIN (ANALYZE, TIMING ON)).
+      const bool timing = rest.find("timing") != std::string::npos;
+      options_.obs.stats = true;
+      options_.obs.enabled = true;
+      obs::Apply(options_.obs);
+      Engine analyzer(DependencySet(engine_->sigma()), options_);
+      Result<InverseChaseResult> result = analyzer.Recover(target_);
+      if (!result.ok()) {
+        Report(result.status());
+        return true;
+      }
+      obs::stats::RunStats run;
+      if (!obs::stats::LastRun(&run)) {
+        std::printf("no stats recorded for the run\n");
+        return true;
+      }
+      std::printf("sigma:\n");
+      for (TgdId id = 0; id < analyzer.sigma().size(); ++id) {
+        std::printf("  tgd %zu: %s\n", static_cast<size_t>(id),
+                    analyzer.sigma().at(id).ToString().c_str());
+      }
+      std::printf("\n%s",
+                  obs::stats::RenderExplainAnalyze(run, timing).c_str());
     } else if (cmd == "explain") {
       EngineOptions explain_options = options_;
       explain_options.algorithms.explain = true;
@@ -334,6 +366,12 @@ class Shell {
       // obs collectors' never-turns-off contract).
       options_.obs.profile = (raw == "on" || raw == "1");
       options_.obs.enabled = options_.obs.enabled || options_.obs.profile;
+      obs::Apply(options_.obs);
+    } else if (key == "stats") {
+      // Turns access-path statistics on (same never-turns-off contract
+      // as the other collectors); `explain analyze` does this implicitly.
+      options_.obs.stats = (raw == "on" || raw == "1");
+      options_.obs.enabled = options_.obs.enabled || options_.obs.stats;
       obs::Apply(options_.obs);
     } else if (key == "snapshot_interval") {
       options_.obs.snapshot_interval_seconds =

@@ -98,6 +98,45 @@ if [ ! -s "$om_dir/profile.folded" ]; then
   echo "--profile produced an empty folded-stack file" >&2
   exit 1
 fi
+# Stats were off in that session, so no dxrec_stats_* family may exist.
+if grep -q 'dxrec_stats_' "$om_dir/metrics.om"; then
+  echo "stats-off session exported dxrec_stats_* families" >&2
+  exit 1
+fi
+
+# explain-analyze end-to-end: the access-path operator tree renders over
+# the warehouse example, byte-identically at threads=1 vs threads=4, and
+# a stats-on session exports validating dxrec_stats_* families. Cheap,
+# so it always runs.
+echo "=== explain analyze check ==="
+ea_session='loadsigma examples/data/warehouse.tgds
+target {Ledger(ann, o1), Shipment(o1, tea), Available(tea)}
+explain analyze
+quit'
+printf '%s\n' "$ea_session" \
+  | build/examples/dxrec_cli --threads=1 >"$om_dir/ea_t1.txt"
+printf '%s\n' "$ea_session" \
+  | build/examples/dxrec_cli --threads=4 >"$om_dir/ea_t4.txt"
+if ! diff -u "$om_dir/ea_t1.txt" "$om_dir/ea_t4.txt"; then
+  echo "explain analyze output diverged between threads=1 and threads=4" >&2
+  exit 1
+fi
+for marker in 'operator tree:' 'access paths' 'step1 hom_enum' 'cover 0' \
+    'step6 g_hom' 'step7 verify' 'sel%'; do
+  if ! grep -qF "$marker" "$om_dir/ea_t1.txt"; then
+    echo "explain analyze output missing '$marker'" >&2
+    cat "$om_dir/ea_t1.txt" >&2
+    exit 1
+  fi
+done
+printf '%s\n' "$ea_session" \
+  | build/examples/dxrec_cli --openmetrics="$om_dir/stats.om" >/dev/null
+python3 scripts/validate_openmetrics.py "$om_dir/stats.om"
+if ! grep -q '^# TYPE dxrec_stats_' "$om_dir/stats.om"; then
+  echo "stats-on session exported no dxrec_stats_* families" >&2
+  exit 1
+fi
+echo "explain analyze: deterministic tree + stats families OK"
 
 # Robustness sweep (opt-in: needs the asan preset built). Runs the
 # deterministic fault-injection sweep under ASan and replays the fuzzer
@@ -209,6 +248,46 @@ if ratio > 1.03:
     sys.exit(f"obs+profiler overhead {ratio - 1:.2%} exceeds the 3% budget")
 print("within the 3% budget")
 EOF
+fi
+
+# Stats overhead gate (opt-in, same shape as the obs gate above): the
+# hom search with access-path statistics ON must stay within 3% of the
+# stats-off median — the budget that makes `explain analyze` cheap
+# enough to reach for casually (docs/OBSERVABILITY.md). Medians over 9
+# interleaved repetitions, A/B in one binary run.
+if [ "${DXREC_CHECK_STATS_OVERHEAD:-0}" = "1" ]; then
+  echo "=== stats overhead gate (bench_e8 medians, stats on vs off) ==="
+  cmake --build --preset default -j "$jobs" --target bench_e8_chase_engine \
+      >/dev/null
+  stats_dir=$(mktemp -d)
+  DXREC_BENCH_JSON_DIR="$stats_dir" build/bench/bench_e8_chase_engine \
+      --benchmark_filter='HomSearchStats' \
+      --benchmark_repetitions=9 \
+      --benchmark_report_aggregates_only=true \
+      --benchmark_enable_random_interleaving=true \
+      --benchmark_min_time=0.05 >"$stats_dir/stats_overhead.txt" 2>&1
+  python3 - "$stats_dir/BENCH_E8.json" <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+medians = {}
+for row in rows:
+    name = row.get("name", "")
+    if name.endswith("_median"):
+        for variant in ("StatsOff", "StatsOn"):
+            if variant in name:
+                medians[variant] = float(row["real_time"])
+missing = [v for v in ("StatsOff", "StatsOn") if v not in medians]
+if missing:
+    sys.exit(f"stats overhead gate: no median rows for {missing}")
+off, on = medians["StatsOff"], medians["StatsOn"]
+ratio = on / off
+print(f"stats-off median: {off:.0f} ns")
+print(f"stats-on median:  {on:.0f} ns ({ratio - 1:+.2%} vs off)")
+if ratio > 1.03:
+    sys.exit(f"stats-on overhead {ratio - 1:.2%} exceeds the 3% budget")
+print("within the 3% budget")
+EOF
+  rm -rf "$stats_dir"
 fi
 
 echo "All requested configurations passed: ${presets[*]}"

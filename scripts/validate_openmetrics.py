@@ -12,7 +12,12 @@ Checks, without external dependencies:
   - every sample value parses as a number;
   - histogram bucket counts are cumulative (non-decreasing in `le`
     order), the `le="+Inf"` bucket is present, and it equals `_count`;
-  - no metric family is declared twice.
+  - no metric family is declared twice;
+  - no family name ends in a reserved sample suffix (`_total`,
+    `_bucket`, `_sum`, `_count`, `_created`) — a gauge named `x_total`
+    is indistinguishable from counter `x`'s exposed sample;
+  - no two families expose the same sample name (e.g. counter `z`,
+    which exposes `z_total`, alongside a separate family `z_total`).
 
 Usage: validate_openmetrics.py <file> [<file> ...]
 Exit status 0 when every file validates, 1 otherwise.
@@ -29,6 +34,22 @@ LABEL_RE = re.compile(r'^(\w+)="((?:[^"\\]|\\.)*)"$')
 
 VALID_TYPES = {"counter", "gauge", "histogram", "summary", "info",
                "stateset", "unknown"}
+
+# Suffixes OpenMetrics reserves for exposed samples; family names ending
+# in one collide with another family's sample namespace.
+RESERVED_SUFFIXES = ("_total", "_bucket", "_sum", "_count", "_created")
+
+
+def exposed_names(name, family_type):
+    """Sample names a family of the given type exposes."""
+    if family_type == "counter":
+        return {name + "_total", name + "_created"}
+    if family_type == "histogram":
+        return {name + "_bucket", name + "_sum", name + "_count",
+                name + "_created"}
+    if family_type == "summary":
+        return {name, name + "_sum", name + "_count", name + "_created"}
+    return {name}
 
 
 def parse_value(raw):
@@ -85,6 +106,11 @@ def validate(path):
                 err(f"unknown family type '{family_type}'")
             if name in families:
                 err(f"family '{name}' declared twice")
+            for suffix in RESERVED_SUFFIXES:
+                if name.endswith(suffix):
+                    err(f"family '{name}' ends in reserved suffix "
+                        f"'{suffix}'")
+                    break
             families[name] = family_type
             continue
         if not line.strip():
@@ -169,6 +195,19 @@ def validate(path):
     for family, (lineno, _) in counts.items():
         if family not in buckets:
             errors.append(f"{family}: _count without any _bucket samples")
+
+    # Cross-family sample collisions: two families whose exposed sample
+    # names intersect make the exposition ambiguous even when both
+    # declarations are individually well-formed.
+    exposure = {}
+    for name, family_type in families.items():
+        for sample in exposed_names(name, family_type):
+            if sample in exposure and exposure[sample] != name:
+                errors.append(
+                    f"families '{exposure[sample]}' and '{name}' both "
+                    f"expose sample '{sample}'")
+            else:
+                exposure[sample] = name
 
     return errors
 

@@ -4,6 +4,7 @@
 #include "obs/alloc.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 #include "resilience/execution_context.h"
 
@@ -21,13 +22,25 @@ std::vector<Trigger> FindTriggers(const DependencySet& sigma,
   std::vector<Trigger> out;
   HomSearchOptions options;
   options.context = context;
+  // Per-dependency trigger attribution: body-match searches land in the
+  // dependency's own SearchStats (shadowing any enclosing sink), and
+  // every body hom found counts as a tested trigger.
+  obs::stats::ChaseStats* chase_stats =
+      obs::stats::Enabled() ? obs::stats::CurrentChaseSink() : nullptr;
+  if (chase_stats != nullptr) chase_stats->EnsureDeps(sigma.size());
   for (TgdId id = 0; id < sigma.size(); ++id) {
     if (context != nullptr &&
         context->stop_cause() != resilience::StopCause::kNone) {
       break;
     }
-    for (Substitution& h :
-         FindHomomorphisms(sigma.at(id).body(), input, options)) {
+    obs::stats::ScopedSearch match_scope(
+        chase_stats != nullptr ? &chase_stats->deps[id].match : nullptr);
+    std::vector<Substitution> homs =
+        FindHomomorphisms(sigma.at(id).body(), input, options);
+    if (chase_stats != nullptr) {
+      chase_stats->deps[id].triggers_tested += homs.size();
+    }
+    for (Substitution& h : homs) {
       out.push_back(Trigger{id, std::move(h)});
     }
   }
@@ -67,6 +80,9 @@ Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
   obs::alloc::AllocScope alloc_scope("chase");
   Instance out;
   uint64_t fired_count = 0;
+  obs::stats::ChaseStats* chase_stats =
+      obs::stats::Enabled() ? obs::stats::CurrentChaseSink() : nullptr;
+  if (chase_stats != nullptr) chase_stats->EnsureDeps(sigma.size());
   for (const Trigger& trigger : triggers) {
     // Cheap batch check; one stop-cause load per 256 firings.
     if (context != nullptr && (fired_count & 0xFF) == 0 &&
@@ -74,8 +90,22 @@ Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
       break;
     }
     ++fired_count;
+    const size_t before = out.size();
     FireTrigger(sigma, trigger, nulls, &out);
+    if (chase_stats != nullptr) {
+      obs::stats::DependencyStats& dep = chase_stats->deps[trigger.tgd];
+      ++dep.triggers_fired;
+      dep.tuples_added += out.size() - before;
+    }
   }
+  if (chase_stats != nullptr) {
+    // One round: everything a semi-naive evaluator would treat as the
+    // next delta (the s-t chase of Def. 9 saturates in a single pass).
+    ++chase_stats->rounds;
+    chase_stats->round_deltas.push_back(out.size());
+    chase_stats->tuples_added += out.size();
+  }
+  obs::stats::NoteChaseRound(triggers.size(), fired_count, out.size());
   if (obs::Enabled()) {
     static obs::Counter* fired =
         obs::MetricsRegistry::Global().GetCounter("chase.triggers_fired");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "chase/homomorphism.h"
+#include "obs/stats.h"
 
 namespace dxrec {
 
@@ -24,6 +25,9 @@ AnswerSet Evaluate(const ConjunctiveQuery& query, const Instance& instance) {
                         out.insert(h.Apply(query.free_vars()));
                         return true;
                       });
+  // Access-path accounting: the body-match search above already lands in
+  // whatever search sink is installed; here we only tally the query.
+  obs::stats::NoteEvaluation(out.size());
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 #include "resilience/execution_context.h"
 #include "util/thread_pool.h"
@@ -58,11 +59,14 @@ class Matcher {
   void Run() {
     if (!SeedFixed()) {
       FlushCounters();
+      FlushStats();
       return;
     }
     order_ = ChooseOrder();
+    BuildDepthSlots();
     Recurse(0);
     FlushCounters();
+    FlushStats();
   }
 
   // Parallel-driver entry points. Both run quiet: no counter flush or
@@ -76,7 +80,8 @@ class Matcher {
     quiet_ = true;
     if (!SeedFixed()) return false;
     order_ = ChooseOrder();
-    *roots = *CandidatesFor(0);
+    *roots = *CandidatesFor(0, &root_indexed_);
+    root_relation_ = pattern_[order_[0]].relation();
     return true;
   }
 
@@ -87,6 +92,7 @@ class Matcher {
     quiet_ = true;
     if (!SeedFixed()) return;
     order_ = ChooseOrder();
+    BuildDepthSlots();
     root_slice_ = &root_slice;
     Recurse(0);
   }
@@ -95,6 +101,17 @@ class Matcher {
   uint64_t backtracks() const { return backtracks_; }
   size_t results() const { return results_; }
   bool truncated() const { return truncated_; }
+
+  // Root-list access-path facts from PlanRoot (stats attribution: the
+  // driver records the list acquisition exactly once, since every chunk
+  // scans a slice of the same list).
+  RelationId root_relation() const { return root_relation_; }
+  bool root_indexed() const { return root_indexed_; }
+
+  // Chunk mode: hands the per-relation access rows accumulated during
+  // RunChunk to the driver, which merges chunks in slice order and
+  // reports the fan-out as one logical search.
+  obs::stats::SearchStats TakeRelationStats() { return std::move(stats_); }
 
  private:
   bool IsPlaceholder(Term t) const {
@@ -122,6 +139,29 @@ class Matcher {
   void FlushCounters() const {
     FlushSearchCounters(candidates_tried_, backtracks_, results_,
                         truncated_);
+  }
+
+  // Per-depth slots into stats_.relations, resolved once per search so
+  // the inner loop pays plain increments when stats are on (std::map
+  // nodes are stable, so the pointers survive later insertions).
+  void BuildDepthSlots() {
+    if (!stats_on_) return;
+    depth_slots_.resize(order_.size());
+    for (size_t d = 0; d < order_.size(); ++d) {
+      depth_slots_[d] = &stats_.relations[pattern_[order_[d]].relation()];
+    }
+  }
+
+  // One logical (non-chunked) search's access-path stats: merged into
+  // the thread's sink and the `stats.*` registry families.
+  void FlushStats() {
+    if (!stats_on_ || quiet_) return;
+    stats_.searches = 1;
+    stats_.candidates_tried = candidates_tried_;
+    stats_.backtracks = backtracks_;
+    stats_.results = results_;
+    stats_.truncated = truncated_ ? 1 : 0;
+    obs::stats::RecordSearch(stats_);
   }
 
   // Rare-path pulse: progress work units and, even less often, a search
@@ -207,8 +247,10 @@ class Matcher {
   }
 
   // Candidate tuples for the atom at order_[depth]: the tightest index
-  // among bound positions, else the whole relation.
-  const std::vector<uint32_t>* CandidatesFor(size_t depth) const {
+  // among bound positions, else the whole relation. *indexed reports
+  // which of the two access paths won.
+  const std::vector<uint32_t>* CandidatesFor(size_t depth,
+                                             bool* indexed) const {
     const Atom& atom = pattern_[order_[depth]];
     const std::vector<uint32_t>* candidates = nullptr;
     if (options_.use_index) {
@@ -222,6 +264,7 @@ class Matcher {
         }
       }
     }
+    *indexed = candidates != nullptr;
     if (candidates == nullptr) {
       candidates = &target_.AtomsFor(atom.relation());
     }
@@ -245,9 +288,23 @@ class Matcher {
       return;
     }
     const Atom& atom = pattern_[order_[depth]];
-    const std::vector<uint32_t>* candidates =
-        (depth == 0 && root_slice_ != nullptr) ? root_slice_
-                                               : CandidatesFor(depth);
+    const std::vector<uint32_t>* candidates;
+    if (depth == 0 && root_slice_ != nullptr) {
+      candidates = root_slice_;
+      // Chunk mode: the driver records the root list acquisition once;
+      // each chunk accounts only the candidates its slice feeds it, so
+      // slice-order merging reproduces the sequential scan counts.
+      if (stats_on_) depth_slots_[0]->tuples_scanned += candidates->size();
+    } else {
+      bool indexed = false;
+      candidates = CandidatesFor(depth, &indexed);
+      if (stats_on_) {
+        obs::stats::RelationAccess* slot = depth_slots_[depth];
+        ++slot->lists;
+        if (indexed) ++slot->indexed_lists;
+        slot->tuples_scanned += candidates->size();
+      }
+    }
 
     for (uint32_t idx : *candidates) {
       const Atom& tuple = target_.atoms()[idx];
@@ -289,6 +346,7 @@ class Matcher {
         }
       }
       if (ok) {
+        if (stats_on_) ++depth_slots_[depth]->tuples_matched;
         Recurse(depth + 1);
       } else {
         ++backtracks_;
@@ -308,6 +366,13 @@ class Matcher {
   std::vector<size_t> order_;
   const std::vector<uint32_t>* root_slice_ = nullptr;
   bool quiet_ = false;  // chunk mode: driver owns telemetry
+  // Access-path stats: the gate is sampled once per search (one relaxed
+  // load), so the disabled inner loop pays a predictable branch only.
+  const bool stats_on_ = obs::stats::Enabled();
+  obs::stats::SearchStats stats_;
+  std::vector<obs::stats::RelationAccess*> depth_slots_;
+  RelationId root_relation_ = 0;
+  bool root_indexed_ = false;
   std::unordered_map<Term, Term, TermHash> binding_;
   std::unordered_set<Term, TermHash> used_images_;
   size_t results_ = 0;
@@ -328,7 +393,8 @@ class Matcher {
 HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
                                const Instance& target,
                                const HomSearchOptions& options,
-                               const std::vector<uint32_t>& roots) {
+                               const std::vector<uint32_t>& roots,
+                               RelationId root_relation, bool root_indexed) {
   util::ThreadPool* pool = options.pool;
   const size_t num_chunks =
       std::min(roots.size(), (pool->num_threads() + 1) * 4);
@@ -344,6 +410,7 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
     uint64_t candidates_tried = 0;
     uint64_t backtracks = 0;
     bool truncated = false;
+    obs::stats::SearchStats stats;  // per-relation rows only
   };
   std::vector<ChunkResult> chunks(num_chunks);
   target.WarmIndex();  // concurrent readers need the index pre-built
@@ -362,6 +429,7 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
         chunk.candidates_tried = matcher.candidates_tried();
         chunk.backtracks = matcher.backtracks();
         chunk.truncated = matcher.truncated();
+        chunk.stats = matcher.TakeRelationStats();
       });
     }
   }
@@ -384,6 +452,24 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
   if (out.homs.size() >= options.max_results) out.truncated = true;
   FlushSearchCounters(candidates_tried, backtracks, out.homs.size(),
                       out.truncated);
+  if (obs::stats::Enabled()) {
+    // Merge chunk access rows in slice order and report them as one
+    // logical search; the root-list acquisition (probed once by
+    // PlanRoot, scanned slice-wise by the chunks) is recorded here
+    // exactly once, so the counts match the sequential search's on
+    // complete (non-truncated) searches regardless of chunking.
+    obs::stats::SearchStats agg;
+    for (ChunkResult& chunk : chunks) agg.Merge(chunk.stats);
+    agg.searches = 1;
+    agg.candidates_tried = candidates_tried;
+    agg.backtracks = backtracks;
+    agg.results = out.homs.size();
+    agg.truncated = out.truncated ? 1 : 0;
+    obs::stats::RelationAccess& root_access = agg.relations[root_relation];
+    ++root_access.lists;
+    if (root_indexed) ++root_access.indexed_lists;
+    obs::stats::RecordSearch(agg);
+  }
   return out;
 }
 
@@ -410,7 +496,8 @@ HomSearchResult FindHomomorphismsChecked(const std::vector<Atom>& pattern,
     Matcher probe(pattern, target, options, no_op);
     if (probe.PlanRoot(&roots) &&
         roots.size() >= options.parallel_min_candidates) {
-      return SearchParallel(pattern, target, options, roots);
+      return SearchParallel(pattern, target, options, roots,
+                            probe.root_relation(), probe.root_indexed());
     }
     // Conflicting seed or a small root set: fall through to the
     // sequential search (which redoes the cheap seeding).

@@ -198,6 +198,13 @@ struct EngineOptions {
     obs.events = on;
     return *this;
   }
+  // Access-path statistics (obs/stats.h): per-relation / per-phase work
+  // attribution feeding the "stats" report section and `explain analyze`.
+  EngineOptions& WithStats(bool on = true) {
+    obs.enabled = obs.enabled || on;
+    obs.stats = on;
+    return *this;
+  }
 
   // --- Lowering to the per-phase option structs ----------------------
   // The engine calls these internally; they are public so callers who

@@ -13,9 +13,11 @@
 #include "chase/homomorphism.h"
 #include "chase/instance_core.h"
 #include "core/recovery.h"
+#include "obs/alloc.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/stats.h"
 #include "obs/trace.h"
 #include "relational/instance_ops.h"
 #include "resilience/execution_context.h"
@@ -81,6 +83,9 @@ struct CoverOutcome {
   double seconds_g_hom_search = 0;
   double seconds_verify = 0;
   std::vector<VerifiedCandidate> candidates;
+  // Access-path attribution for steps 4-7 (empty unless stats enabled);
+  // merged into the RunStats tree in cover-index order.
+  obs::stats::CoverStats stats;
 };
 
 // Runs Def. 9's steps 4-7 for one covering. Thread-safe given a warmed
@@ -106,6 +111,17 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     return outcome;
   }
   NullSource* nulls = &FreshNulls();
+
+  const bool stats_on = obs::stats::Enabled();
+  obs::stats::CoverStats& cstats = outcome.stats;
+  cstats.cover_index = cover_index;
+  cstats.cover_size = cover.size();
+  // Cover-thread allocation delta (step-7 slices running on other pool
+  // threads are not included); 0 unless obs::alloc is on.
+  int64_t alloc_before = 0;
+  if (stats_on && obs::alloc::Enabled()) {
+    alloc_before = obs::alloc::Snapshot().allocated;
+  }
 
   // Per-cover span: on worker threads this is a root on that thread's
   // timeline, so traces remain well-nested under num_threads > 1.
@@ -140,6 +156,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     }
   }
   outcome.passed_sub = true;
+  cstats.passed_sub = true;
   if (obs::EventsEnabled()) {
     obs::Emit("cover.accepted", {{"cover", static_cast<int64_t>(cover_index)},
                                  {"size", static_cast<int64_t>(cover.size())}});
@@ -161,9 +178,24 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
                    {"tgd", static_cast<int64_t>(h.tgd)},
                    {"atoms", static_cast<int64_t>(atoms.size())}});
       }
+      if (stats_on) {
+        // The reverse chase fires Sigma^{-1} once per cover hom; there
+        // is no trigger *search*, so tested == fired by construction.
+        cstats.reverse_chase.EnsureDeps(sigma.size());
+        obs::stats::DependencyStats& dep = cstats.reverse_chase.deps[h.tgd];
+        ++dep.triggers_tested;
+        ++dep.triggers_fired;
+        dep.tuples_added += atoms.size();
+      }
       source.AddAll(atoms);
       if (options.explain) per_hom_sources.push_back(std::move(atoms));
     }
+    if (stats_on) {
+      cstats.reverse_chase.rounds = 1;
+      cstats.reverse_chase.tuples_added = source.size();
+      cstats.reverse_chase.round_deltas.push_back(source.size());
+    }
+    cstats.source_atoms = source.size();
     span.AddArg("source_atoms", static_cast<int64_t>(source.size()));
   }
   outcome.seconds_reverse_chase = phase_sw.ElapsedSeconds();
@@ -173,7 +205,10 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   Instance chased;
   {
     obs::Span span("step5_forward_chase");
+    obs::stats::ScopedChase chase_scope(stats_on ? &cstats.forward_chase
+                                                 : nullptr);
     chased = Chase(sigma, source, nulls, options.context);
+    cstats.chased_atoms = chased.size();
     span.AddArg("chased_atoms", static_cast<int64_t>(chased.size()));
   }
   outcome.seconds_forward_chase = phase_sw.ElapsedSeconds();
@@ -183,6 +218,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   std::vector<Substitution> gs;
   {
     obs::Span span("step6_g_hom_search");
+    obs::stats::ScopedSearch g_scope(stats_on ? &cstats.g_hom : nullptr);
     HomSearchResult search =
         BackHomomorphisms(chased, target, options.max_g_homs_per_cover,
                           options.context, pool,
@@ -232,9 +268,16 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     size_t num_rejected = 0;
     size_t num_unverified = 0;
     std::vector<VerifiedCandidate> candidates;
+    // Searches run while verifying this slice (minimality/justification
+    // checks, coring); merged into cstats.verify in slice order.
+    obs::stats::SearchStats search;
   };
   auto verify_range = [&](size_t g_lo, size_t g_hi) {
     VerifySlice slice;
+    // The slice runs wholly on one thread, so a slice-local sink catches
+    // every search below it even on pool workers.
+    obs::stats::ScopedSearch verify_scope(stats_on ? &slice.search
+                                                   : nullptr);
     for (size_t g_index = g_lo; g_index < g_hi; ++g_index) {
       // Verification runs the exponential justification machinery per g;
       // stop between candidates so a trip keeps the ones already verified.
@@ -327,6 +370,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     outcome.num_candidates += slice.num_candidates;
     outcome.num_rejected += slice.num_rejected;
     outcome.num_unverified += slice.num_unverified;
+    if (stats_on) cstats.verify.Merge(slice.search);
     for (VerifiedCandidate& candidate : slice.candidates) {
       outcome.candidates.push_back(std::move(candidate));
     }
@@ -337,6 +381,19 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
   cover_span.AddArg("passed_sub", 1);
   cover_span.AddArg("emitted",
                     static_cast<int64_t>(outcome.candidates.size()));
+  if (stats_on) {
+    cstats.g_homs = outcome.num_g_homs;
+    cstats.emitted = outcome.candidates.size();
+    cstats.rejected = outcome.num_rejected;
+    cstats.seconds_reverse = outcome.seconds_reverse_chase;
+    cstats.seconds_forward = outcome.seconds_forward_chase;
+    cstats.seconds_ghom = outcome.seconds_g_hom_search;
+    cstats.seconds_verify = outcome.seconds_verify;
+    if (obs::alloc::Enabled()) {
+      cstats.alloc_bytes = static_cast<uint64_t>(
+          obs::alloc::Snapshot().allocated - alloc_before);
+    }
+  }
   if (obs::ProgressActive()) obs::NoteCoverDone();
   return outcome;
 }
@@ -403,6 +460,10 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
   InverseChaseResult& result = *out;
   obs::Span pipeline_span("inverse_chase");
   pipeline_span.AddArg("target_atoms", static_cast<int64_t>(target.size()));
+  const bool stats_on = obs::stats::Enabled();
+  obs::stats::RunStats run_stats;
+  run_stats.valid = stats_on;
+  run_stats.target_atoms = target.size();
   Stopwatch total_sw;
   Stopwatch phase_sw;
   // Finalize total wall time on every early exit.
@@ -422,9 +483,12 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
   std::vector<HeadHom> homs;
   {
     obs::Span span("step1_hom_enum");
+    obs::stats::ScopedSearch hom_scope(stats_on ? &run_stats.hom_enum
+                                                : nullptr);
     homs = ComputeHomSet(sigma, target);
     span.AddArg("homs", static_cast<int64_t>(homs.size()));
   }
+  run_stats.num_homs = homs.size();
   result.stats.num_homs = homs.size();
   result.stats.seconds_hom_enum = phase_sw.ElapsedSeconds();
   phase_sw.Reset();
@@ -462,6 +526,7 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
       interrupt = std::move(enumerated);
     }
   }
+  run_stats.num_covers = covers.size();
   result.stats.num_covers = covers.size();
   result.stats.seconds_cover_enum = phase_sw.ElapsedSeconds();
   phase_sw.Reset();
@@ -497,6 +562,7 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
       interrupt = std::move(checkpoint);
     }
   }
+  run_stats.sub_constraints = sub.size();
   result.stats.seconds_subsumption = phase_sw.ElapsedSeconds();
   phase_sw.Reset();
 
@@ -589,6 +655,16 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
       if (interrupt.ok()) interrupt = std::move(checkpoint);
     }
   }
+  // Cover stats move out in cover-index order — the same deterministic
+  // merge the recoveries get — so the operator tree is byte-identical
+  // at any thread count (timings and alloc bytes excepted).
+  if (stats_on) {
+    run_stats.covers.reserve(outcomes.size());
+    for (CoverOutcome& outcome : outcomes) {
+      if (outcome.passed_sub) run_stats.num_covers_passing_sub++;
+      run_stats.covers.push_back(std::move(outcome.stats));
+    }
+  }
   for (const CoverOutcome& outcome : outcomes) {
     if (outcome.passed_sub) result.stats.num_covers_passing_sub++;
     result.stats.seconds_reverse_chase += outcome.seconds_reverse_chase;
@@ -678,6 +754,12 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
   }
   result.stats.seconds_merge = phase_sw.ElapsedSeconds();
   result.stats.seconds_total = total_sw.ElapsedSeconds();
+  if (stats_on) {
+    run_stats.recoveries = result.recoveries.size();
+    run_stats.seconds_total = result.stats.seconds_total;
+    obs::stats::FlushRunToMetrics(run_stats);
+    obs::stats::SetLastRun(std::move(run_stats));
+  }
   merge_span.AddArg("recoveries",
                     static_cast<int64_t>(result.recoveries.size()));
   pipeline_span.AddArg("recoveries",

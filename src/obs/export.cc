@@ -217,8 +217,15 @@ void UpdateDerivedGauges() {
   EventSink& sink = EventSink::Global();
   static Gauge* recorded = registry.GetGauge("events.recorded");
   static Gauge* dropped = registry.GetGauge("events.dropped");
+  // Flight-recorder health: ring capacity and current occupancy, so an
+  // exporter can alert on a saturated (drop-prone) ring without parsing
+  // the JSONL events file.
+  static Gauge* ring_capacity = registry.GetGauge("events.ring_capacity");
+  static Gauge* ring_size = registry.GetGauge("events.ring_size");
   recorded->Set(static_cast<int64_t>(sink.recorded()));
   dropped->Set(static_cast<int64_t>(sink.dropped()));
+  ring_capacity->Set(static_cast<int64_t>(sink.capacity()));
+  ring_size->Set(static_cast<int64_t>(sink.recorded() - sink.dropped()));
 }
 
 Snapshotter& Snapshotter::Global() {

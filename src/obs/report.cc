@@ -5,6 +5,7 @@
 
 #include "obs/events.h"
 #include "obs/profiler.h"
+#include "obs/stats.h"
 #include "resilience/degraded.h"
 
 namespace dxrec {
@@ -273,7 +274,11 @@ std::string RunReportJson() {
     AppendJsonString(record.cause.phase, &out);
     out += "}}";
   }
-  out += "\n]}\n";
+  out += "\n]";
+
+  // Access-path statistics: the last run's operator tree (obs/stats.h).
+  out += ",\"stats\":" + stats::StatsJson();
+  out += "}\n";
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/profiler.h"
+#include "obs/stats.h"
 
 namespace dxrec {
 namespace obs {
@@ -32,8 +33,11 @@ void SetEnabled(bool enabled) {
 }
 
 void Apply(const ObsOptions& options) {
-  if (options.enabled || options.events || options.profile) SetEnabled(true);
+  if (options.enabled || options.events || options.profile || options.stats) {
+    SetEnabled(true);
+  }
   if (options.events) SetEventsEnabled(true);
+  if (options.stats) stats::SetEnabled(true);
   if (options.event_capacity != 0) {
     EventSink::Global().Configure(options.event_capacity);
   }

@@ -62,6 +62,11 @@ struct ObsOptions {
   // the global metrics window and feeds registered exporters at this
   // interval.
   double snapshot_interval_seconds = 0;
+  // Turns on access-path statistics (obs/stats.h): per-relation /
+  // per-phase work attribution feeding the "stats" report section,
+  // `stats.*` metric families and `explain analyze`; implies `enabled`.
+  // Same never-turns-off contract as the collectors.
+  bool stats = false;
 };
 
 // Applies the knobs to the global state (currently: enables collection).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.h"
+
 namespace dxrec {
 
 namespace {
@@ -42,6 +44,7 @@ bool Instance::ContainsAll(const Instance& other) const {
 }
 
 const std::vector<uint32_t>& Instance::AtomsFor(RelationId rel) const {
+  obs::stats::NoteFullScan();
   auto it = by_relation_.find(rel);
   if (it == by_relation_.end()) return EmptyIndexVector();
   return it->second;
@@ -50,6 +53,7 @@ const std::vector<uint32_t>& Instance::AtomsFor(RelationId rel) const {
 const std::vector<uint32_t>& Instance::AtomsWith(RelationId rel,
                                                  uint32_t pos,
                                                  Term term) const {
+  obs::stats::NoteIndexProbe();
   EnsureIndex();
   auto it = index_.find(PosKey{rel, pos, term});
   if (it == index_.end()) return EmptyIndexVector();

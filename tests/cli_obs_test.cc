@@ -259,6 +259,73 @@ TEST(CliObs, ProfileAndOpenMetricsEndToEnd) {
   EXPECT_NE(report.find("\"self_us\":"), std::string::npos);
 }
 
+// `explain analyze` renders the access-path operator tree with a tgd
+// legend, byte-identically at any thread count, and flips the stats
+// exporter families on; a plain recover session exports none.
+TEST(CliObs, ExplainAnalyzeEndToEnd) {
+  std::string dir = TempDir();
+  ASSERT_FALSE(dir.empty());
+  char session_buf[512];
+  std::snprintf(session_buf, sizeof(session_buf),
+                "loadsigma %s/warehouse.tgds\n"
+                "target {Ledger(ann, o1), Shipment(o1, tea), "
+                "Available(tea)}\n"
+                "explain analyze\n"
+                "quit\n",
+                DXREC_DATA_DIR);
+  std::string session = session_buf;
+
+  std::string sequential;
+  int code = RunCli(dir, "--threads=1", session, &sequential);
+  EXPECT_EQ(code, 0);
+  for (const char* token :
+       {"sigma:", "tgd 0:", "tgd 1:", "access paths", "operator tree:",
+        "step1 hom_enum", "cover 0", "step4 reverse_chase",
+        "step5 forward_chase", "step6 g_hom", "step7 verify", "sel%"}) {
+    EXPECT_NE(sequential.find(token), std::string::npos)
+        << "missing '" << token << "' in: " << sequential;
+  }
+  // Default rendering excludes timing (it would break determinism).
+  EXPECT_EQ(sequential.find("total_ms="), std::string::npos) << sequential;
+
+  // Byte-identical at four threads.
+  std::string parallel;
+  code = RunCli(dir, "--threads=4", session, &parallel);
+  EXPECT_EQ(code, 0);
+  EXPECT_EQ(sequential, parallel);
+
+  // The stats run flips the exporter families on (separate invocation:
+  // the "openmetrics written to" line must not skew the byte diff).
+  std::string om_path = dir + "/analyze.om";
+  std::string om_out;
+  code = RunCli(dir, "--openmetrics=" + om_path, session, &om_out);
+  EXPECT_EQ(code, 0);
+  std::string om = ReadFile(om_path);
+  EXPECT_NE(om.find("# TYPE dxrec_stats_search_searches counter\n"),
+            std::string::npos)
+      << om;
+  EXPECT_NE(om.find("dxrec_stats_runs_total "), std::string::npos);
+
+  // `explain analyze timing` adds the wall-time columns.
+  std::string timing_session = session;
+  size_t at = timing_session.find("explain analyze");
+  timing_session.insert(at + strlen("explain analyze"), " timing");
+  std::string timed;
+  code = RunCli(dir, "", timing_session, &timed);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(timed.find("total_ms="), std::string::npos) << timed;
+
+  // A stats-off session exports no dxrec_stats_* families.
+  std::string plain_om_path = dir + "/plain.om";
+  std::string out;
+  code = RunCli(dir, "--openmetrics=" + plain_om_path, WarehouseSession(),
+                &out);
+  EXPECT_EQ(code, 0);
+  std::string plain_om = ReadFile(plain_om_path);
+  ASSERT_FALSE(plain_om.empty());
+  EXPECT_EQ(plain_om.find("dxrec_stats_"), std::string::npos) << plain_om;
+}
+
 TEST(CliObs, SetProfileAndSnapshotIntervalVerbs) {
   std::string dir = TempDir();
   ASSERT_FALSE(dir.empty());
