@@ -66,11 +66,19 @@ void BM_ForwardChase(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardChase)->Arg(100)->Arg(1000)->Arg(5000);
 
-void HomSearchBody(benchmark::State& state, bool use_index) {
+// A/B of the two physical layouts (docs/STORAGE.md): Indexed runs the
+// columnar path (postings-list probes), Scan runs the row path with the
+// index ablated (full tuple scans) — the PR-8 baseline the ≥5x speedup
+// gate in BENCH_E8.json is measured against.
+void HomSearchBody(benchmark::State& state, InstanceLayout layout,
+                   bool use_index) {
   Instance source = BenchSource(static_cast<size_t>(state.range(0)));
+  source.WarmIndex();
+  if (layout == InstanceLayout::kColumnar) source.WarmColumnar();
   Result<Tgd> pattern_holder =
       ParseTgd("E8R(hx, hy), E8R(hy, hz) -> E8T(hx, hz)");
   HomSearchOptions options;
+  options.layout = layout;
   options.use_index = use_index;
   for (auto _ : state) {
     size_t count = 0;
@@ -111,18 +119,85 @@ void HomSearchBody(benchmark::State& state, bool use_index) {
     state.counters["tuples_matched"] =
         static_cast<double>(totals.tuples_matched);
     state.counters["selectivity"] = totals.Selectivity();
+    state.counters["lists"] = static_cast<double>(totals.lists);
+    state.counters["indexed_lists"] =
+        static_cast<double>(totals.indexed_lists);
   }
 }
 
 void BM_HomSearchIndexed(benchmark::State& state) {
-  HomSearchBody(state, /*use_index=*/true);
+  HomSearchBody(state, InstanceLayout::kColumnar, /*use_index=*/true);
 }
-BENCHMARK(BM_HomSearchIndexed)->Arg(100)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_HomSearchIndexed)
+    ->ArgNames({"q"})
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(4000);
 
 void BM_HomSearchScan(benchmark::State& state) {
-  HomSearchBody(state, /*use_index=*/false);
+  HomSearchBody(state, InstanceLayout::kRow, /*use_index=*/false);
 }
-BENCHMARK(BM_HomSearchScan)->Arg(100)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_HomSearchScan)
+    ->ArgNames({"q"})
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(4000);
+
+// Semi-naive vs full re-match on a recursive reachability closure
+// (docs/STORAGE.md, "Semi-naive delta contract"): a chain of n edges
+// closes in n rounds, and the naive driver re-runs FindTriggers over the
+// whole (quadratically growing) instance every round — re-finding and
+// re-firing every old trigger — while ChaseSemiNaive matches each round
+// only against the previous round's delta.
+DependencySet ReachSigma() {
+  Result<DependencySet> sigma = ParseTgdSet(
+      "E8Edge(x, y) -> E8Reach(x, y);"
+      "E8Reach(x, y), E8Edge(y, z) -> E8Reach(x, z)");
+  return std::move(*sigma);
+}
+
+Instance ChainSource(size_t n) {
+  Instance out;
+  for (size_t i = 0; i < n; ++i) {
+    out.Add(Atom::Make("E8Edge",
+                       {Term::Constant("e8n" + std::to_string(i)),
+                        Term::Constant("e8n" + std::to_string(i + 1))}));
+  }
+  return out;
+}
+
+void BM_ChaseSemiNaive(benchmark::State& state) {
+  DependencySet sigma = ReachSigma();
+  Instance source = ChainSource(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Instance generated = ChaseSemiNaive(sigma, source, &FreshNulls());
+    benchmark::DoNotOptimize(generated.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaseSemiNaive)->ArgNames({"n"})->Arg(16)->Arg(48);
+
+void BM_ChaseFullRematch(benchmark::State& state) {
+  DependencySet sigma = ReachSigma();
+  Instance source = ChainSource(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Naive fixpoint: every round re-matches all of `full` from scratch.
+    Instance full = source;
+    Instance generated;
+    while (true) {
+      std::vector<Trigger> triggers = FindTriggers(sigma, full);
+      const size_t before = full.size();
+      Instance round = ChaseTriggers(sigma, full, triggers, &FreshNulls());
+      for (const Atom& a : round.atoms()) {
+        if (full.Add(a)) generated.Add(a);
+      }
+      if (full.size() == before) break;
+    }
+    benchmark::DoNotOptimize(generated.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChaseFullRematch)->ArgNames({"n"})->Arg(16)->Arg(48);
 
 // The parallel inverse chase end-to-end on the E2 blowup shape: one
 // cover, so every bit of speedup comes from the chunked g-homomorphism

@@ -122,7 +122,7 @@ if ! diff -u "$om_dir/ea_t1.txt" "$om_dir/ea_t4.txt"; then
   exit 1
 fi
 for marker in 'operator tree:' 'access paths' 'step1 hom_enum' 'cover 0' \
-    'step6 g_hom' 'step7 verify' 'sel%'; do
+    'step6 g_hom' 'step7 verify' 'sel%' 'layout=columnar' 'lay=col'; do
   if ! grep -qF "$marker" "$om_dir/ea_t1.txt"; then
     echo "explain analyze output missing '$marker'" >&2
     cat "$om_dir/ea_t1.txt" >&2
@@ -137,6 +137,28 @@ if ! grep -q '^# TYPE dxrec_stats_' "$om_dir/stats.om"; then
   exit 1
 fi
 echo "explain analyze: deterministic tree + stats families OK"
+
+# Row-vs-columnar differential smoke: the same recovery session on both
+# physical layouts must print byte-identical recoveries (the
+# docs/STORAGE.md equivalence contract; tests/columnar_diff_test.cc is
+# the exhaustive version, this catches a CLI-level layout wiring break).
+echo "=== layout differential check ==="
+diff_target='{Ledger(ann, o1), Shipment(o1, tea), Available(tea)}'
+# The recover summary line carries wall-clock ms — strip it; everything
+# else (counters and the recoveries themselves) must match byte-for-byte.
+printf 'loadsigma examples/data/warehouse.tgds\ntarget %s\nrecover\nquit\n' \
+    "$diff_target" \
+  | build/examples/dxrec_cli \
+  | sed 's/ | ms: [^]]*\]/]/' >"$om_dir/rec_col.txt"
+printf 'loadsigma examples/data/warehouse.tgds\nset layout row\ntarget %s\nrecover\nquit\n' \
+    "$diff_target" \
+  | build/examples/dxrec_cli | grep -v '^layout = ' \
+  | sed 's/ | ms: [^]]*\]/]/' >"$om_dir/rec_row.txt"
+if ! diff -u "$om_dir/rec_col.txt" "$om_dir/rec_row.txt"; then
+  echo "row and columnar layouts produced different recoveries" >&2
+  exit 1
+fi
+echo "layout differential: row == columnar OK"
 
 # Robustness sweep (opt-in: needs the asan preset built). Runs the
 # deterministic fault-injection sweep under ASan and replays the fuzzer

@@ -1,5 +1,8 @@
 #include "chase/chase.h"
 
+#include <unordered_set>
+#include <utility>
+
 #include "chase/homomorphism.h"
 #include "obs/alloc.h"
 #include "obs/events.h"
@@ -17,11 +20,13 @@ std::string Trigger::ToString(const DependencySet& sigma) const {
 
 std::vector<Trigger> FindTriggers(const DependencySet& sigma,
                                   const Instance& input,
-                                  const resilience::ExecutionContext* context) {
+                                  const resilience::ExecutionContext* context,
+                                  InstanceLayout layout) {
   obs::alloc::AllocScope alloc_scope("chase");
   std::vector<Trigger> out;
   HomSearchOptions options;
   options.context = context;
+  options.layout = layout;
   // Per-dependency trigger attribution: body-match searches land in the
   // dependency's own SearchStats (shadowing any enclosing sink), and
   // every body hom found counts as a tested trigger.
@@ -52,6 +57,84 @@ std::vector<Trigger> FindTriggers(const DependencySet& sigma,
   return out;
 }
 
+namespace {
+
+// Unifies one tgd body atom against a concrete delta tuple: constants
+// must agree, variables bind (consistently on repeats). The binding
+// seeds the full-body search so the found homomorphisms are exactly
+// those mapping the pivot atom onto the delta tuple.
+bool UnifyPivot(const Atom& pattern, const Atom& tuple, Substitution* seed) {
+  if (pattern.relation() != tuple.relation() ||
+      pattern.arity() != tuple.arity()) {
+    return false;
+  }
+  for (uint32_t pos = 0; pos < pattern.arity(); ++pos) {
+    Term p = pattern.arg(pos);
+    Term t = tuple.arg(pos);
+    if (p.is_variable()) {
+      if (seed->Binds(p)) {
+        if (seed->Apply(p) != t) return false;
+      } else {
+        seed->Set(p, t);
+      }
+    } else if (p != t) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Trigger> FindTriggersDelta(
+    const DependencySet& sigma, const Instance& full, const Instance& delta,
+    const resilience::ExecutionContext* context, InstanceLayout layout) {
+  obs::alloc::AllocScope alloc_scope("chase");
+  std::vector<Trigger> out;
+  obs::stats::ChaseStats* chase_stats =
+      obs::stats::Enabled() ? obs::stats::CurrentChaseSink() : nullptr;
+  if (chase_stats != nullptr) chase_stats->EnsureDeps(sigma.size());
+  for (TgdId id = 0; id < sigma.size(); ++id) {
+    if (context != nullptr &&
+        context->stop_cause() != resilience::StopCause::kNone) {
+      break;
+    }
+    obs::stats::ScopedSearch match_scope(
+        chase_stats != nullptr ? &chase_stats->deps[id].match : nullptr);
+    const std::vector<Atom>& body = sigma.at(id).body();
+    // A trigger touching k delta atoms is found under k pivots; keep
+    // the first occurrence (pivot-major order is deterministic).
+    std::unordered_set<std::string> seen;
+    uint64_t tested = 0;
+    for (size_t pivot = 0; pivot < body.size(); ++pivot) {
+      for (const Atom& tuple : delta.atoms()) {
+        Substitution seed;
+        if (!UnifyPivot(body[pivot], tuple, &seed)) continue;
+        HomSearchOptions options;
+        options.context = context;
+        options.layout = layout;
+        options.fixed = std::move(seed);
+        std::vector<Substitution> homs =
+            FindHomomorphisms(body, full, options);
+        for (Substitution& h : homs) {
+          if (!seen.insert(h.ToString()).second) continue;
+          ++tested;
+          out.push_back(Trigger{id, std::move(h)});
+        }
+      }
+    }
+    if (chase_stats != nullptr) {
+      chase_stats->deps[id].triggers_tested += tested;
+    }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* found =
+        obs::MetricsRegistry::Global().GetCounter("chase.triggers_found");
+    found->Add(out.size());
+  }
+  return out;
+}
+
 Substitution FireTrigger(const DependencySet& sigma, const Trigger& trigger,
                          NullSource* nulls, Instance* out) {
   const Tgd& tgd = sigma.at(trigger.tgd);
@@ -67,9 +150,41 @@ Substitution FireTrigger(const DependencySet& sigma, const Trigger& trigger,
 
 Instance Chase(const DependencySet& sigma, const Instance& input,
                NullSource* nulls,
-               const resilience::ExecutionContext* context) {
-  return ChaseTriggers(sigma, input, FindTriggers(sigma, input, context),
-                       nulls, context);
+               const resilience::ExecutionContext* context,
+               InstanceLayout layout) {
+  return ChaseTriggers(sigma, input,
+                       FindTriggers(sigma, input, context, layout), nulls,
+                       context);
+}
+
+Instance ChaseSemiNaive(const DependencySet& sigma, const Instance& input,
+                        NullSource* nulls,
+                        const resilience::ExecutionContext* context,
+                        InstanceLayout layout) {
+  obs::alloc::AllocScope alloc_scope("chase");
+  Instance generated;
+  Instance full = input;
+  Instance delta = input;
+  while (!delta.empty()) {
+    if (context != nullptr &&
+        context->stop_cause() != resilience::StopCause::kNone) {
+      break;
+    }
+    std::vector<Trigger> triggers =
+        FindTriggersDelta(sigma, full, delta, context, layout);
+    if (triggers.empty()) break;
+    // ChaseTriggers owns the per-round stats (rounds, deltas, firings).
+    Instance round = ChaseTriggers(sigma, full, triggers, nulls, context);
+    Instance next;
+    for (const Atom& a : round.atoms()) {
+      if (full.Add(a)) {
+        generated.Add(a);
+        next.Add(a);
+      }
+    }
+    delta = std::move(next);
+  }
+  return generated;
 }
 
 Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
@@ -119,17 +234,20 @@ Instance ChaseTriggers(const DependencySet& sigma, const Instance& input,
 }
 
 bool Satisfies(const DependencySet& sigma, const Instance& source,
-               const Instance& target) {
+               const Instance& target, InstanceLayout layout) {
   for (TgdId id = 0; id < sigma.size(); ++id) {
     const Tgd& tgd = sigma.at(id);
     bool all_extend = true;
+    HomSearchOptions body_options;
+    body_options.layout = layout;
     ForEachHomomorphism(
-        tgd.body(), source, HomSearchOptions(),
+        tgd.body(), source, body_options,
         [&](const Substitution& h) {
           HomSearchOptions head_options;
           // The frontier is pinned by the body match; head existentials
           // are free.
           head_options.fixed = h;
+          head_options.layout = layout;
           if (!FindHomomorphism(tgd.head(), target, head_options)
                    .has_value()) {
             all_extend = false;

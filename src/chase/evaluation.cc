@@ -18,9 +18,12 @@ bool NullFree(const AnswerTuple& tuple) {
 
 }  // namespace
 
-AnswerSet Evaluate(const ConjunctiveQuery& query, const Instance& instance) {
+AnswerSet Evaluate(const ConjunctiveQuery& query, const Instance& instance,
+                   InstanceLayout layout) {
   AnswerSet out;
-  ForEachHomomorphism(query.body(), instance, HomSearchOptions(),
+  HomSearchOptions options;
+  options.layout = layout;
+  ForEachHomomorphism(query.body(), instance, options,
                       [&](const Substitution& h) {
                         out.insert(h.Apply(query.free_vars()));
                         return true;
@@ -31,18 +34,19 @@ AnswerSet Evaluate(const ConjunctiveQuery& query, const Instance& instance) {
   return out;
 }
 
-AnswerSet Evaluate(const UnionQuery& query, const Instance& instance) {
+AnswerSet Evaluate(const UnionQuery& query, const Instance& instance,
+                   InstanceLayout layout) {
   AnswerSet out;
   for (const ConjunctiveQuery& cq : query.disjuncts()) {
-    AnswerSet part = Evaluate(cq, instance);
+    AnswerSet part = Evaluate(cq, instance, layout);
     out.insert(part.begin(), part.end());
   }
   return out;
 }
 
 AnswerSet EvaluateNullFree(const ConjunctiveQuery& query,
-                           const Instance& instance) {
-  AnswerSet all = Evaluate(query, instance);
+                           const Instance& instance, InstanceLayout layout) {
+  AnswerSet all = Evaluate(query, instance, layout);
   AnswerSet out;
   for (const AnswerTuple& t : all) {
     if (NullFree(t)) out.insert(t);
@@ -51,8 +55,8 @@ AnswerSet EvaluateNullFree(const ConjunctiveQuery& query,
 }
 
 AnswerSet EvaluateNullFree(const UnionQuery& query,
-                           const Instance& instance) {
-  AnswerSet all = Evaluate(query, instance);
+                           const Instance& instance, InstanceLayout layout) {
+  AnswerSet all = Evaluate(query, instance, layout);
   AnswerSet out;
   for (const AnswerTuple& t : all) {
     if (NullFree(t)) out.insert(t);
@@ -61,11 +65,12 @@ AnswerSet EvaluateNullFree(const UnionQuery& query,
 }
 
 AnswerSet CertainAnswersOver(const UnionQuery& query,
-                             const std::vector<Instance>& instances) {
+                             const std::vector<Instance>& instances,
+                             InstanceLayout layout) {
   AnswerSet out;
   bool first = true;
   for (const Instance& instance : instances) {
-    AnswerSet answers = EvaluateNullFree(query, instance);
+    AnswerSet answers = EvaluateNullFree(query, instance, layout);
     if (first) {
       out = std::move(answers);
       first = false;
@@ -81,9 +86,14 @@ AnswerSet CertainAnswersOver(const UnionQuery& query,
   return out;
 }
 
-bool Holds(const UnionQuery& query, const Instance& instance) {
+bool Holds(const UnionQuery& query, const Instance& instance,
+           InstanceLayout layout) {
+  HomSearchOptions options;
+  options.layout = layout;
   for (const ConjunctiveQuery& cq : query.disjuncts()) {
-    if (FindHomomorphism(cq.body(), instance).has_value()) return true;
+    if (FindHomomorphism(cq.body(), instance, options).has_value()) {
+      return true;
+    }
   }
   return false;
 }

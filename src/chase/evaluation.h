@@ -13,29 +13,39 @@
 
 #include "logic/printer.h"
 #include "logic/query.h"
+#include "relational/columnar.h"
 #include "relational/instance.h"
 
 namespace dxrec {
 
+// Every entry point takes the physical layout the body matching should
+// probe (relational/columnar.h); both layouts yield identical answers.
+
 // Q(I) for a CQ. Answers may contain nulls.
-AnswerSet Evaluate(const ConjunctiveQuery& query, const Instance& instance);
+AnswerSet Evaluate(const ConjunctiveQuery& query, const Instance& instance,
+                   InstanceLayout layout = InstanceLayout::kRow);
 
 // Q(I) for a UCQ (union of the disjunct results).
-AnswerSet Evaluate(const UnionQuery& query, const Instance& instance);
+AnswerSet Evaluate(const UnionQuery& query, const Instance& instance,
+                   InstanceLayout layout = InstanceLayout::kRow);
 
 // Null-free answers only.
 AnswerSet EvaluateNullFree(const ConjunctiveQuery& query,
-                           const Instance& instance);
+                           const Instance& instance,
+                           InstanceLayout layout = InstanceLayout::kRow);
 AnswerSet EvaluateNullFree(const UnionQuery& query,
-                           const Instance& instance);
+                           const Instance& instance,
+                           InstanceLayout layout = InstanceLayout::kRow);
 
 // Intersection of null-free answers over `instances`. An empty list yields
 // an empty answer set (there is nothing to be certain about).
 AnswerSet CertainAnswersOver(const UnionQuery& query,
-                             const std::vector<Instance>& instances);
+                             const std::vector<Instance>& instances,
+                             InstanceLayout layout = InstanceLayout::kRow);
 
 // True iff the Boolean query holds (some homomorphism exists).
-bool Holds(const UnionQuery& query, const Instance& instance);
+bool Holds(const UnionQuery& query, const Instance& instance,
+           InstanceLayout layout = InstanceLayout::kRow);
 
 }  // namespace dxrec
 

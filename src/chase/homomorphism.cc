@@ -44,10 +44,59 @@ void FlushSearchCounters(uint64_t candidates_tried, uint64_t backtracks,
   if (truncated) truncations->Add(1);
 }
 
+// Greedy static atom order shared by both matchers: repeatedly pick the
+// atom with the most terms that are constants or already-bound
+// placeholders. The greedy selection is quadratic in the pattern size,
+// so very large patterns (e.g. whole-instance containment checks) fall
+// back to insertion order -- their atoms are mostly ground and
+// candidate lists are index-driven anyway. Both layouts must call this
+// with the same bound set so they explore in the same order.
+std::vector<size_t> ChooseAtomOrder(
+    const std::vector<Atom>& pattern, bool map_nulls,
+    const std::unordered_set<Term, TermHash>& bound) {
+  const auto is_placeholder = [map_nulls](Term t) {
+    return t.is_variable() || (map_nulls && t.is_null());
+  };
+  if (pattern.size() > 192) {
+    std::vector<size_t> order(pattern.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    return order;
+  }
+  std::vector<size_t> order;
+  std::vector<bool> chosen(pattern.size(), false);
+  std::unordered_set<Term, TermHash> seen = bound;
+  for (size_t step = 0; step < pattern.size(); ++step) {
+    size_t best = pattern.size();
+    int best_score = -1;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (chosen[i]) continue;
+      int score = 0;
+      for (Term t : pattern[i].args()) {
+        if (!is_placeholder(t) || seen.count(t) > 0) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    chosen[best] = true;
+    order.push_back(best);
+    for (Term t : pattern[best].args()) {
+      if (is_placeholder(t)) seen.insert(t);
+    }
+  }
+  return order;
+}
+
 // Backtracking matcher over a greedily chosen atom ordering with
 // index-driven candidate selection.
 class Matcher {
  public:
+  static constexpr bool kColumnar = false;
+  // Pre-builds the shared read-only structure concurrent chunk matchers
+  // probe (docs/PARALLELISM.md).
+  static void Warm(const Instance& target) { target.WarmIndex(); }
+
   Matcher(const std::vector<Atom>& pattern, const Instance& target,
           const HomSearchOptions& options,
           const std::function<bool(const Substitution&)>& callback)
@@ -197,46 +246,15 @@ class Matcher {
     binding_.erase(placeholder);
   }
 
-  // Greedy static order: repeatedly pick the atom with the most terms that
-  // are constants, fixed placeholders, or placeholders occurring in
-  // already-chosen atoms. The greedy selection is quadratic in the
-  // pattern size, so very large patterns (e.g. whole-instance
-  // containment checks) fall back to insertion order -- their atoms are
-  // mostly ground and candidate lists are index-driven anyway.
+  // Fixed-seeded placeholders feed the shared greedy ordering, so the
+  // chosen order matches the columnar matcher's for the same inputs.
   std::vector<size_t> ChooseOrder() const {
-    if (pattern_.size() > 192) {
-      std::vector<size_t> order(pattern_.size());
-      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      return order;
-    }
-    std::vector<size_t> order;
-    std::vector<bool> chosen(pattern_.size(), false);
     std::unordered_set<Term, TermHash> bound;
     for (const auto& [from, to] : binding_) {
       (void)to;
       bound.insert(from);
     }
-    for (size_t step = 0; step < pattern_.size(); ++step) {
-      size_t best = pattern_.size();
-      int best_score = -1;
-      for (size_t i = 0; i < pattern_.size(); ++i) {
-        if (chosen[i]) continue;
-        int score = 0;
-        for (Term t : pattern_[i].args()) {
-          if (!IsPlaceholder(t) || bound.count(t) > 0) ++score;
-        }
-        if (score > best_score) {
-          best_score = score;
-          best = i;
-        }
-      }
-      chosen[best] = true;
-      order.push_back(best);
-      for (Term t : pattern_[best].args()) {
-        if (IsPlaceholder(t)) bound.insert(t);
-      }
-    }
-    return order;
+    return ChooseAtomOrder(pattern_, options_.map_nulls, bound);
   }
 
   // Current image of a pattern term; invalid term if unbound placeholder.
@@ -382,6 +400,353 @@ class Matcher {
   bool truncated_ = false;  // stopped by max_results, not by the caller
 };
 
+// Code-space matcher over the columnar snapshot: the same backtracking
+// join as Matcher, but the pattern is compiled once into dictionary
+// codes and slot indices, candidate selection walks per-(position,
+// code) postings lists, and unification compares uint32 codes instead
+// of Terms — an index-nested-loop join that never touches Atom storage
+// until results are decoded. Enumeration order, access-path stats,
+// pulse cadence, and truncation semantics mirror Matcher exactly
+// (postings lists hold local rows in insertion order, which is the
+// order AtomsWith enumerates); tests/columnar_diff_test.cc holds the
+// two layouts to byte-identical output.
+class ColumnarMatcher {
+ public:
+  static constexpr bool kColumnar = true;
+  static void Warm(const Instance& target) { target.WarmColumnar(); }
+
+  ColumnarMatcher(const std::vector<Atom>& pattern, const Instance& target,
+                  const HomSearchOptions& options,
+                  const std::function<bool(const Substitution&)>& callback)
+      : pattern_(pattern),
+        columnar_(target.Columnar()),
+        options_(options),
+        callback_(callback) {
+    Compile();
+  }
+
+  void Run() {
+    if (!SeedFixed()) {
+      FlushCounters();
+      FlushStats();
+      return;
+    }
+    order_ = ChooseOrder();
+    BuildDepthSlots();
+    Recurse(0);
+    FlushCounters();
+    FlushStats();
+  }
+
+  // Chunk-mode entry points; see Matcher::PlanRoot/RunChunk. The root
+  // lists hold *local* rows of the root relation (the columnar analogue
+  // of global atom indices) — opaque to the parallel driver, which only
+  // slices and hands them back.
+  bool PlanRoot(std::vector<uint32_t>* roots) {
+    quiet_ = true;
+    if (!SeedFixed()) return false;
+    order_ = ChooseOrder();
+    *roots = *CandidatesFor(0, &root_indexed_);
+    root_relation_ = compiled_[order_[0]].rel;
+    return true;
+  }
+
+  void RunChunk(const std::vector<uint32_t>& root_slice) {
+    quiet_ = true;
+    if (!SeedFixed()) return;
+    order_ = ChooseOrder();
+    BuildDepthSlots();
+    root_slice_ = &root_slice;
+    Recurse(0);
+  }
+
+  uint64_t candidates_tried() const { return candidates_tried_; }
+  uint64_t backtracks() const { return backtracks_; }
+  size_t results() const { return results_; }
+  bool truncated() const { return truncated_; }
+  RelationId root_relation() const { return root_relation_; }
+  bool root_indexed() const { return root_indexed_; }
+  obs::stats::SearchStats TakeRelationStats() { return std::move(stats_); }
+
+ private:
+  // Unbound slot sentinel; dictionary codes are dense and synthetic
+  // codes extend them upward, so no real code collides with it.
+  static constexpr uint32_t kUnbound = TermDictionary::kNoCode;
+
+  struct ArgRef {
+    bool is_slot;    // true: value is a slot index; false: a code
+    uint32_t value;
+  };
+  struct CompiledAtom {
+    RelationId rel = 0;
+    uint32_t arity = 0;
+    const ColumnarRelation* crel = nullptr;  // null when rel is empty
+    std::vector<ArgRef> args;
+  };
+
+  bool IsPlaceholder(Term t) const {
+    return t.is_variable() || (options_.map_nulls && t.is_null());
+  }
+
+  uint32_t SlotFor(Term t) {
+    auto [it, inserted] =
+        slot_of_.try_emplace(t, static_cast<uint32_t>(slot_terms_.size()));
+    if (inserted) slot_terms_.push_back(t);
+    return it->second;
+  }
+
+  // Code for a term that must compare against target codes: the
+  // dictionary code when the term occurs in the target, else a fresh
+  // synthetic code past the dictionary (distinct per distinct term, so
+  // equality, injectivity, and fixed-seed semantics are preserved; a
+  // synthetic code matches no stored tuple, exactly like a term absent
+  // from the target).
+  uint32_t CodeFor(Term t) {
+    uint32_t code = columnar_.dict().Find(t);
+    if (code != TermDictionary::kNoCode) return code;
+    auto [it, inserted] = extra_of_.try_emplace(
+        t,
+        static_cast<uint32_t>(columnar_.dict().size() + extra_terms_.size()));
+    if (inserted) extra_terms_.push_back(t);
+    return it->second;
+  }
+
+  Term TermForCode(uint32_t code) const {
+    const size_t n = columnar_.dict().size();
+    return code < n ? columnar_.dict().Decode(code) : extra_terms_[code - n];
+  }
+
+  void Compile() {
+    compiled_.reserve(pattern_.size());
+    for (const Atom& a : pattern_) {
+      CompiledAtom c;
+      c.rel = a.relation();
+      c.arity = a.arity();
+      c.crel = columnar_.Relation(a.relation());
+      c.args.reserve(a.arity());
+      for (Term t : a.args()) {
+        if (IsPlaceholder(t)) {
+          c.args.push_back({true, SlotFor(t)});
+        } else {
+          c.args.push_back({false, CodeFor(t)});
+        }
+      }
+      compiled_.push_back(std::move(c));
+    }
+    slot_values_.assign(slot_terms_.size(), kUnbound);
+  }
+
+  bool SeedFixed() {
+    for (const Atom& a : pattern_) {
+      for (Term t : a.args()) {
+        if (!IsPlaceholder(t)) continue;
+        const uint32_t slot = slot_of_.at(t);
+        if (slot_values_[slot] != kUnbound) continue;
+        if (options_.fixed.Binds(t) &&
+            !TryBindSlot(slot, CodeFor(options_.fixed.Apply(t)))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void FlushCounters() const {
+    FlushSearchCounters(candidates_tried_, backtracks_, results_,
+                        truncated_);
+  }
+
+  void BuildDepthSlots() {
+    if (!stats_on_) return;
+    depth_slots_.resize(order_.size());
+    for (size_t d = 0; d < order_.size(); ++d) {
+      depth_slots_[d] = &stats_.relations[compiled_[order_[d]].rel];
+    }
+  }
+
+  void FlushStats() {
+    if (!stats_on_ || quiet_) return;
+    stats_.searches = 1;
+    stats_.columnar_searches = 1;
+    stats_.candidates_tried = candidates_tried_;
+    stats_.backtracks = backtracks_;
+    stats_.results = results_;
+    stats_.truncated = truncated_ ? 1 : 0;
+    obs::stats::RecordSearch(stats_);
+  }
+
+  void Pulse() const {
+    if (obs::ProgressActive()) obs::NoteWork(1u << 16);
+    if (!quiet_ && obs::EventsEnabled() &&
+        (candidates_tried_ & ((1u << 20) - 1)) == 0) {
+      obs::Emit("hom.milestone",
+                {{"candidates", static_cast<int64_t>(candidates_tried_)},
+                 {"results", static_cast<int64_t>(results_)}});
+    }
+  }
+
+  bool TryBindSlot(uint32_t slot, uint32_t image) {
+    if (options_.nulls_to_nulls && slot_terms_[slot].is_null() &&
+        !TermForCode(image).is_null()) {
+      return false;
+    }
+    if (options_.injective && used_codes_.count(image) > 0) return false;
+    if (options_.injective) used_codes_.insert(image);
+    slot_values_[slot] = image;
+    return true;
+  }
+
+  void UnbindSlot(uint32_t slot) {
+    if (options_.injective) used_codes_.erase(slot_values_[slot]);
+    slot_values_[slot] = kUnbound;
+  }
+
+  std::vector<size_t> ChooseOrder() const {
+    std::unordered_set<Term, TermHash> bound;
+    for (size_t i = 0; i < slot_terms_.size(); ++i) {
+      if (slot_values_[i] != kUnbound) bound.insert(slot_terms_[i]);
+    }
+    return ChooseAtomOrder(pattern_, options_.map_nulls, bound);
+  }
+
+  // Tightest postings list among bound argument positions (every bound
+  // position is probed, same attribution as the row path), else the
+  // whole relation.
+  const std::vector<uint32_t>* CandidatesFor(size_t depth,
+                                             bool* indexed) const {
+    const CompiledAtom& atom = compiled_[order_[depth]];
+    const std::vector<uint32_t>* candidates = nullptr;
+    if (options_.use_index) {
+      for (uint32_t pos = 0; pos < atom.arity; ++pos) {
+        const ArgRef arg = atom.args[pos];
+        const uint32_t image =
+            arg.is_slot ? slot_values_[arg.value] : arg.value;
+        if (image == kUnbound) continue;
+        const std::vector<uint32_t>& list =
+            columnar_.Probe(atom.rel, pos, image);
+        if (candidates == nullptr || list.size() < candidates->size()) {
+          candidates = &list;
+        }
+      }
+    }
+    *indexed = candidates != nullptr;
+    if (candidates == nullptr) candidates = &columnar_.Rows(atom.rel);
+    return candidates;
+  }
+
+  void Recurse(size_t depth) {
+    if (stopped_) return;
+    if (depth == compiled_.size()) {
+      Substitution result;
+      for (size_t i = 0; i < slot_terms_.size(); ++i) {
+        result.Set(slot_terms_[i], TermForCode(slot_values_[i]));
+      }
+      ++results_;
+      if (!callback_(result)) {
+        stopped_ = true;  // caller asked to stop; not a truncation
+      } else if (results_ >= options_.max_results) {
+        stopped_ = true;
+        truncated_ = true;
+      }
+      return;
+    }
+    const CompiledAtom& atom = compiled_[order_[depth]];
+    const std::vector<uint32_t>* candidates;
+    if (depth == 0 && root_slice_ != nullptr) {
+      candidates = root_slice_;
+      if (stats_on_) depth_slots_[0]->tuples_scanned += candidates->size();
+    } else {
+      bool indexed = false;
+      candidates = CandidatesFor(depth, &indexed);
+      if (stats_on_) {
+        obs::stats::RelationAccess* slot = depth_slots_[depth];
+        ++slot->lists;
+        if (indexed) ++slot->indexed_lists;
+        slot->tuples_scanned += candidates->size();
+      }
+    }
+
+    std::vector<uint32_t> newly_bound;
+    for (uint32_t row : *candidates) {
+      if (atom.crel->arity(row) != atom.arity) continue;
+      ++candidates_tried_;
+      if ((candidates_tried_ & 0xFFFF) == 0) {
+        Pulse();
+        if (options_.context != nullptr &&
+            options_.context->Check() != resilience::StopCause::kNone) {
+          stopped_ = true;
+          truncated_ = true;
+          return;
+        }
+        if (options_.shared_budget != nullptr &&
+            !options_.shared_budget->TryConsume(
+                obs::SharedBudget::kBatch)) {
+          stopped_ = true;
+          truncated_ = true;
+          return;
+        }
+      }
+      newly_bound.clear();
+      bool ok = true;
+      for (uint32_t pos = 0; pos < atom.arity && ok; ++pos) {
+        const ArgRef arg = atom.args[pos];
+        const uint32_t tuple_code = atom.crel->code(pos, row);
+        if (!arg.is_slot) {
+          ok = (arg.value == tuple_code);
+        } else {
+          const uint32_t image = slot_values_[arg.value];
+          if (image != kUnbound) {
+            ok = (image == tuple_code);
+          } else if (TryBindSlot(arg.value, tuple_code)) {
+            newly_bound.push_back(arg.value);
+          } else {
+            ok = false;
+          }
+        }
+      }
+      if (ok) {
+        if (stats_on_) ++depth_slots_[depth]->tuples_matched;
+        Recurse(depth + 1);
+      } else {
+        ++backtracks_;
+      }
+      for (auto it = newly_bound.rbegin(); it != newly_bound.rend(); ++it) {
+        UnbindSlot(*it);
+      }
+      if (stopped_) return;
+    }
+  }
+
+  const std::vector<Atom>& pattern_;
+  const ColumnarInstance& columnar_;
+  const HomSearchOptions& options_;
+  const std::function<bool(const Substitution&)>& callback_;
+
+  // Compiled pattern: slots are distinct placeholders in first-occurrence
+  // order; fixed args are pre-encoded.
+  std::vector<CompiledAtom> compiled_;
+  std::vector<Term> slot_terms_;
+  std::unordered_map<Term, uint32_t, TermHash> slot_of_;
+  std::vector<Term> extra_terms_;
+  std::unordered_map<Term, uint32_t, TermHash> extra_of_;
+  std::vector<uint32_t> slot_values_;
+
+  std::vector<size_t> order_;
+  const std::vector<uint32_t>* root_slice_ = nullptr;
+  bool quiet_ = false;
+  const bool stats_on_ = obs::stats::Enabled();
+  obs::stats::SearchStats stats_;
+  std::vector<obs::stats::RelationAccess*> depth_slots_;
+  RelationId root_relation_ = 0;
+  bool root_indexed_ = false;
+  std::unordered_set<uint32_t> used_codes_;
+  size_t results_ = 0;
+  uint64_t candidates_tried_ = 0;
+  uint64_t backtracks_ = 0;
+  bool stopped_ = false;
+  bool truncated_ = false;
+};
+
 // Fans the search out over contiguous slices of the root candidate
 // list. Each chunk is a full sequential search below its slice (same
 // atom order, same per-chunk max_results cap), so concatenating chunk
@@ -389,7 +754,9 @@ class Matcher {
 // sequential result list byte for byte — regardless of the chunk count,
 // which is why it may depend on the thread count. Only the internal
 // work tallies (candidates tried past a cap) can differ, and only on
-// truncated searches.
+// truncated searches. Parameterized over the matcher (row or columnar);
+// root candidate lists are opaque to the driver — it only slices them.
+template <typename M>
 HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
                                const Instance& target,
                                const HomSearchOptions& options,
@@ -413,7 +780,7 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
     obs::stats::SearchStats stats;  // per-relation rows only
   };
   std::vector<ChunkResult> chunks(num_chunks);
-  target.WarmIndex();  // concurrent readers need the index pre-built
+  M::Warm(target);  // concurrent readers need the shared structure built
   {
     util::TaskGroup group(pool, options.context);
     for (size_t c = 0; c < num_chunks; ++c) {
@@ -424,7 +791,7 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
               chunk.homs.push_back(h);
               return true;
             };
-        Matcher matcher(pattern, target, options, collect);
+        M matcher(pattern, target, options, collect);
         matcher.RunChunk(slices[c]);
         chunk.candidates_tried = matcher.candidates_tried();
         chunk.backtracks = matcher.backtracks();
@@ -461,6 +828,7 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
     obs::stats::SearchStats agg;
     for (ChunkResult& chunk : chunks) agg.Merge(chunk.stats);
     agg.searches = 1;
+    agg.columnar_searches = M::kColumnar ? 1 : 0;
     agg.candidates_tried = candidates_tried;
     agg.backtracks = backtracks;
     agg.results = out.homs.size();
@@ -473,31 +841,24 @@ HomSearchResult SearchParallel(const std::vector<Atom>& pattern,
   return out;
 }
 
-}  // namespace
-
-void ForEachHomomorphism(
-    const std::vector<Atom>& pattern, const Instance& target,
-    const HomSearchOptions& options,
-    const std::function<bool(const Substitution&)>& callback) {
-  obs::alloc::AllocScope alloc_scope("hom_search");
-  Matcher(pattern, target, options, callback).Run();
-}
-
-HomSearchResult FindHomomorphismsChecked(const std::vector<Atom>& pattern,
-                                         const Instance& target,
-                                         const HomSearchOptions& options) {
-  obs::alloc::AllocScope alloc_scope("hom_search");
+// The checked entry point, parameterized over the matcher: probe the
+// root candidate list, fan out when it is large enough, else run the
+// plain sequential search.
+template <typename M>
+HomSearchResult FindHomomorphismsCheckedT(const std::vector<Atom>& pattern,
+                                          const Instance& target,
+                                          const HomSearchOptions& options) {
   const std::function<bool(const Substitution&)> no_op =
       [](const Substitution&) { return true; };
   if (options.pool != nullptr && options.pool->num_threads() > 0 &&
       !pattern.empty()) {
     // Probe: seed + order + root candidate list, no search yet.
     std::vector<uint32_t> roots;
-    Matcher probe(pattern, target, options, no_op);
+    M probe(pattern, target, options, no_op);
     if (probe.PlanRoot(&roots) &&
         roots.size() >= options.parallel_min_candidates) {
-      return SearchParallel(pattern, target, options, roots,
-                            probe.root_relation(), probe.root_indexed());
+      return SearchParallel<M>(pattern, target, options, roots,
+                               probe.root_relation(), probe.root_indexed());
     }
     // Conflicting seed or a small root set: fall through to the
     // sequential search (which redoes the cheap seeding).
@@ -508,10 +869,35 @@ HomSearchResult FindHomomorphismsChecked(const std::vector<Atom>& pattern,
         out.homs.push_back(h);
         return true;
       };
-  Matcher matcher(pattern, target, options, collect);
+  M matcher(pattern, target, options, collect);
   matcher.Run();
   out.truncated = matcher.truncated();
   return out;
+}
+
+}  // namespace
+
+void ForEachHomomorphism(
+    const std::vector<Atom>& pattern, const Instance& target,
+    const HomSearchOptions& options,
+    const std::function<bool(const Substitution&)>& callback) {
+  obs::alloc::AllocScope alloc_scope("hom_search");
+  if (options.layout == InstanceLayout::kColumnar) {
+    ColumnarMatcher(pattern, target, options, callback).Run();
+  } else {
+    Matcher(pattern, target, options, callback).Run();
+  }
+}
+
+HomSearchResult FindHomomorphismsChecked(const std::vector<Atom>& pattern,
+                                         const Instance& target,
+                                         const HomSearchOptions& options) {
+  obs::alloc::AllocScope alloc_scope("hom_search");
+  if (options.layout == InstanceLayout::kColumnar) {
+    return FindHomomorphismsCheckedT<ColumnarMatcher>(pattern, target,
+                                                      options);
+  }
+  return FindHomomorphismsCheckedT<Matcher>(pattern, target, options);
 }
 
 std::vector<Substitution> FindHomomorphisms(const std::vector<Atom>& pattern,
@@ -532,14 +918,17 @@ std::optional<Substitution> FindHomomorphism(
   return out;
 }
 
-bool HasInstanceHomomorphism(const Instance& from, const Instance& to) {
-  return FindInstanceHomomorphism(from, to).has_value();
+bool HasInstanceHomomorphism(const Instance& from, const Instance& to,
+                             InstanceLayout layout) {
+  return FindInstanceHomomorphism(from, to, layout).has_value();
 }
 
 std::optional<Substitution> FindInstanceHomomorphism(const Instance& from,
-                                                     const Instance& to) {
+                                                     const Instance& to,
+                                                     InstanceLayout layout) {
   HomSearchOptions options;
   options.map_nulls = true;
+  options.layout = layout;
   return FindHomomorphism(from.atoms(), to, options);
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/substitution.h"
+#include "relational/columnar.h"
 #include "relational/instance.h"
 #include "relational/tuple.h"
 
@@ -60,6 +61,14 @@ struct HomSearchOptions {
   // Optional cross-search work budget, drawn in kBatch units at the
   // pulse cadence; running dry truncates the search. Not owned.
   obs::SharedBudget* shared_budget = nullptr;
+  // Physical representation the search runs against. kRow backtracks
+  // over materialized Atom vectors via the inverted index; kColumnar
+  // runs the same join entirely in dictionary-code space over the
+  // instance's columnar snapshot (Instance::Columnar()). Both layouts
+  // enumerate identical results in identical order with identical
+  // access-path attribution; the row path stays in-tree one release as
+  // the differential-testing oracle (tests/columnar_diff_test.cc).
+  InstanceLayout layout = InstanceLayout::kRow;
 };
 
 // Result set plus an honest completeness bit: `truncated` is set when
@@ -98,9 +107,11 @@ void ForEachHomomorphism(
 
 // Instance-level homomorphism I -> J (nulls of I as placeholders,
 // constants fixed). The paper's notation I "arrow" J.
-bool HasInstanceHomomorphism(const Instance& from, const Instance& to);
-std::optional<Substitution> FindInstanceHomomorphism(const Instance& from,
-                                                     const Instance& to);
+bool HasInstanceHomomorphism(const Instance& from, const Instance& to,
+                             InstanceLayout layout = InstanceLayout::kRow);
+std::optional<Substitution> FindInstanceHomomorphism(
+    const Instance& from, const Instance& to,
+    InstanceLayout layout = InstanceLayout::kRow);
 
 // Instance isomorphism: a bijective null renaming taking `a` onto `b`.
 std::optional<Substitution> FindIsomorphism(const Instance& a,

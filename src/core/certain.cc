@@ -24,7 +24,7 @@ Result<AnswerSet> CertainAnswers(const UnionQuery& query,
   span.AddArg("recoveries",
               static_cast<int64_t>(inverse->recoveries.size()));
   obs::Span intersect_span("certain_intersect");
-  return CertainAnswersOver(query, inverse->recoveries);
+  return CertainAnswersOver(query, inverse->recoveries, options.layout);
 }
 
 Result<AnswerSet> CertainAnswers(const ConjunctiveQuery& query,

@@ -50,6 +50,7 @@ InverseChaseOptions EngineOptions::ToInverseChaseOptions(
   o.pool = pool;
   o.parallel_min_candidates = parallel.min_root_candidates;
   o.context = context;
+  o.layout = algorithms.layout;
   return o;
 }
 
@@ -112,6 +113,7 @@ EngineOptions LegacyEngineOptions::ToEngineOptions() const {
   o.algorithms.explain = inverse.explain;
   o.algorithms.subuniversal_sub_filter =
       sub_universal.filter_covers_by_subsumption;
+  o.algorithms.layout = inverse.layout;
   o.parallel.threads = inverse.num_threads;
   o.parallel.min_root_candidates = inverse.parallel_min_candidates;
   o.obs = obs;

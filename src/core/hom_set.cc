@@ -16,11 +16,14 @@ std::string HeadHom::ToString(const DependencySet& sigma) const {
 }
 
 std::vector<HeadHom> ComputeHomSet(const DependencySet& sigma,
-                                   const Instance& target) {
+                                   const Instance& target,
+                                   InstanceLayout layout) {
   std::vector<HeadHom> out;
+  HomSearchOptions options;
+  options.layout = layout;
   for (TgdId id = 0; id < sigma.size(); ++id) {
     for (Substitution& h :
-         FindHomomorphisms(sigma.at(id).head(), target)) {
+         FindHomomorphisms(sigma.at(id).head(), target, options)) {
       out.push_back(HeadHom{id, std::move(h)});
     }
   }

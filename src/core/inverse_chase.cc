@@ -37,7 +37,8 @@ HomSearchResult BackHomomorphisms(const Instance& chased,
                                   const resilience::ExecutionContext* context,
                                   util::ThreadPool* pool,
                                   size_t parallel_min_candidates,
-                                  obs::SharedBudget* shared_budget) {
+                                  obs::SharedBudget* shared_budget,
+                                  InstanceLayout layout) {
   HomSearchOptions options;
   options.map_nulls = true;
   options.max_results = max_results;
@@ -45,6 +46,7 @@ HomSearchResult BackHomomorphisms(const Instance& chased,
   options.pool = pool;
   options.parallel_min_candidates = parallel_min_candidates;
   options.shared_budget = shared_budget;
+  options.layout = layout;
   for (Term t : target.TermsOfKind(TermKind::kNull)) {
     options.fixed.Set(t, t);
   }
@@ -207,7 +209,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     obs::Span span("step5_forward_chase");
     obs::stats::ScopedChase chase_scope(stats_on ? &cstats.forward_chase
                                                  : nullptr);
-    chased = Chase(sigma, source, nulls, options.context);
+    chased = Chase(sigma, source, nulls, options.context, options.layout);
     cstats.chased_atoms = chased.size();
     span.AddArg("chased_atoms", static_cast<int64_t>(chased.size()));
   }
@@ -222,7 +224,8 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
     HomSearchResult search =
         BackHomomorphisms(chased, target, options.max_g_homs_per_cover,
                           options.context, pool,
-                          options.parallel_min_candidates, shared_budget);
+                          options.parallel_min_candidates, shared_budget,
+                          options.layout);
     gs = std::move(search.homs);
     if (search.truncated) {
       // Attribute the early stop: a tripped context is an interrupt (it
@@ -288,7 +291,7 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
       Instance recovery = source.Apply(g);
       if (options.core_recoveries) {
         size_t before = recovery.size();
-        recovery = ComputeCore(recovery);
+        recovery = ComputeCore(recovery, options.layout);
         if (obs::EventsEnabled() && recovery.size() != before) {
           obs::Emit("recovery.cored",
                     {{"cover", static_cast<int64_t>(cover_index)},
@@ -297,10 +300,12 @@ CoverOutcome ProcessCover(const DependencySet& sigma,
         }
       }
       slice.num_candidates++;
-      bool is_recovery = IsMinimalSolution(sigma, recovery, target);
+      bool is_recovery =
+          IsMinimalSolution(sigma, recovery, target, options.layout);
       if (!is_recovery && !target_ground) {
         JustificationOptions justification;
         justification.context = options.context;
+        justification.layout = options.layout;
         Result<bool> justified =
             IsJustifiedSolution(sigma, recovery, target, justification);
         if (justified.ok()) {
@@ -463,6 +468,7 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
   const bool stats_on = obs::stats::Enabled();
   obs::stats::RunStats run_stats;
   run_stats.valid = stats_on;
+  run_stats.layout = InstanceLayoutName(options.layout);
   run_stats.target_atoms = target.size();
   Stopwatch total_sw;
   Stopwatch phase_sw;
@@ -485,7 +491,7 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
     obs::Span span("step1_hom_enum");
     obs::stats::ScopedSearch hom_scope(stats_on ? &run_stats.hom_enum
                                                 : nullptr);
-    homs = ComputeHomSet(sigma, target);
+    homs = ComputeHomSet(sigma, target, options.layout);
     span.AddArg("homs", static_cast<int64_t>(homs.size()));
   }
   run_stats.num_homs = homs.size();
@@ -597,7 +603,12 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
                                    options, nullptr, shared);
       }
     } else {
-      target.WarmIndex();  // concurrent readers need the index pre-built
+      // Concurrent readers need the shared read-only structures
+      // pre-built (the lazy builds are the only const-path mutations).
+      target.WarmIndex();
+      if (options.layout == InstanceLayout::kColumnar) {
+        target.WarmColumnar();
+      }
       util::TaskGroup group(pool, options.context);
       for (size_t i = 0; i < covers.size(); ++i) {
         group.Run([&sigma, &target, &homs, &covers, &sub, &options,

@@ -19,6 +19,7 @@
 
 #include "base/status.h"
 #include "logic/dependency_set.h"
+#include "relational/columnar.h"
 #include "relational/instance.h"
 
 namespace dxrec {
@@ -34,6 +35,8 @@ struct JustificationOptions {
   // Optional deadline/cancellation, checked at budget tick cadence. Not
   // owned; must outlive the call.
   const resilience::ExecutionContext* context = nullptr;
+  // Physical layout the satisfaction / minimality searches run against.
+  InstanceLayout layout = InstanceLayout::kRow;
 };
 
 // (I, J) |= Sigma. Thin wrapper over chase::Satisfies for discoverability.
@@ -42,7 +45,8 @@ bool SatisfiesPair(const DependencySet& sigma, const Instance& source,
 
 // Def. 1.
 bool IsMinimalSolution(const DependencySet& sigma, const Instance& source,
-                       const Instance& target);
+                       const Instance& target,
+                       InstanceLayout layout = InstanceLayout::kRow);
 
 // Def. 2. ResourceExhausted if the substitution search exceeds budget.
 Result<bool> IsJustifiedSolution(

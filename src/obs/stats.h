@@ -76,6 +76,11 @@ struct RelationAccess {
 // uint32_t here so obs/ stays header-independent of relational/.
 struct SearchStats {
   uint64_t searches = 0;
+  // How many of those searches ran against the columnar layout
+  // (relational/columnar.h). The explain-analyze rendering derives a
+  // row/col/mix tag from this, so the operator tree says which physical
+  // layout served each phase.
+  uint64_t columnar_searches = 0;
   uint64_t candidates_tried = 0;
   uint64_t backtracks = 0;
   uint64_t results = 0;
@@ -139,6 +144,9 @@ struct CoverStats {
 // The per-run operator tree.
 struct RunStats {
   bool valid = false;  // false: stats were disabled during the run
+  // InstanceLayoutName() of the layout the run was configured with
+  // ("row" / "columnar"); empty for pre-layout snapshots.
+  std::string layout;
   uint64_t target_atoms = 0;
   uint64_t sub_constraints = 0;
   SearchStats hom_enum;  // step 1: ComputeHomSet

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/stats.h"
+#include "relational/columnar.h"
 
 namespace dxrec {
 
@@ -144,9 +145,17 @@ std::string Instance::ToString() const {
   return out;
 }
 
+const ColumnarInstance& Instance::Columnar() const {
+  if (columnar_ == nullptr) {
+    columnar_ = std::make_shared<const ColumnarInstance>(*this);
+  }
+  return *columnar_;
+}
+
 void Instance::InvalidateIndex() {
   index_valid_ = false;
   index_.clear();
+  columnar_.reset();
 }
 
 void Instance::EnsureIndex() const {

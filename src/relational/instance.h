@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +20,8 @@
 #include "relational/tuple.h"
 
 namespace dxrec {
+
+class ColumnarInstance;
 
 class Instance {
  public:
@@ -53,6 +56,14 @@ class Instance {
   // general, but after WarmIndex() concurrent *readers* are safe (the
   // lazy build is the only mutation a const read can trigger).
   void WarmIndex() const { EnsureIndex(); }
+
+  // The dictionary-encoded column-major snapshot of this instance
+  // (relational/columnar.h), built lazily and invalidated on mutation.
+  // Copies of an instance share the snapshot (it is immutable). Like the
+  // row index, the lazy build is the only const-path mutation: call
+  // WarmColumnar() before concurrent readers probe it.
+  const ColumnarInstance& Columnar() const;
+  void WarmColumnar() const { Columnar(); }
 
   // dom(I): all constants and nulls (and variables, if present) occurring
   // in the instance, deduplicated, in first-occurrence order.
@@ -113,6 +124,8 @@ class Instance {
   mutable std::unordered_map<PosKey, std::vector<uint32_t>, PosKeyHash>
       index_;
   mutable bool index_valid_ = false;
+  // Lazily built columnar snapshot; shared (immutable) across copies.
+  mutable std::shared_ptr<const ColumnarInstance> columnar_;
 };
 
 }  // namespace dxrec
