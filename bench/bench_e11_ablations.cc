@@ -23,7 +23,7 @@ void ParallelAblation() {
     options.cover.max_covers = 1u << 18;
     options.num_threads = threads;
     Stopwatch sw;
-    Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+    Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
     double elapsed = sw.ElapsedSeconds();
     table.AddRow({TextTable::Cell(threads),
                   result.ok() ? TextTable::Cell(result->recoveries.size())
@@ -41,12 +41,12 @@ void CoreAblation() {
   for (size_t q : {2, 3, 4}) {
     Instance j = BlowupScenario::Target(2, q);
     Stopwatch sw;
-    Result<InverseChaseResult> plain = InverseChase(sigma, j);
+    Result<InverseChaseResult> plain = internal::InverseChase(sigma, j);
     double t_plain = sw.ElapsedSeconds();
     InverseChaseOptions options;
     options.core_recoveries = true;
     sw.Reset();
-    Result<InverseChaseResult> cored = InverseChase(sigma, j, options);
+    Result<InverseChaseResult> cored = internal::InverseChase(sigma, j, options);
     double t_cored = sw.ElapsedSeconds();
     table.AddRow(
         {TextTable::Cell(q),
@@ -71,7 +71,7 @@ void RepairAblation() {
     RepairOptions options;
     options.max_validity_checks = 4096;
     Stopwatch sw;
-    Result<RepairResult> result = RepairTarget(sigma, j, options);
+    Result<RepairResult> result = internal::RepairTarget(sigma, j, options);
     double elapsed = sw.ElapsedSeconds();
     table.AddRow(
         {TextTable::Cell(j.size()), TextTable::Cell(orphans),

@@ -38,7 +38,7 @@ void Run() {
       Result<bool> is_rec = IsRecovery(sigma, world, j);
       if (is_rec.ok() && !*is_rec) unsound++;
     }
-    Result<InverseChaseResult> ours = InverseChase(sigma, j);
+    Result<InverseChaseResult> ours = internal::InverseChase(sigma, j);
     size_t ours_count = 0, ours_unsound = 0;
     if (ours.ok()) {
       ours_count = ours->recoveries.size();

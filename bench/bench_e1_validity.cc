@@ -25,7 +25,7 @@ void Run() {
       InverseChaseOptions options;
       options.cover.max_covers = 1u << 18;
       Stopwatch sw;
-      Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+      Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
       double elapsed = sw.ElapsedSeconds();
       JsonReporter::Row& row = json.NewRow()
                                    .Put("target_atoms", j.size())

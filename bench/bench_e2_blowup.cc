@@ -37,7 +37,7 @@ void Run() {
       options.max_g_homs_per_cover = 1u << 16;
       options.num_threads = threads;
       Stopwatch sw;
-      Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+      Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
       double elapsed = sw.ElapsedSeconds();
       JsonReporter::Row& row = json.NewRow()
                                    .Put("p", p)

@@ -25,14 +25,14 @@ void Run() {
     InverseChaseOptions options;
     options.cover.max_covers = 1u << 18;
     Stopwatch sw;
-    Result<InverseChaseResult> recovered = InverseChase(sigma, j, options);
+    Result<InverseChaseResult> recovered = internal::InverseChase(sigma, j, options);
     if (!recovered.ok()) {
       table.AddRow({TextTable::Cell(s), TextTable::Cell(t),
                     TextTable::Cell(j.size()), "budget", "-",
                     Ms(sw.ElapsedSeconds())});
       continue;
     }
-    Result<AnswerSet> cert = CertainAnswers(*q, sigma, j, options);
+    Result<AnswerSet> cert = internal::CertainAnswers(*q, sigma, j, options);
     double elapsed = sw.ElapsedSeconds();
     table.AddRow(
         {TextTable::Cell(s), TextTable::Cell(t), TextTable::Cell(j.size()),

@@ -26,7 +26,7 @@ void Run() {
                   Scale{128, 16, 4}, Scale{256, 16, 4}}) {
     Instance j = EmployeeScenario::Target(s.e, s.d, s.b);
     Stopwatch sw;
-    Result<Instance> recovery = CompleteUcqRecovery(sigma, j);
+    Result<Instance> recovery = internal::CompleteUcqRecovery(sigma, j);
     double elapsed = sw.ElapsedSeconds();
     table.AddRow({TextTable::Cell(s.e), TextTable::Cell(s.d),
                   TextTable::Cell(s.b), TextTable::Cell(j.size()),
@@ -45,7 +45,7 @@ void BM_CompleteUcqRecovery(benchmark::State& state) {
   Instance j = EmployeeScenario::Target(
       static_cast<size_t>(state.range(0)), 4, 4);
   for (auto _ : state) {
-    Result<Instance> recovery = CompleteUcqRecovery(sigma, j);
+    Result<Instance> recovery = internal::CompleteUcqRecovery(sigma, j);
     benchmark::DoNotOptimize(recovery.ok());
   }
   state.SetItemsProcessed(state.iterations() *

@@ -18,7 +18,7 @@ void RunScenario(const char* name, const DependencySet& sigma,
                  const std::vector<Instance>& targets, TextTable* table) {
   for (const Instance& j : targets) {
     Stopwatch sw;
-    Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+    Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
     double elapsed = sw.ElapsedSeconds();
     if (!result.ok()) {
       table->AddRow({name, TextTable::Cell(j.size()), "budget", "-", "-",
@@ -65,7 +65,7 @@ void BM_SubUniversal(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   Instance j = OverlapScenario::Target(n, n);
   for (auto _ : state) {
-    Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+    Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
     benchmark::DoNotOptimize(result.ok());
   }
 }

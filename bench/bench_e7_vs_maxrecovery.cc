@@ -26,8 +26,8 @@ struct Row {
 };
 
 void Report(TextTable* table, Row& row) {
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(row.sigma, row.j);
-  Result<Instance> baseline = MaxRecoveryChase(row.sigma, row.j);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(row.sigma, row.j);
+  Result<Instance> baseline = internal::MaxRecoveryChase(row.sigma, row.j);
   std::string ours = "-", theirs = "-", truth = "-";
   if (sub.ok()) {
     ours = TextTable::Cell(EvaluateNullFree(row.q, sub->instance).size());
@@ -39,7 +39,7 @@ void Report(TextTable* table, Row& row) {
     InverseChaseOptions options;
     options.cover.max_covers = 1u << 18;
     Result<AnswerSet> cert =
-        CertainAnswers(row.q, row.sigma, row.j, options);
+        internal::CertainAnswers(row.q, row.sigma, row.j, options);
     if (cert.ok()) truth = TextTable::Cell(cert->size());
   }
   table->AddRow({row.scenario, TextTable::Cell(row.j.size()), theirs, ours,

@@ -212,7 +212,7 @@ void BM_InverseChase(benchmark::State& state) {
   options.max_g_homs_per_cover = 1u << 20;
   options.num_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
-    Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+    Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
     benchmark::DoNotOptimize(result.ok());
   }
 }

@@ -50,8 +50,10 @@
 //   recover
 //   cert Q(x) :- R(x, 'b2')
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -72,6 +74,31 @@
 namespace {
 
 using namespace dxrec;  // NOLINT: example brevity
+
+// SIGINT/SIGTERM: remember the signal and cancel the in-flight engine
+// command. Cancel() is one lock-free atomic store, so it is safe in
+// signal context; with degradation on, the interrupted command still
+// prints its sound partial answer before the shell unwinds. The handler
+// is installed without SA_RESTART so a blocked getline on stdin fails
+// with EINTR instead of resuming, which ends the shell loop and runs
+// the regular exporter-flush exit path.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+resilience::CancelToken* g_shutdown_cancel = nullptr;
+
+void OnShutdownSignal(int signo) {
+  g_shutdown_signal = signo;
+  if (g_shutdown_cancel != nullptr) g_shutdown_cancel->Cancel();
+}
+
+void InstallShutdownHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately not SA_RESTART
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
 
 void PrintHelp() {
   std::printf(
@@ -115,8 +142,13 @@ class Shell {
   void Run() {
     std::string line;
     std::printf("dxrec shell -- 'help' for commands\n");
-    while (std::getline(std::cin, line)) {
+    while (g_shutdown_signal == 0 && std::getline(std::cin, line)) {
       if (!Dispatch(line)) break;
+      if (g_shutdown_signal != 0) break;
+    }
+    if (g_shutdown_signal != 0) {
+      std::printf("interrupted (signal %d); flushing and exiting\n",
+                  static_cast<int>(g_shutdown_signal));
     }
   }
 
@@ -497,6 +529,13 @@ int main(int argc, char** argv) {
 
   EngineOptions options;
   options.obs = obs_options;
+  // Every engine command carries the shutdown cancel token, so a SIGINT
+  // mid-recover trips "resilience.cancelled" and (with degrade on)
+  // returns the sound partial answer instead of hanging until done.
+  auto shutdown_cancel = std::make_shared<resilience::CancelToken>();
+  options.resilience.cancel = shutdown_cancel;
+  g_shutdown_cancel = shutdown_cancel.get();
+  InstallShutdownHandlers();
   if (!deadline_secs.empty()) {
     options.resilience.deadline_seconds =
         std::strtod(deadline_secs.c_str(), nullptr);
@@ -587,6 +626,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "openmetrics: %s\n", status.ToString().c_str());
       exit_code = 1;
     }
+  }
+  if (g_shutdown_signal != 0) {
+    // Exporters are flushed and collector threads stopped; report the
+    // interruption in the exit status the way shells expect.
+    g_shutdown_cancel = nullptr;
+    return 128 + static_cast<int>(g_shutdown_signal);
   }
   return exit_code;
 }

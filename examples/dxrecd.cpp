@@ -1,0 +1,211 @@
+// dxrecd: long-lived recovery server over loopback TCP (docs/SERVING.md).
+//
+// Speaks newline-delimited JSON (src/serve/protocol.h). Start it, note
+// the port it prints, and drive it with serve_loadgen or netcat:
+//
+//   $ dxrecd --port=0 --threads=4 &
+//   dxrecd listening on 127.0.0.1:45123
+//   $ { echo '{"id":"1","op":"open_session","session":"s",
+//              "sigma":"R(x,y) -> S(x)","target":"{S(a)}"}';
+//       echo '{"id":"2","op":"certain","session":"s",
+//              "query":"Q(x) :- R(x,y)"}'; } | nc 127.0.0.1 45123
+//
+// Flags:
+//   --port=<n>                 listen port; 0 = ephemeral (default)
+//   --threads=<n>              worker pool size; 0 = hardware (default)
+//   --queue-capacity=<n>       admission queue bound (default 64)
+//   --queue-soft-limit=<n>     overload threshold (default capacity/2)
+//   --default-deadline-ms=<n>  per-request deadline default (5000)
+//   --overload-deadline-ms=<n> deadline under overload admission (50)
+//   --drain-timeout-ms=<n>     drain window before cancelling (5000)
+//   --cover-nodes=<n>          engine cover-search node budget
+//   --max-covers=<n>           engine cover enumeration budget
+//   --openmetrics[=<file>]     OpenMetrics exposition on exit
+//                              (default dxrecd_metrics.om)
+//   --telemetry[=<file>]       periodic JSONL metric snapshots
+//                              (default dxrecd_snapshots.jsonl)
+//   --snapshot-interval=<s>    snapshot cadence (default 1s)
+//   --fault-site=<site>        arm testing::FaultInjector at this site
+//   --fault-kind=budget|deadline|cancel|status   (default budget)
+//   --fault-seed=<n>           which hit of the site fires (default 0)
+//
+// SIGTERM / SIGINT trigger the drain contract: stop accepting, finish or
+// degrade in-flight requests, flush exporters, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "resilience/fault_injection.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace {
+
+using namespace dxrec;  // NOLINT: example brevity
+
+bool MatchFlag(const std::string& arg, const std::string& name,
+               const char* fallback, std::string* value) {
+  if (arg == name) {
+    *value = fallback;
+    return true;
+  }
+  if (arg.rfind(name + "=", 0) == 0) {
+    *value = arg.substr(name.size() + 1);
+    if (value->empty()) *value = fallback;
+    return true;
+  }
+  return false;
+}
+
+double MsToSeconds(const std::string& text, double fallback) {
+  if (text.empty()) return fallback;
+  return std::strtod(text.c_str(), nullptr) / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string port_str, threads_str, capacity_str, soft_str;
+  std::string default_deadline_str, overload_deadline_str, drain_str;
+  std::string cover_nodes_str, max_covers_str;
+  std::string openmetrics_path, telemetry_path, snapshot_str;
+  std::string fault_site, fault_kind, fault_seed;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (MatchFlag(arg, "--port", "0", &port_str) ||
+        MatchFlag(arg, "--threads", "0", &threads_str) ||
+        MatchFlag(arg, "--queue-capacity", "64", &capacity_str) ||
+        MatchFlag(arg, "--queue-soft-limit", "0", &soft_str) ||
+        MatchFlag(arg, "--default-deadline-ms", "5000",
+                  &default_deadline_str) ||
+        MatchFlag(arg, "--overload-deadline-ms", "50",
+                  &overload_deadline_str) ||
+        MatchFlag(arg, "--drain-timeout-ms", "5000", &drain_str) ||
+        MatchFlag(arg, "--cover-nodes", "0", &cover_nodes_str) ||
+        MatchFlag(arg, "--max-covers", "0", &max_covers_str) ||
+        MatchFlag(arg, "--openmetrics", "dxrecd_metrics.om",
+                  &openmetrics_path) ||
+        MatchFlag(arg, "--telemetry", "dxrecd_snapshots.jsonl",
+                  &telemetry_path) ||
+        MatchFlag(arg, "--snapshot-interval", "1", &snapshot_str) ||
+        MatchFlag(arg, "--fault-site", "*", &fault_site) ||
+        MatchFlag(arg, "--fault-kind", "budget", &fault_kind) ||
+        MatchFlag(arg, "--fault-seed", "0", &fault_seed)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+    return 1;
+  }
+
+  // Block the shutdown signals in every thread the server will spawn;
+  // the main thread collects them with sigwait below, so no handler code
+  // runs in signal context at all.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  serve::ServerOptions options;
+  options.threads = std::strtoull(threads_str.c_str(), nullptr, 10);
+  if (!capacity_str.empty()) {
+    options.queue_capacity = std::strtoull(capacity_str.c_str(), nullptr, 10);
+  }
+  if (!soft_str.empty()) {
+    options.queue_soft_limit = std::strtoull(soft_str.c_str(), nullptr, 10);
+  }
+  options.default_deadline_seconds =
+      MsToSeconds(default_deadline_str, options.default_deadline_seconds);
+  options.overload_deadline_seconds =
+      MsToSeconds(overload_deadline_str, options.overload_deadline_seconds);
+  options.drain_timeout_seconds =
+      MsToSeconds(drain_str, options.drain_timeout_seconds);
+  if (!cover_nodes_str.empty()) {
+    uint64_t nodes = std::strtoull(cover_nodes_str.c_str(), nullptr, 10);
+    if (nodes > 0) options.engine.budgets.max_cover_nodes = nodes;
+  }
+  if (!max_covers_str.empty()) {
+    uint64_t covers = std::strtoull(max_covers_str.c_str(), nullptr, 10);
+    if (covers > 0) options.engine.budgets.max_covers = covers;
+  }
+
+  obs::ObsOptions obs_options;
+  obs_options.enabled =
+      !openmetrics_path.empty() || !telemetry_path.empty();
+  if (!telemetry_path.empty()) {
+    obs_options.snapshot_interval_seconds =
+        snapshot_str.empty() ? 1.0 : std::strtod(snapshot_str.c_str(), nullptr);
+    if (obs_options.snapshot_interval_seconds <= 0) {
+      obs_options.snapshot_interval_seconds = 1.0;
+    }
+    obs::ExporterRegistry::Global().Add(
+        std::make_shared<obs::JsonlSnapshotExporter>(telemetry_path));
+  }
+  obs::Apply(obs_options);
+  options.engine.obs = obs_options;
+
+  if (!fault_site.empty()) {
+    testing::FaultPlan plan;
+    plan.site = fault_site;
+    if (fault_kind == "deadline") {
+      plan.kind = testing::FaultKind::kDeadline;
+    } else if (fault_kind == "cancel") {
+      plan.kind = testing::FaultKind::kCancel;
+    } else if (fault_kind == "status") {
+      plan.kind = testing::FaultKind::kStatus;
+    } else {
+      plan.kind = testing::FaultKind::kBudgetExhaustion;
+    }
+    plan.seed = std::strtoull(fault_seed.c_str(), nullptr, 10);
+    testing::FaultInjector::Global().Arm(plan);
+    std::fprintf(stderr, "dxrecd fault armed: site=%s kind=%s seed=%llu\n",
+                 plan.site.c_str(), testing::FaultKindName(plan.kind),
+                 static_cast<unsigned long long>(plan.seed));
+  }
+
+  int port = static_cast<int>(std::strtol(port_str.c_str(), nullptr, 10));
+  Result<std::unique_ptr<serve::Listener>> listener = serve::TcpListen(port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "dxrecd: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  int bound_port = serve::TcpListenerPort(**listener);
+
+  serve::Server server(options);
+  Status started = server.Start(std::move(*listener));
+  if (!started.ok()) {
+    std::fprintf(stderr, "dxrecd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("dxrecd listening on 127.0.0.1:%d\n", bound_port);
+  std::fflush(stdout);
+
+  int signo = 0;
+  sigwait(&signals, &signo);
+  std::fprintf(stderr, "dxrecd: received %s, draining\n",
+               signo == SIGTERM ? "SIGTERM" : "SIGINT");
+
+  server.Drain();
+  obs::Snapshotter::Global().Stop();
+
+  if (!openmetrics_path.empty()) {
+    obs::UpdateDerivedGauges();
+    obs::MetricsSnapshot cumulative = obs::MetricsRegistry::Global().Read();
+    Status status = obs::WriteOpenMetrics(openmetrics_path, cumulative);
+    if (!status.ok()) {
+      std::fprintf(stderr, "openmetrics: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("openmetrics written to %s\n", openmetrics_path.c_str());
+  }
+  std::printf("dxrecd drained\n");
+  return 0;
+}

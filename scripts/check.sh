@@ -17,6 +17,12 @@
 # whatever presets were requested — cheap enough to use while iterating
 # on the pool or the parallel inverse chase without a full tsan suite.
 #
+# Always runs a dxrecd serve smoke: boots the server on an ephemeral
+# port, drives it with serve_loadgen, validates BENCH_SERVE.json
+# percentiles + OpenMetrics + JSONL telemetry, and asserts a clean
+# SIGTERM drain. With DXREC_CHECK_SERVE_FAULTS=1, repeats under injected
+# transport faults and fault-plus-overload pressure (docs/SERVING.md).
+#
 # Always validates the CLI's --openmetrics exposition (and a non-empty
 # --profile folded-stack file) via scripts/validate_openmetrics.py; with
 # DXREC_CHECK_OBS_OVERHEAD=1 additionally gates the obs+profiler
@@ -49,7 +55,10 @@ echo "=== structured-budget check ==="
 offenders=$(grep -rn 'Status::ResourceExhausted(' \
     --include='*.h' --include='*.cc' --include='*.cpp' \
     src bench examples tests \
-    | grep -v '^src/base/' | grep -v '^src/obs/' || true)
+    | grep -v '^src/base/' | grep -v '^src/obs/' \
+    | grep -v '^tests/serve_test.cc:' || true)
+# tests/serve_test.cc is exempt: it feeds hand-built budget statuses of
+# every shape into WireErrorFromStatus to pin the wire taxonomy mapping.
 if [ -n "$offenders" ]; then
   echo "bare Status::ResourceExhausted( outside src/base+src/obs;" \
        "use obs::BudgetExhausted / obs::BudgetMeter instead:" >&2
@@ -159,6 +168,131 @@ if ! diff -u "$om_dir/rec_col.txt" "$om_dir/rec_row.txt"; then
   exit 1
 fi
 echo "layout differential: row == columnar OK"
+
+# dxrecd serve smoke (always on): boot the server on an ephemeral port,
+# drive it with the closed-loop load generator, validate the BENCH_SERVE
+# latency summary + OpenMetrics + JSONL telemetry, and assert the
+# SIGTERM drain contract (exit 0, "dxrecd drained" printed). See
+# docs/SERVING.md.
+echo "=== dxrecd serve smoke ==="
+cmake --build --preset default -j "$jobs" --target dxrecd serve_loadgen \
+    >/dev/null
+serve_smoke() {
+  # serve_smoke <name> <loadgen-exit-tolerant> <dxrecd-args...>
+  local name="$1" tolerant="$2"; shift 2
+  build/examples/dxrecd --port=0 \
+      --openmetrics="$om_dir/serve_$name.om" \
+      --telemetry="$om_dir/serve_$name.jsonl" --snapshot-interval=0.2 \
+      "$@" >"$om_dir/serve_$name.out" 2>"$om_dir/serve_$name.err" &
+  local daemon=$!
+  local port=""
+  for _ in $(seq 1 50); do
+    port=$(sed -n 's/^dxrecd listening on 127.0.0.1:\([0-9]*\)$/\1/p' \
+        "$om_dir/serve_$name.out")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "dxrecd ($name) never printed its port" >&2
+    cat "$om_dir/serve_$name.err" >&2
+    kill -KILL $daemon 2>/dev/null || true
+    exit 1
+  fi
+  if [ "$tolerant" = "tolerant" ]; then
+    build/examples/serve_loadgen --port="$port" \
+        --out="$om_dir/BENCH_SERVE_$name.json" "${LOADGEN_ARGS[@]}" \
+        >"$om_dir/loadgen_$name.out" || true
+  else
+    build/examples/serve_loadgen --port="$port" \
+        --out="$om_dir/BENCH_SERVE_$name.json" "${LOADGEN_ARGS[@]}" \
+        >"$om_dir/loadgen_$name.out"
+  fi
+  kill -TERM $daemon
+  local rc=0
+  wait $daemon || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "dxrecd ($name) exited $rc after SIGTERM (want 0)" >&2
+    cat "$om_dir/serve_$name.err" >&2
+    exit 1
+  fi
+  if ! grep -q '^dxrecd drained$' "$om_dir/serve_$name.out"; then
+    echo "dxrecd ($name) did not report a clean drain" >&2
+    exit 1
+  fi
+}
+
+LOADGEN_ARGS=(--clients=4 --requests=50)
+serve_smoke baseline strict
+python3 - "$om_dir/BENCH_SERVE_baseline.json" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+latency = summary["latency_micros"]
+for key in ("count", "p50", "p90", "p99", "p999", "max", "mean"):
+    assert key in latency, f"latency_micros missing {key}"
+assert latency["count"] == 200, latency["count"]
+assert summary["transport_failures"] == 0, summary
+answered = summary["ok"] + summary["shed"] + summary["errors"]
+assert answered == latency["count"], (answered, latency["count"])
+assert summary["ok"] > 0, summary
+print(f"serve smoke: {latency['count']} requests, "
+      f"p50={latency['p50']}us p99={latency['p99']}us "
+      f"p999={latency['p999']}us, ok={summary['ok']} "
+      f"shed={summary['shed']} errors={summary['errors']}")
+EOF
+python3 scripts/validate_openmetrics.py "$om_dir/serve_baseline.om"
+if ! grep -q '^dxrec_serve_requests_total ' "$om_dir/serve_baseline.om"; then
+  echo "dxrecd OpenMetrics exposition is missing dxrec_serve_requests" >&2
+  exit 1
+fi
+python3 - "$om_dir/serve_baseline.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "telemetry JSONL is empty"
+for line in lines:
+    json.loads(line)
+print(f"serve telemetry: {len(lines)} JSONL snapshots, all parse")
+EOF
+cp "$om_dir/BENCH_SERVE_baseline.json" BENCH_SERVE.json
+echo "serve smoke OK (summary copied to BENCH_SERVE.json)"
+
+# Fault-injected serve pass (opt-in): the daemon under injected faults
+# and forced overload must never crash, must answer every accepted
+# request (structured error or degraded-but-sound result), and must
+# still drain cleanly on SIGTERM.
+if [ "${DXREC_CHECK_SERVE_FAULTS:-0}" = "1" ]; then
+  echo "=== dxrecd serve fault pass ==="
+  # 1. Transport fault: an injected read failure drops one connection
+  #    mid-stream; the daemon keeps serving the rest and drains cleanly.
+  LOADGEN_ARGS=(--clients=4 --requests=50)
+  serve_smoke readfault tolerant \
+      --fault-site=serve.read --fault-kind=status
+  echo "serve fault pass: injected read fault, daemon survived and drained"
+  # 2. Engine fault under overload: tiny queue + single worker + a
+  #    deadline injected inside the inverse chase. Pressure must drain
+  #    through the ladder (sheds and/or overload admissions), the
+  #    injected trip must degrade (rung visible), and nothing may be
+  #    dropped unanswered.
+  LOADGEN_ARGS=(--clients=16 --requests=20 --warmup=0 --scale=300)
+  serve_smoke overload strict \
+      --threads=1 --queue-capacity=2 --queue-soft-limit=1 \
+      --overload-deadline-ms=1 \
+      --fault-site=inverse_chase.cover --fault-kind=deadline
+  python3 - "$om_dir/BENCH_SERVE_overload.json" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+count = summary["latency_micros"]["count"]
+answered = summary["ok"] + summary["shed"] + summary["errors"]
+assert summary["transport_failures"] == 0, summary
+assert answered == count, (answered, count)
+pressured = summary["shed"] + summary["degraded"] + summary["overload_admitted"]
+assert pressured > 0, f"no overload response recorded: {summary}"
+assert summary["degraded"] > 0 or summary["shed"] > 0, summary
+print(f"serve fault pass: {count} requests under fault+overload, "
+      f"ok={summary['ok']} degraded={summary['degraded']} "
+      f"(rungs={summary['rungs']}) shed={summary['shed']} "
+      f"errors={summary['errors']} — all answered, none dropped")
+EOF
+fi
 
 # Robustness sweep (opt-in: needs the asan preset built). Runs the
 # deterministic fault-injection sweep under ASan and replays the fuzzer

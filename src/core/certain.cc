@@ -4,6 +4,7 @@
 #include "obs/trace.h"
 
 namespace dxrec {
+namespace internal {
 
 Result<AnswerSet> CertainAnswers(const UnionQuery& query,
                                  const DependencySet& sigma,
@@ -42,4 +43,5 @@ Result<bool> IsCertain(const AnswerTuple& tuple, const UnionQuery& query,
   return answers->count(tuple) > 0;
 }
 
+}  // namespace internal
 }  // namespace dxrec

@@ -7,36 +7,36 @@
 #ifndef DXREC_CORE_CERTAIN_H_
 #define DXREC_CORE_CERTAIN_H_
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/inverse_chase.h"
 #include "logic/query.h"
 
 namespace dxrec {
+// Per-phase plumbing (see core/inverse_chase.h); the public entry point
+// is dxrec::Engine::CertainAnswers.
+namespace internal {
 
 // Certain answers of a source UCQ. FailedPrecondition if J is not valid
 // for recovery under Sigma (CERT is undefined: REC is empty).
-DXREC_DEPRECATED("use dxrec::Engine::CertainAnswers")
 Result<AnswerSet> CertainAnswers(
     const UnionQuery& query, const DependencySet& sigma,
     const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
 
 // Convenience overload for a single CQ.
-DXREC_DEPRECATED("use dxrec::Engine::CertainAnswers")
 Result<AnswerSet> CertainAnswers(
     const ConjunctiveQuery& query, const DependencySet& sigma,
     const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
 
 // Q-certainty decision problem (Thm. 4): is `tuple` certain?
-DXREC_DEPRECATED("use dxrec::Engine::CertainAnswers and test membership")
 Result<bool> IsCertain(
     const AnswerTuple& tuple, const UnionQuery& query,
     const DependencySet& sigma, const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
 
+}  // namespace internal
 }  // namespace dxrec
 
 #endif  // DXREC_CORE_CERTAIN_H_

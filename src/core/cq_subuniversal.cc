@@ -49,6 +49,8 @@ Instance GeneralizedSource(const DependencySet& sigma,
 
 }  // namespace
 
+namespace internal {
+
 Result<SubUniversalResult> ComputeCqSubUniversal(
     const DependencySet& sigma, const Instance& target,
     const SubUniversalOptions& options) {
@@ -147,4 +149,5 @@ Result<AnswerSet> SoundCqAnswers(const ConjunctiveQuery& query,
   return EvaluateNullFree(query, result->instance);
 }
 
+}  // namespace internal
 }  // namespace dxrec

@@ -19,7 +19,6 @@
 #ifndef DXREC_CORE_CQ_SUBUNIVERSAL_H_
 #define DXREC_CORE_CQ_SUBUNIVERSAL_H_
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/cover.h"
@@ -48,18 +47,21 @@ struct SubUniversalResult {
   size_t num_classes = 0;  // after the equivalence-class reduction
 };
 
-DXREC_DEPRECATED("use dxrec::Engine::SubUniversal")
+// Per-phase plumbing (see core/inverse_chase.h); the public entry points
+// are dxrec::Engine::SubUniversal / Engine::SoundCqAnswers.
+namespace internal {
+
 Result<SubUniversalResult> ComputeCqSubUniversal(
     const DependencySet& sigma, const Instance& target,
     const SubUniversalOptions& options = SubUniversalOptions());
 
 // Sound certain answers for a source CQ via I_{Sigma,J} (Thm. 9).
-DXREC_DEPRECATED("use dxrec::Engine::SoundCqAnswers")
 Result<AnswerSet> SoundCqAnswers(
     const ConjunctiveQuery& query, const DependencySet& sigma,
     const Instance& target,
     const SubUniversalOptions& options = SubUniversalOptions());
 
+}  // namespace internal
 }  // namespace dxrec
 
 #endif  // DXREC_CORE_CQ_SUBUNIVERSAL_H_

@@ -94,33 +94,6 @@ RepairOptions EngineOptions::ToRepairOptions(
   return o;
 }
 
-EngineOptions LegacyEngineOptions::ToEngineOptions() const {
-  EngineOptions o;
-  o.budgets.max_covers = inverse.cover.max_covers;
-  o.budgets.max_cover_nodes = inverse.cover.max_nodes;
-  o.budgets.max_sub_premises = inverse.subsumption.max_premises;
-  o.budgets.max_sub_constraints = inverse.subsumption.max_constraints;
-  o.budgets.max_sub_nodes = inverse.subsumption.max_nodes;
-  o.budgets.max_recoveries = inverse.max_recoveries;
-  o.budgets.max_g_homs_per_cover = inverse.max_g_homs_per_cover;
-  o.budgets.max_cover_work = inverse.max_cover_work;
-  o.budgets.max_recovery_subset_size = max_recovery.max_subset_size;
-  o.budgets.max_recovery_nodes = max_recovery.max_nodes;
-  o.algorithms.use_subsumption_filter = inverse.use_subsumption_filter;
-  o.algorithms.minimal_covers_only = inverse.minimal_covers_only;
-  o.algorithms.dedup_isomorphic = inverse.dedup_isomorphic;
-  o.algorithms.core_recoveries = inverse.core_recoveries;
-  o.algorithms.explain = inverse.explain;
-  o.algorithms.subuniversal_sub_filter =
-      sub_universal.filter_covers_by_subsumption;
-  o.algorithms.layout = inverse.layout;
-  o.parallel.threads = inverse.num_threads;
-  o.parallel.min_root_candidates = inverse.parallel_min_candidates;
-  o.obs = obs;
-  o.resilience = resilience;
-  return o;
-}
-
 Status Engine::Validate() const {
   Result<MappingSchema> schema = sigma_.InferSchema();
   if (!schema.ok()) return schema.status();
@@ -136,7 +109,7 @@ Result<InverseChaseResult> Engine::Recover(const Instance& target) const {
       Arm(options_.resilience, &ctx), pool_.get());
   // Pass-through keeps the full Status — in particular the BudgetInfo
   // payload of ResourceExhausted trips (see EngineBudget* tests).
-  return InverseChase(sigma_, target, options);
+  return internal::InverseChase(sigma_, target, options);
 }
 
 Result<bool> Engine::IsValid(const Instance& target) const {
@@ -146,7 +119,7 @@ Result<bool> Engine::IsValid(const Instance& target) const {
   resilience::ExecutionContext ctx;
   InverseChaseOptions options = options_.ToInverseChaseOptions(
       Arm(options_.resilience, &ctx), pool_.get());
-  return IsValidForRecovery(sigma_, target, options);
+  return internal::IsValidForRecovery(sigma_, target, options);
 }
 
 Result<bool> Engine::IsUniversalForSomeSource(const Instance& target) const {
@@ -156,7 +129,7 @@ Result<bool> Engine::IsUniversalForSomeSource(const Instance& target) const {
   resilience::ExecutionContext ctx;
   InverseChaseOptions options = options_.ToInverseChaseOptions(
       Arm(options_.resilience, &ctx), pool_.get());
-  return IsUniversalSolutionForSomeSource(sigma_, target, options);
+  return internal::IsUniversalSolutionForSomeSource(sigma_, target, options);
 }
 
 Result<bool> Engine::IsCanonicalForSomeSource(const Instance& target) const {
@@ -166,7 +139,7 @@ Result<bool> Engine::IsCanonicalForSomeSource(const Instance& target) const {
   resilience::ExecutionContext ctx;
   InverseChaseOptions options = options_.ToInverseChaseOptions(
       Arm(options_.resilience, &ctx), pool_.get());
-  return IsCanonicalSolutionForSomeSource(sigma_, target, options);
+  return internal::IsCanonicalSolutionForSomeSource(sigma_, target, options);
 }
 
 Result<AnswerSet> Engine::CertainAnswers(const UnionQuery& query,
@@ -177,7 +150,7 @@ Result<AnswerSet> Engine::CertainAnswers(const UnionQuery& query,
   resilience::ExecutionContext ctx;
   InverseChaseOptions options = options_.ToInverseChaseOptions(
       Arm(options_.resilience, &ctx), pool_.get());
-  return dxrec::CertainAnswers(query, sigma_, target, options);
+  return internal::CertainAnswers(query, sigma_, target, options);
 }
 
 Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
@@ -189,7 +162,7 @@ Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
   InverseChaseOptions options = options_.ToInverseChaseOptions(
       Arm(options_.resilience, &ctx), pool_.get());
   Result<AnswerSet> exact =
-      dxrec::CertainAnswers(query, sigma_, target, options);
+      internal::CertainAnswers(query, sigma_, target, options);
   resilience::Degraded<AnswerSet> out;
   if (exact.ok()) {
     out.value = std::move(*exact);
@@ -203,7 +176,7 @@ Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
   // Rung 2 — Thm. 7: answers over the source reverse-chased from the
   // maximal uniquely covered subset. Quadratic; runs without the tripped
   // context (it would trip again immediately).
-  out.value = dxrec::SoundUcqAnswers(query, sigma_, target);
+  out.value = internal::SoundUcqAnswers(query, sigma_, target);
   out.info.completeness = resilience::Completeness::kSoundUnderApprox;
   out.info.rung = "sound_ucq";
   out.info.cause = std::move(cause);
@@ -211,7 +184,7 @@ Result<resilience::Degraded<AnswerSet>> Engine::CertainAnswersDegraded(
   // the UCQ (a null-free answer of one disjunct over I_{Sigma,J} is an
   // answer of that disjunct, hence of Q, over every recovery). This rung
   // is budgeted on its own; a trip here just leaves the rung-2 answers.
-  Result<SubUniversalResult> sub_universal = ComputeCqSubUniversal(
+  Result<SubUniversalResult> sub_universal = internal::ComputeCqSubUniversal(
       sigma_, target, options_.ToSubUniversalOptions(nullptr));
   if (sub_universal.ok()) {
     size_t before = out.value.size();
@@ -233,7 +206,7 @@ Result<resilience::Degraded<InverseChaseResult>> Engine::RecoverDegraded(
       Arm(options_.resilience, &ctx), pool_.get());
   resilience::Degraded<InverseChaseResult> out;
   Status interrupt;
-  out.value = InverseChasePartial(sigma_, target, options, &interrupt);
+  out.value = internal::InverseChasePartial(sigma_, target, options, &interrupt);
   if (interrupt.ok()) return out;
   if (!options_.resilience.degrade ||
       interrupt.code() != StatusCode::kResourceExhausted) {
@@ -249,7 +222,7 @@ Result<resilience::Degraded<InverseChaseResult>> Engine::RecoverDegraded(
 Result<TractabilityReport> Engine::Analyze(const Instance& target) const {
   MarkRun();
   resilience::ExecutionContext ctx;
-  return AnalyzeTractability(
+  return internal::AnalyzeTractability(
       sigma_, target,
       options_.ToSubsumptionOptions(Arm(options_.resilience, &ctx)));
 }
@@ -257,7 +230,7 @@ Result<TractabilityReport> Engine::Analyze(const Instance& target) const {
 Result<Instance> Engine::CompleteUcqRecovery(const Instance& target) const {
   MarkRun();
   resilience::ExecutionContext ctx;
-  return dxrec::CompleteUcqRecovery(
+  return internal::CompleteUcqRecovery(
       sigma_, target,
       options_.ToSubsumptionOptions(Arm(options_.resilience, &ctx)));
 }
@@ -265,7 +238,7 @@ Result<Instance> Engine::CompleteUcqRecovery(const Instance& target) const {
 AnswerSet Engine::SoundUcqAnswers(const UnionQuery& query,
                                   const Instance& target) const {
   MarkRun();
-  return dxrec::SoundUcqAnswers(query, sigma_, target);
+  return internal::SoundUcqAnswers(query, sigma_, target);
 }
 
 Result<SubUniversalResult> Engine::SubUniversal(const Instance& target) const {
@@ -273,7 +246,7 @@ Result<SubUniversalResult> Engine::SubUniversal(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  return ComputeCqSubUniversal(
+  return internal::ComputeCqSubUniversal(
       sigma_, target,
       options_.ToSubUniversalOptions(Arm(options_.resilience, &ctx)));
 }
@@ -284,7 +257,7 @@ Result<AnswerSet> Engine::SoundCqAnswers(const ConjunctiveQuery& query,
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  return dxrec::SoundCqAnswers(
+  return internal::SoundCqAnswers(
       query, sigma_, target,
       options_.ToSubUniversalOptions(Arm(options_.resilience, &ctx)));
 }
@@ -294,7 +267,7 @@ Result<DependencySet> Engine::MaximumRecoveryMapping() const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  return CqMaximumRecoveryMapping(
+  return internal::CqMaximumRecoveryMapping(
       sigma_, options_.ToMaxRecoveryOptions(Arm(options_.resilience, &ctx)));
 }
 
@@ -303,7 +276,7 @@ Result<Instance> Engine::BaselineRecoveredSource(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  return MaxRecoveryChase(
+  return internal::MaxRecoveryChase(
       sigma_, target,
       options_.ToMaxRecoveryOptions(Arm(options_.resilience, &ctx)));
 }
@@ -313,7 +286,7 @@ Result<RepairResult> Engine::Repair(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  return RepairTarget(sigma_, target,
+  return internal::RepairTarget(sigma_, target,
                       options_.ToRepairOptions(Arm(options_.resilience, &ctx),
                                                pool_.get()));
 }
@@ -323,7 +296,7 @@ Result<Instance> Engine::RepairGreedy(const Instance& target) const {
   obs::ProgressScope progress(options_.obs.progress_seconds,
                               options_.obs.progress_stderr);
   resilience::ExecutionContext ctx;
-  return GreedyRepair(sigma_, target,
+  return internal::GreedyRepair(sigma_, target,
                       options_.ToRepairOptions(Arm(options_.resilience, &ctx),
                                                pool_.get()));
 }

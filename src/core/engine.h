@@ -30,7 +30,6 @@
 #include <utility>
 #include <vector>
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/certain.h"
@@ -236,22 +235,6 @@ struct EngineOptions {
       util::ThreadPool* pool = nullptr) const;
 };
 
-// Pre-redesign options shape: one per-phase struct per section. Kept for
-// one PR so old call sites compile; the converting Engine constructor
-// flattens it into the layered form (per-phase divergences that the
-// layered form cannot express — e.g. different cover budgets for the
-// inverse chase vs. the sub-universal construction — collapse to the
-// inverse chase's values).
-struct LegacyEngineOptions {
-  InverseChaseOptions inverse;
-  SubUniversalOptions sub_universal;
-  MaxRecoveryOptions max_recovery;
-  obs::ObsOptions obs;
-  ResilienceOptions resilience;
-
-  EngineOptions ToEngineOptions() const;
-};
-
 class Engine {
  public:
   explicit Engine(DependencySet sigma, EngineOptions options = EngineOptions())
@@ -266,12 +249,6 @@ class Engine {
       pool_ = std::make_unique<util::ThreadPool>(threads, pool_options);
     }
   }
-
-  DXREC_DEPRECATED(
-      "build the layered EngineOptions (budgets/algorithms/parallel) instead "
-      "of the per-phase LegacyEngineOptions")
-  Engine(DependencySet sigma, const LegacyEngineOptions& options)
-      : Engine(std::move(sigma), options.ToEngineOptions()) {}
 
   const DependencySet& sigma() const { return sigma_; }
   const EngineOptions& options() const { return options_; }
@@ -339,9 +316,6 @@ class Engine {
   // once so repeated calls don't pay thread spin-up.
   std::unique_ptr<util::ThreadPool> pool_;
 };
-
-// Transitional alias for the pre-redesign facade name.
-using RecoveryEngine DXREC_DEPRECATED("use dxrec::Engine") = Engine;
 
 }  // namespace dxrec
 

@@ -796,6 +796,8 @@ Status RunInverseChase(const DependencySet& sigma, const Instance& target,
 
 }  // namespace
 
+namespace internal {
+
 Result<InverseChaseResult> InverseChase(const DependencySet& sigma,
                                         const Instance& target,
                                         const InverseChaseOptions& options) {
@@ -850,4 +852,5 @@ Result<bool> IsCanonicalSolutionForSomeSource(
   return false;
 }
 
+}  // namespace internal
 }  // namespace dxrec

@@ -26,7 +26,6 @@
 #include <string>
 #include <vector>
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "core/cover.h"
 #include "core/hom_set.h"
@@ -168,7 +167,13 @@ struct InverseChaseResult {
   bool valid_for_recovery() const { return !recoveries.empty(); }
 };
 
-DXREC_DEPRECATED("use dxrec::Engine::Recover")
+// Per-phase plumbing functions. dxrec::Engine is the public API; these
+// remain available under dxrec::internal for code that drives one phase
+// directly with hand-built per-phase options (the engine itself, unit
+// tests, benches). The pre-engine deprecated public aliases were removed
+// after their migration window (see docs/ALGORITHMS.md history).
+namespace internal {
+
 Result<InverseChaseResult> InverseChase(
     const DependencySet& sigma, const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
@@ -182,7 +187,6 @@ Result<InverseChaseResult> InverseChase(
 // so certain-answer intersection over it is an UPPER bound, and
 // `valid_for_recovery()` only means "no witness found in the explored
 // part" when false. `interrupt` must be non-null.
-DXREC_DEPRECATED("use dxrec::Engine::RecoverDegraded")
 InverseChaseResult InverseChasePartial(const DependencySet& sigma,
                                        const Instance& target,
                                        const InverseChaseOptions& options,
@@ -190,7 +194,6 @@ InverseChaseResult InverseChasePartial(const DependencySet& sigma,
 
 // J-validity (Thm. 3): is J valid for recovery under Sigma? Decided by
 // running the inverse chase and checking non-emptiness.
-DXREC_DEPRECATED("use dxrec::Engine::IsValid")
 Result<bool> IsValidForRecovery(
     const DependencySet& sigma, const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
@@ -202,15 +205,14 @@ Result<bool> IsValidForRecovery(
 // triggers(I) (every I-atom in a trigger participates in a realized
 // head-homomorphism), so Chase(Sigma, C) is isomorphic to
 // Chase(Sigma, I) and C witnesses the property.
-DXREC_DEPRECATED("use dxrec::Engine::IsUniversalForSomeSource")
 Result<bool> IsUniversalSolutionForSomeSource(
     const DependencySet& sigma, const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
-DXREC_DEPRECATED("use dxrec::Engine::IsCanonicalForSomeSource")
 Result<bool> IsCanonicalSolutionForSomeSource(
     const DependencySet& sigma, const Instance& target,
     const InverseChaseOptions& options = InverseChaseOptions());
 
+}  // namespace internal
 }  // namespace dxrec
 
 #endif  // DXREC_CORE_INVERSE_CHASE_H_

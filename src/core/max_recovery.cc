@@ -160,6 +160,8 @@ class ScenarioChecker {
 
 }  // namespace
 
+namespace internal {
+
 Result<DependencySet> CqMaximumRecoveryMapping(
     const DependencySet& sigma, const MaxRecoveryOptions& options) {
   DependencySet out;
@@ -230,4 +232,5 @@ Result<Instance> MaxRecoveryChase(const DependencySet& sigma,
   return Chase(*mapping, target, &FreshNulls());
 }
 
+}  // namespace internal
 }  // namespace dxrec

@@ -20,7 +20,6 @@
 #ifndef DXREC_CORE_MAX_RECOVERY_H_
 #define DXREC_CORE_MAX_RECOVERY_H_
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "logic/dependency_set.h"
 #include "relational/instance.h"
@@ -42,19 +41,22 @@ struct MaxRecoveryOptions {
   const resilience::ExecutionContext* context = nullptr;
 };
 
+// Per-phase plumbing (see core/inverse_chase.h); the public entry points
+// are dxrec::Engine::MaximumRecoveryMapping / BaselineRecoveredSource.
+namespace internal {
+
 // The CQ-maximum recovery mapping Sigma' (a set of target-to-source tgds).
-DXREC_DEPRECATED("use dxrec::Engine::MaximumRecoveryMapping")
 Result<DependencySet> CqMaximumRecoveryMapping(
     const DependencySet& sigma,
     const MaxRecoveryOptions& options = MaxRecoveryOptions());
 
 // Chase of the target instance with the recovery mapping: the baseline
 // recovered source of the mapping-based approach.
-DXREC_DEPRECATED("use dxrec::Engine::BaselineRecoveredSource")
 Result<Instance> MaxRecoveryChase(
     const DependencySet& sigma, const Instance& target,
     const MaxRecoveryOptions& options = MaxRecoveryOptions());
 
+}  // namespace internal
 }  // namespace dxrec
 
 #endif  // DXREC_CORE_MAX_RECOVERY_H_

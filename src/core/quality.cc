@@ -49,11 +49,12 @@ Result<RecoveryQuality> EvaluateRecoveryQuality(
   if (!schema.ok()) return schema.status();
 
   // Exact engine: one inverse chase, then per-relation evaluation.
-  Result<InverseChaseResult> recovered = InverseChase(sigma, target, options);
+  Result<InverseChaseResult> recovered =
+      internal::InverseChase(sigma, target, options);
   // PTIME sub-universal instance.
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, target);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(sigma, target);
   // Mapping-based baseline.
-  Result<Instance> baseline = MaxRecoveryChase(sigma, target);
+  Result<Instance> baseline = internal::MaxRecoveryChase(sigma, target);
 
   for (RelationId rel : schema->source().relations()) {
     uint32_t arity = schema->source().Arity(rel);

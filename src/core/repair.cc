@@ -37,10 +37,12 @@ Result<bool> CheckValid(const DependencySet& sigma, const Instance& j,
                         const RepairOptions& options,
                         obs::BudgetMeter* checks) {
   if (!checks->Consume()) return checks->Exhausted();
-  return IsValidForRecovery(sigma, j, options.inverse);
+  return internal::IsValidForRecovery(sigma, j, options.inverse);
 }
 
 }  // namespace
+
+namespace internal {
 
 Result<RepairResult> RepairTarget(const DependencySet& sigma,
                                   const Instance& target,
@@ -137,11 +139,13 @@ Result<Instance> GreedyRepair(const DependencySet& sigma,
   }
 }
 
+}  // namespace internal
+
 Result<AnswerSet> RepairCertainAnswers(const UnionQuery& query,
                                        const DependencySet& sigma,
                                        const Instance& target,
                                        const RepairOptions& options) {
-  Result<RepairResult> repairs = RepairTarget(sigma, target, options);
+  Result<RepairResult> repairs = internal::RepairTarget(sigma, target, options);
   if (!repairs.ok()) return repairs.status();
   bool any_nonempty = false;
   AnswerSet out;
@@ -150,7 +154,7 @@ Result<AnswerSet> RepairCertainAnswers(const UnionQuery& query,
     if (j.empty()) continue;
     any_nonempty = true;
     Result<AnswerSet> cert =
-        CertainAnswers(query, sigma, j, options.inverse);
+        internal::CertainAnswers(query, sigma, j, options.inverse);
     if (!cert.ok()) return cert.status();
     if (first) {
       out = std::move(*cert);

@@ -20,7 +20,6 @@
 
 #include <vector>
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/inverse_chase.h"
@@ -47,9 +46,12 @@ struct RepairResult {
   std::vector<Instance> maximal_valid_subsets;
 };
 
+// Per-phase plumbing (see core/inverse_chase.h); the public entry points
+// are dxrec::Engine::Repair / Engine::RepairGreedy.
+namespace internal {
+
 // Enumerates maximal valid-for-recovery subsets of `target`.
 // ResourceExhausted if the search exceeds its budgets.
-DXREC_DEPRECATED("use dxrec::Engine::Repair")
 Result<RepairResult> RepairTarget(
     const DependencySet& sigma, const Instance& target,
     const RepairOptions& options = RepairOptions());
@@ -57,10 +59,11 @@ Result<RepairResult> RepairTarget(
 // Greedy single repair: prunes uncoverable tuples, then removes one
 // offending tuple at a time until the remainder is valid. Returns a
 // valid subset (possibly empty), not necessarily maximal.
-DXREC_DEPRECATED("use dxrec::Engine::RepairGreedy")
 Result<Instance> GreedyRepair(
     const DependencySet& sigma, const Instance& target,
     const RepairOptions& options = RepairOptions());
+
+}  // namespace internal
 
 // Cautious certain answers over a damaged target: the intersection of
 // CERT(Q, Sigma, J') over every maximal valid subset J' -- answers that

@@ -26,6 +26,8 @@ bool UniqueCoverCriterion(const CoverProblem& problem) {
 
 }  // namespace
 
+namespace internal {
+
 Result<TractabilityReport> AnalyzeTractability(
     const DependencySet& sigma, const Instance& target,
     const SubsumptionOptions& options) {
@@ -81,6 +83,8 @@ Result<Instance> CompleteUcqRecovery(const DependencySet& sigma,
   return inverse->recoveries[0];
 }
 
+}  // namespace internal
+
 Result<std::vector<Instance>> KBoundedRecoverySet(
     const DependencySet& sigma, const Instance& target, size_t k,
     const SubsumptionOptions& options) {
@@ -106,7 +110,7 @@ Result<std::vector<Instance>> KBoundedRecoverySet(
   InverseChaseOptions inverse_options;
   inverse_options.subsumption = options;
   Result<InverseChaseResult> inverse =
-      InverseChase(sigma, target, inverse_options);
+      internal::InverseChase(sigma, target, inverse_options);
   if (!inverse.ok()) return inverse.status();
   return inverse->recoveries;
 }
@@ -131,6 +135,8 @@ MaximalSubsetResult MaximalUniquelyCoveredSubset(const DependencySet& sigma,
   return result;
 }
 
+namespace internal {
+
 AnswerSet SoundUcqAnswers(const UnionQuery& query,
                           const DependencySet& sigma,
                           const Instance& target) {
@@ -138,4 +144,5 @@ AnswerSet SoundUcqAnswers(const UnionQuery& query,
   return EvaluateNullFree(query, result.source);
 }
 
+}  // namespace internal
 }  // namespace dxrec

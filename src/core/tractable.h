@@ -19,7 +19,6 @@
 
 #include <vector>
 
-#include "base/deprecation.h"
 #include "base/status.h"
 #include "chase/evaluation.h"
 #include "core/subsumption.h"
@@ -44,18 +43,22 @@ struct TractabilityReport {
   }
 };
 
+// Per-phase plumbing (see core/inverse_chase.h); the public entry points
+// are dxrec::Engine::Analyze / CompleteUcqRecovery / SoundUcqAnswers.
+namespace internal {
+
 // Runs the Thm. 6 test and the Lemma 1 safety check.
-DXREC_DEPRECATED("use dxrec::Engine::Analyze")
 Result<TractabilityReport> AnalyzeTractability(
     const DependencySet& sigma, const Instance& target,
     const SubsumptionOptions& options = SubsumptionOptions());
 
 // Thm. 5: the unique complete UCQ recovery. FailedPrecondition when the
 // conditions do not hold.
-DXREC_DEPRECATED("use dxrec::Engine::CompleteUcqRecovery")
 Result<Instance> CompleteUcqRecovery(
     const DependencySet& sigma, const Instance& target,
     const SubsumptionOptions& options = SubsumptionOptions());
+
+}  // namespace internal
 
 // k-cover extension: if |COV(Sigma, J)| <= k (and Sigma is quasi-guarded
 // safe), returns the <= k recoveries whose answer intersection equals
@@ -76,11 +79,13 @@ struct MaximalSubsetResult {
 MaximalSubsetResult MaximalUniquelyCoveredSubset(const DependencySet& sigma,
                                                  const Instance& target);
 
-// Sound UCQ answers through the Thm. 7 instance.
-DXREC_DEPRECATED("use dxrec::Engine::SoundUcqAnswers")
+// Sound UCQ answers through the Thm. 7 instance (plumbing; the public
+// entry point is dxrec::Engine::SoundUcqAnswers).
+namespace internal {
 AnswerSet SoundUcqAnswers(const UnionQuery& query,
                           const DependencySet& sigma,
                           const Instance& target);
+}  // namespace internal
 
 }  // namespace dxrec
 

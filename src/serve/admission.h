@@ -1,0 +1,109 @@
+// Bounded admission queue with explicit load shedding (docs/SERVING.md).
+//
+// Every accepted request passes admission before touching a worker:
+//
+//   depth < soft_limit   -> kAdmit          run with the request deadline
+//   depth < capacity     -> kAdmitDegraded  run with the (short) overload
+//                                           deadline, so the engine's
+//                                           degradation ladder converts
+//                                           pressure into sound
+//                                           under-approximate answers
+//   depth >= capacity    -> kShed           answered "overloaded"
+//                                           immediately, never queued
+//   draining             -> kShed           answered "draining"
+//
+// The queue is the only buffer between readers and workers, so its depth
+// *is* the overload signal — no separate load estimator. Shedding at the
+// door (rather than timing out queued work) keeps the tail bounded:
+// everything admitted is work the configured pool can finish within its
+// deadline, degraded or not.
+#ifndef DXREC_SERVE_ADMISSION_H_
+#define DXREC_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+namespace dxrec {
+namespace serve {
+
+enum class AdmissionVerdict {
+  kAdmit,
+  kAdmitDegraded,
+  kShed,
+};
+const char* AdmissionVerdictName(AdmissionVerdict verdict);
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  // soft_limit 0 defaults to capacity / 2 (minimum 1).
+  explicit AdmissionQueue(size_t capacity, size_t soft_limit = 0)
+      : capacity_(capacity < 1 ? 1 : capacity),
+        soft_limit_(soft_limit == 0
+                        ? (capacity_ / 2 == 0 ? 1 : capacity_ / 2)
+                        : soft_limit) {}
+
+  // Admission decision + enqueue in one critical section (a decision
+  // taken outside the lock could admit past capacity under contention).
+  // On kShed the item is not consumed. After Close(), always kShed.
+  AdmissionVerdict Offer(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) {
+      return AdmissionVerdict::kShed;
+    }
+    AdmissionVerdict verdict = queue_.size() >= soft_limit_
+                                   ? AdmissionVerdict::kAdmitDegraded
+                                   : AdmissionVerdict::kAdmit;
+    queue_.push_back(std::move(item));
+    lock.unlock();
+    cv_.notify_one();
+    return verdict;
+  }
+
+  // Blocks for the next item; nullopt once closed and drained.
+  std::optional<T> Take() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  // Stops admission; queued items still drain through Take().
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  size_t soft_limit() const { return soft_limit_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  const size_t soft_limit_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace dxrec
+
+#endif  // DXREC_SERVE_ADMISSION_H_

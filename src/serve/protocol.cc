@@ -1,0 +1,184 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+namespace dxrec {
+namespace serve {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kOpenSession: return "open_session";
+    case Op::kCloseSession: return "close_session";
+    case Op::kCertain: return "certain";
+    case Op::kRecover: return "recover";
+    case Op::kAnalyze: return "analyze";
+    case Op::kStats: return "stats";
+  }
+  return "?";
+}
+
+const char* ErrorKindName(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kBadRequest: return "bad_request";
+    case ErrorKind::kParseError: return "parse_error";
+    case ErrorKind::kUnknownOp: return "unknown_op";
+    case ErrorKind::kUnknownSession: return "unknown_session";
+    case ErrorKind::kSessionExists: return "session_exists";
+    case ErrorKind::kFailedPrecondition: return "failed_precondition";
+    case ErrorKind::kBudgetExhausted: return "budget_exhausted";
+    case ErrorKind::kDeadline: return "deadline";
+    case ErrorKind::kCancelled: return "cancelled";
+    case ErrorKind::kOverloaded: return "overloaded";
+    case ErrorKind::kDraining: return "draining";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+WireError WireErrorFromStatus(const Status& status, bool parse_context) {
+  WireError out;
+  out.code = status.code();
+  out.message = status.message();
+  switch (status.code()) {
+    case StatusCode::kOk:
+      out.kind = ErrorKind::kInternal;
+      out.message = "WireErrorFromStatus called with Ok";
+      out.code = StatusCode::kInternal;
+      break;
+    case StatusCode::kInvalidArgument:
+      out.kind =
+          parse_context ? ErrorKind::kParseError : ErrorKind::kBadRequest;
+      break;
+    case StatusCode::kNotFound:
+      out.kind = ErrorKind::kUnknownSession;
+      break;
+    case StatusCode::kFailedPrecondition:
+      out.kind = ErrorKind::kFailedPrecondition;
+      break;
+    case StatusCode::kResourceExhausted: {
+      out.kind = ErrorKind::kBudgetExhausted;
+      const BudgetInfo* info = status.budget_info();
+      if (info != nullptr) {
+        out.budget = *info;
+        out.has_budget = true;
+        if (info->budget == "resilience.deadline") {
+          out.kind = ErrorKind::kDeadline;
+        } else if (info->budget == "resilience.cancelled") {
+          out.kind = ErrorKind::kCancelled;
+        }
+      }
+      break;
+    }
+    case StatusCode::kInternal:
+      out.kind = ErrorKind::kInternal;
+      break;
+  }
+  return out;
+}
+
+WireError WireErrorFromRequestParse(const Status& status) {
+  WireError out = WireErrorFromStatus(status);
+  if (status.code() == StatusCode::kNotFound) {
+    out.kind = ErrorKind::kUnknownOp;
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::string> StringField(const JsonValue& object,
+                                const std::string& key, bool required) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr) {
+    if (!required) return std::string();
+    return Status::InvalidArgument("missing required field \"" + key + "\"");
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a string");
+  }
+  return v->AsString();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line, std::string* id_out) {
+  Result<JsonValue> doc = ParseJson(line);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request req;
+  Result<std::string> id = StringField(*doc, "id", /*required=*/true);
+  if (!id.ok()) return id.status();
+  req.id = std::move(*id);
+  if (id_out != nullptr) *id_out = req.id;
+
+  Result<std::string> op = StringField(*doc, "op", /*required=*/true);
+  if (!op.ok()) return op.status();
+  if (*op == "ping") {
+    req.op = Op::kPing;
+  } else if (*op == "open_session") {
+    req.op = Op::kOpenSession;
+  } else if (*op == "close_session") {
+    req.op = Op::kCloseSession;
+  } else if (*op == "certain") {
+    req.op = Op::kCertain;
+  } else if (*op == "recover") {
+    req.op = Op::kRecover;
+  } else if (*op == "analyze") {
+    req.op = Op::kAnalyze;
+  } else if (*op == "stats") {
+    req.op = Op::kStats;
+  } else {
+    return Status::NotFound("unknown op \"" + *op + "\"");
+  }
+
+  for (const char* key : {"session", "sigma", "target", "query"}) {
+    Result<std::string> field = StringField(*doc, key, /*required=*/false);
+    if (!field.ok()) return field.status();
+    if (std::string(key) == "session") req.session = std::move(*field);
+    if (std::string(key) == "sigma") req.sigma = std::move(*field);
+    if (std::string(key) == "target") req.target = std::move(*field);
+    if (std::string(key) == "query") req.query = std::move(*field);
+  }
+
+  const JsonValue* deadline = doc->Find("deadline_ms");
+  if (deadline != nullptr) {
+    if (!deadline->is_number()) {
+      return Status::InvalidArgument("field \"deadline_ms\" must be a number");
+    }
+    req.deadline_ms = deadline->AsInt();
+  }
+  return req;
+}
+
+std::string OkResponse(const std::string& id, JsonObject fields) {
+  fields["id"] = JsonValue(id);
+  fields["ok"] = JsonValue(true);
+  return JsonValue(std::move(fields)).Serialize();
+}
+
+std::string ErrorResponse(const std::string& id, const WireError& error) {
+  JsonObject err;
+  err["kind"] = JsonValue(std::string(ErrorKindName(error.kind)));
+  err["code"] = JsonValue(std::string(StatusCodeName(error.code)));
+  err["message"] = JsonValue(error.message);
+  if (error.has_budget) {
+    JsonObject budget;
+    budget["name"] = JsonValue(error.budget.budget);
+    budget["limit"] = JsonValue(static_cast<int64_t>(error.budget.limit));
+    budget["consumed"] =
+        JsonValue(static_cast<int64_t>(error.budget.consumed));
+    budget["phase"] = JsonValue(error.budget.phase);
+    err["budget"] = JsonValue(std::move(budget));
+  }
+  JsonObject out;
+  out["id"] = JsonValue(id);
+  out["ok"] = JsonValue(false);
+  out["error"] = JsonValue(std::move(err));
+  return JsonValue(std::move(out)).Serialize();
+}
+
+}  // namespace serve
+}  // namespace dxrec

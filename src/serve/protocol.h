@@ -1,0 +1,121 @@
+// The dxrecd request/response protocol and its wire-level error taxonomy
+// (docs/SERVING.md).
+//
+// Requests are newline-delimited JSON objects:
+//
+//   {"id":"r1","op":"open_session","session":"s1",
+//    "sigma":"R(x,y) -> S(x);","target":"{S(a)}"}
+//   {"id":"r2","op":"certain","session":"s1",
+//    "query":"Q(x) :- R(x,y)","deadline_ms":250}
+//
+// Responses echo the id and either carry a result with the degradation
+// rung that produced it ("exact", "sound_ucq", "sound_ucq+sound_cq",
+// "partial") or a structured error. Every Status the engine can produce
+// maps to exactly one ErrorKind, so clients never parse message strings:
+//
+//   kind              when
+//   ----------------  ----------------------------------------------
+//   bad_request       malformed JSON / missing or mistyped field
+//   parse_error       sigma / target / query text failed to parse
+//   unknown_op        op not in the table below
+//   unknown_session   session name not open         (kNotFound)
+//   session_exists    open_session on a taken name  (kFailedPrecondition)
+//   failed_precondition  semantic precondition (e.g. J not valid)
+//   budget_exhausted  a configured budget tripped and degradation was
+//                     off or itself tripped         (kResourceExhausted)
+//   deadline          the per-request deadline expired ("resilience.deadline")
+//   cancelled         drain cancelled the request  ("resilience.cancelled")
+//   overloaded        shed at admission (queue full); never reached a worker
+//   draining          arrived after drain began
+//   internal          engine invariant violation    (kInternal)
+//
+// Ops: ping, open_session, close_session, certain, recover, analyze,
+// stats. `certain` and `recover` run through the degradation ladder; an
+// inline "sigma"/"target" pair instead of "session" runs one-shot.
+#ifndef DXREC_SERVE_PROTOCOL_H_
+#define DXREC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "serve/wire.h"
+
+namespace dxrec {
+namespace serve {
+
+enum class Op {
+  kPing,
+  kOpenSession,
+  kCloseSession,
+  kCertain,
+  kRecover,
+  kAnalyze,
+  kStats,
+};
+const char* OpName(Op op);
+
+// A parsed, not-yet-validated request. String fields are empty when the
+// client omitted them; each op's handler checks what it needs.
+struct Request {
+  std::string id;
+  Op op = Op::kPing;
+  std::string session;
+  std::string sigma;   // tgd set text (open_session / one-shot)
+  std::string target;  // instance text (open_session / one-shot)
+  std::string query;   // UCQ text (certain)
+  // Per-request deadline; <= 0 uses the server default.
+  int64_t deadline_ms = 0;
+};
+
+// Machine-readable error categories (see the table above).
+enum class ErrorKind {
+  kBadRequest,
+  kParseError,
+  kUnknownOp,
+  kUnknownSession,
+  kSessionExists,
+  kFailedPrecondition,
+  kBudgetExhausted,
+  kDeadline,
+  kCancelled,
+  kOverloaded,
+  kDraining,
+  kInternal,
+};
+const char* ErrorKindName(ErrorKind kind);
+
+struct WireError {
+  ErrorKind kind = ErrorKind::kInternal;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  // Present for budget/deadline/cancel trips.
+  BudgetInfo budget;
+  bool has_budget = false;
+};
+
+// Maps an engine/parser Status onto the taxonomy. kResourceExhausted is
+// split by its budget payload: "resilience.deadline" -> kDeadline,
+// "resilience.cancelled" -> kCancelled, anything else (or no payload) ->
+// kBudgetExhausted. `parse_context` = true maps kInvalidArgument to
+// kParseError instead of kBadRequest.
+WireError WireErrorFromStatus(const Status& status,
+                              bool parse_context = false);
+
+// Mapping for ParseRequest failures specifically: kInvalidArgument ->
+// kBadRequest, kNotFound -> kUnknownOp (ParseRequest's only NotFound).
+WireError WireErrorFromRequestParse(const Status& status);
+
+// Parses one request line. On failure the returned status is what the
+// caller should answer with (kind kBadRequest / kUnknownOp via
+// WireErrorFromStatus; the id, when recoverable, is in *id_out).
+Result<Request> ParseRequest(const std::string& line, std::string* id_out);
+
+// Response builders; each serializes to one line (no trailing newline).
+std::string OkResponse(const std::string& id, JsonObject fields);
+std::string ErrorResponse(const std::string& id, const WireError& error);
+
+}  // namespace serve
+}  // namespace dxrec
+
+#endif  // DXREC_SERVE_PROTOCOL_H_

@@ -1,0 +1,292 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "resilience/execution_context.h"
+
+namespace dxrec {
+namespace serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// --- TCP --------------------------------------------------------------
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override { Close(); }
+
+  Result<std::string> ReadLine() override {
+    Status injected =
+        resilience::CheckPoint(nullptr, "serve.read", "serve");
+    if (!injected.ok()) return injected;
+    while (true) {
+      // Serve a buffered line first.
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::read(fd_.load(), chunk, sizeof(chunk));
+      if (n == 0) {
+        return Status::NotFound("connection closed by peer");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("read");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  Status WriteLine(const std::string& line) override {
+    Status injected =
+        resilience::CheckPoint(nullptr, "serve.write", "serve");
+    if (!injected.ok()) return injected;
+    std::lock_guard<std::mutex> lock(write_mu_);
+    std::string frame = line + "\n";
+    size_t off = 0;
+    while (off < frame.size()) {
+      ssize_t n = ::send(fd_.load(), frame.data() + off, frame.size() - off,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  void Close() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+  std::string buffer_;     // reader-thread only
+  std::mutex write_mu_;    // serializes concurrent response writers
+};
+
+class TcpListener : public Listener {
+ public:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+  ~TcpListener() override { Shutdown(); }
+
+  Result<std::unique_ptr<Connection>> Accept() override {
+    Status injected =
+        resilience::CheckPoint(nullptr, "serve.accept", "serve");
+    if (!injected.ok()) return injected;
+    while (true) {
+      int client = ::accept(fd_.load(), nullptr, nullptr);
+      if (client >= 0) {
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return std::unique_ptr<Connection>(new TcpConnection(client));
+      }
+      if (errno == EINTR) continue;
+      if (fd_.load() < 0 || errno == EBADF || errno == EINVAL) {
+        return Status::NotFound("listener shut down");
+      }
+      return Errno("accept");
+    }
+  }
+
+  void Shutdown() override {
+    int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+  int port() const { return port_; }
+
+ private:
+  std::atomic<int> fd_;
+  int port_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> TcpListen(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<Listener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+int TcpListenerPort(const Listener& listener) {
+  return static_cast<const TcpListener&>(listener).port();
+}
+
+Result<std::unique_ptr<Connection>> TcpConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Connection>(new TcpConnection(fd));
+}
+
+// --- In-memory --------------------------------------------------------
+
+namespace {
+
+// One direction of a duplex in-memory connection.
+struct LocalPipe {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> lines;
+  bool closed = false;
+
+  void Push(std::string line) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(std::move(line));
+    }
+    cv.notify_all();
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+
+  Result<std::string> Pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !lines.empty() || closed; });
+    if (lines.empty()) return Status::NotFound("connection closed by peer");
+    std::string line = std::move(lines.front());
+    lines.pop_front();
+    return line;
+  }
+};
+
+class LocalConnection : public Connection {
+ public:
+  LocalConnection(std::shared_ptr<LocalPipe> in,
+                  std::shared_ptr<LocalPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~LocalConnection() override { Close(); }
+
+  Result<std::string> ReadLine() override {
+    Status injected =
+        resilience::CheckPoint(nullptr, "serve.read", "serve");
+    if (!injected.ok()) return injected;
+    return in_->Pop();
+  }
+
+  Status WriteLine(const std::string& line) override {
+    Status injected =
+        resilience::CheckPoint(nullptr, "serve.write", "serve");
+    if (!injected.ok()) return injected;
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed) return Status::NotFound("connection closed by peer");
+    out_->lines.push_back(line);
+    out_->cv.notify_all();
+    return Status::Ok();
+  }
+
+  void Close() override {
+    in_->Close();
+    out_->Close();
+  }
+
+ private:
+  std::shared_ptr<LocalPipe> in_;
+  std::shared_ptr<LocalPipe> out_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Connection>> LocalListener::Accept() {
+  Status injected = resilience::CheckPoint(nullptr, "serve.accept", "serve");
+  if (!injected.ok()) return injected;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !pending_.empty() || shutdown_; });
+  if (pending_.empty()) return Status::NotFound("listener shut down");
+  std::unique_ptr<Connection> conn = std::move(pending_.front());
+  pending_.pop_front();
+  return conn;
+}
+
+void LocalListener::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+Result<std::unique_ptr<Connection>> LocalListener::Connect() {
+  auto to_server = std::make_shared<LocalPipe>();
+  auto to_client = std::make_shared<LocalPipe>();
+  auto client = std::unique_ptr<Connection>(
+      new LocalConnection(to_client, to_server));
+  auto server = std::unique_ptr<Connection>(
+      new LocalConnection(to_server, to_client));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::NotFound("listener shut down");
+    pending_.push_back(std::move(server));
+  }
+  cv_.notify_all();
+  return client;
+}
+
+}  // namespace serve
+}  // namespace dxrec

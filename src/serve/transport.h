@@ -1,0 +1,99 @@
+// Pluggable byte transports for dxrecd (docs/SERVING.md).
+//
+// The server is written against two tiny interfaces: a Connection reads
+// and writes newline-terminated frames, a Listener accepts connections
+// until shut down. Two implementations ship:
+//
+//   - TcpListener / TcpConnect: loopback TCP. Port 0 binds an ephemeral
+//     port (port() reports the real one), which is how tests and
+//     scripts/check.sh avoid collisions.
+//   - LocalListener / LocalListener::Connect: an in-memory pipe pair, so
+//     unit and stress tests drive a full server with zero sockets and
+//     deterministic scheduling under TSan.
+//
+// Every accept/read/write passes a resilience::CheckPoint at sites
+// "serve.accept" / "serve.read" / "serve.write", making the transport an
+// injectable surface for testing::FaultInjector: an injected Status
+// surfaces exactly like a peer failure and the server must survive it.
+//
+// WriteLine is internally serialized per connection (worker threads
+// complete requests out of order onto the same connection); ReadLine has
+// a single caller (the connection's reader loop) by construction.
+#ifndef DXREC_SERVE_TRANSPORT_H_
+#define DXREC_SERVE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+
+namespace dxrec {
+namespace serve {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Blocks for the next newline-terminated frame (newline stripped).
+  // NotFound on orderly EOF; any other status is a transport failure.
+  virtual Result<std::string> ReadLine() = 0;
+
+  // Appends '\n' and writes the frame atomically w.r.t. other writers.
+  virtual Status WriteLine(const std::string& line) = 0;
+
+  // Unblocks the reader and releases the endpoint. Idempotent;
+  // safe to call from any thread.
+  virtual void Close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // Blocks for the next connection. NotFound after Shutdown; other
+  // statuses are transient accept failures (the server retries).
+  virtual Result<std::unique_ptr<Connection>> Accept() = 0;
+
+  // Stops accepting and unblocks a blocked Accept. Idempotent.
+  virtual void Shutdown() = 0;
+};
+
+// --- TCP (loopback) ---------------------------------------------------
+
+// Listens on 127.0.0.1:`port`; port 0 picks an ephemeral port.
+Result<std::unique_ptr<Listener>> TcpListen(int port);
+
+// The port a TcpListen listener actually bound (for port 0).
+int TcpListenerPort(const Listener& listener);
+
+// Client side: connects to 127.0.0.1:`port`.
+Result<std::unique_ptr<Connection>> TcpConnect(int port);
+
+// --- In-memory --------------------------------------------------------
+
+// A rendezvous of in-process duplex pipes. Connect() hands the client
+// endpoint back immediately and queues the server endpoint for Accept().
+class LocalListener : public Listener {
+ public:
+  LocalListener() = default;
+
+  Result<std::unique_ptr<Connection>> Accept() override;
+  void Shutdown() override;
+
+  // Creates a connected pair; NotFound after Shutdown.
+  Result<std::unique_ptr<Connection>> Connect();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::deque<std::unique_ptr<Connection>> pending_;
+};
+
+}  // namespace serve
+}  // namespace dxrec
+
+#endif  // DXREC_SERVE_TRANSPORT_H_

@@ -1,0 +1,303 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dxrec {
+namespace serve {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonEscapeString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::Serialize() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) return "null";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      return buf;
+    }
+    case Kind::kString:
+      return "\"" + JsonEscapeString(string_) + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += array_[i].Serialize();
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + JsonEscapeString(key) + "\":" + value.Serialize();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    Result<JsonValue> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (depth_ > 64) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return JsonValue(std::move(*s));
+    }
+    if (c == 't') return ParseLiteral("true", JsonValue(true));
+    if (c == 'f') return ParseLiteral("false", JsonValue(false));
+    if (c == 'n') return ParseLiteral("null", JsonValue());
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseLiteral(std::string_view lit, JsonValue value) {
+    if (text_.substr(pos_, lit.size()) != lit) return Error("bad literal");
+    pos_ += lit.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Eat('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    if (num.empty() || num == "-") return Error("bad number");
+    if (is_double) {
+      return JsonValue(std::strtod(num.c_str(), nullptr));
+    }
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(num.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return Error("integer out of range");
+    }
+    return JsonValue(static_cast<int64_t>(v));
+  }
+
+  Result<std::string> ParseString() {
+    if (!Eat('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed by this protocol; a lone surrogate encodes as-is).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    Eat('[');
+    ++depth_;
+    JsonArray out;
+    SkipWs();
+    if (Eat(']')) {
+      --depth_;
+      return JsonValue(std::move(out));
+    }
+    while (true) {
+      SkipWs();
+      Result<JsonValue> v = ParseValue();
+      if (!v.ok()) return v;
+      out.push_back(std::move(*v));
+      SkipWs();
+      if (Eat(']')) break;
+      if (!Eat(',')) return Error("expected ',' or ']'");
+    }
+    --depth_;
+    return JsonValue(std::move(out));
+  }
+
+  Result<JsonValue> ParseObject() {
+    Eat('{');
+    ++depth_;
+    JsonObject out;
+    SkipWs();
+    if (Eat('}')) {
+      --depth_;
+      return JsonValue(std::move(out));
+    }
+    while (true) {
+      SkipWs();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Eat(':')) return Error("expected ':'");
+      SkipWs();
+      Result<JsonValue> v = ParseValue();
+      if (!v.ok()) return v;
+      out[std::move(*key)] = std::move(*v);
+      SkipWs();
+      if (Eat('}')) break;
+      if (!Eat(',')) return Error("expected ',' or '}'");
+    }
+    --depth_;
+    return JsonValue(std::move(out));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace serve
+}  // namespace dxrec

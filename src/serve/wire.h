@@ -1,0 +1,94 @@
+// Minimal JSON values for the dxrecd wire protocol (docs/SERVING.md).
+//
+// The server speaks newline-delimited JSON: one request object per line
+// in, one response object per line out. This is the self-contained
+// parser/serializer for that surface — object/array/string/number/bool/
+// null, UTF-8 pass-through, \uXXXX escapes decoded on input and control
+// characters escaped on output. It is deliberately small: the protocol
+// nests two levels deep and every hot field is a string or an integer.
+//
+// Parsing never throws; errors surface as InvalidArgument with a byte
+// offset so clients can log exactly where their request went wrong.
+#ifndef DXREC_SERVE_WIRE_H_
+#define DXREC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace dxrec {
+namespace serve {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  JsonValue(int64_t i) : kind_(Kind::kInt), int_(i) {}  // NOLINT
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}  // NOLINT
+  JsonValue(JsonArray a)  // NOLINT
+      : kind_(Kind::kArray), array_(std::move(a)) {}
+  JsonValue(JsonObject o)  // NOLINT
+      : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return array_; }
+  const JsonObject& AsObject() const { return object_; }
+  JsonObject& MutableObject() { return object_; }
+
+  // Object field lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Compact single-line serialization (no trailing newline).
+  std::string Serialize() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+// Parses one JSON document; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+// JSON string escaping (quotes not included).
+std::string JsonEscapeString(std::string_view s);
+
+}  // namespace serve
+}  // namespace dxrec
+
+#endif  // DXREC_SERVE_WIRE_H_

@@ -31,7 +31,7 @@ ConjunctiveQuery Q(const char* text) {
 TEST(SubUniversal, CopyMappingIsExact) {
   DependencySet sigma = S("Rqa(x, y) -> Sqa(x, y)");
   Instance j = I("{Sqa(a, b)}");
-  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->instance, I("{Rqa(a, b)}"));
 }
@@ -40,7 +40,7 @@ TEST(SubUniversal, AmbiguousOriginYieldsNothingForThatTuple) {
   // S(a) may come from R or M: the glb of {R(a)} and {M(a)} is empty.
   DependencySet sigma = S("Rqb(x) -> Sqb(x); Mqb(y) -> Sqb(y)");
   Instance j = I("{Sqb(a)}");
-  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->instance.empty());
 }
@@ -49,9 +49,9 @@ TEST(SubUniversal, MapsIntoEveryRecovery) {
   // Thm. 9 on a workload with non-trivial recovery choices.
   DependencySet sigma = OverlapScenario::Sigma();
   Instance j = OverlapScenario::Target(2, 1);
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(sub.ok());
-  Result<InverseChaseResult> recoveries = InverseChase(sigma, j);
+  Result<InverseChaseResult> recoveries = internal::InverseChase(sigma, j);
   ASSERT_TRUE(recoveries.ok());
   ASSERT_FALSE(recoveries->recoveries.empty());
   for (const Instance& rec : recoveries->recoveries) {
@@ -65,7 +65,7 @@ TEST(SubUniversal, SoundCqAnswersAreCertain) {
   DependencySet sigma = FanScenario::Sigma();
   Instance j = FanScenario::Target(2);
   Result<AnswerSet> sound =
-      SoundCqAnswers(Q("Q(x, y) :- Rf(x, y)"), sigma, j);
+      internal::SoundCqAnswers(Q("Q(x, y) :- Rf(x, y)"), sigma, j);
   ASSERT_TRUE(sound.ok());
   // R(a, b1) and R(a, b2) are certain.
   EXPECT_EQ(sound->size(), 2u);
@@ -80,7 +80,7 @@ TEST(SubUniversal, EquivalenceClassesKeepSizePolynomial) {
   DependencySet sigma = FanScenario::Sigma();
   for (size_t n : {4u, 8u, 16u}) {
     Instance j = FanScenario::Target(n);
-    Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+    Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
     ASSERT_TRUE(result.ok());
     // Pivot S(a): the covers {h} and {h_1}..{h_n} all generalize to the
     // isomorphic R(a, fresh) and collapse into one class.
@@ -94,7 +94,7 @@ TEST(SubUniversal, EquivalenceClassesKeepSizePolynomial) {
 TEST(SubUniversal, StatsPopulated) {
   DependencySet sigma = OverlapScenario::Sigma();
   Instance j = OverlapScenario::Target(1, 1);
-  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->num_homs, 4u);  // h1..h4 of Example 12
   EXPECT_GE(result->num_covers, 4u);
@@ -108,9 +108,9 @@ TEST(SubUniversal, SubsumptionFilteredModeStaysSound) {
   SubUniversalOptions options;
   options.filter_covers_by_subsumption = true;
   Result<SubUniversalResult> filtered =
-      ComputeCqSubUniversal(sigma, j, options);
+      internal::ComputeCqSubUniversal(sigma, j, options);
   ASSERT_TRUE(filtered.ok());
-  Result<InverseChaseResult> recoveries = InverseChase(sigma, j);
+  Result<InverseChaseResult> recoveries = internal::InverseChase(sigma, j);
   ASSERT_TRUE(recoveries.ok());
   ConjunctiveQuery q = Q("Q(x) :- Uo(x)");
   AnswerSet answers = EvaluateNullFree(
@@ -126,9 +126,9 @@ TEST(SubUniversal, GroundPartOfInstanceIsCertainAtoms) {
   // Every ground atom of I_{Sigma,J} is present in every recovery.
   DependencySet sigma = FanScenario::Sigma();
   Instance j = FanScenario::Target(3);
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(sub.ok());
-  Result<InverseChaseResult> recoveries = InverseChase(sigma, j);
+  Result<InverseChaseResult> recoveries = internal::InverseChase(sigma, j);
   ASSERT_TRUE(recoveries.ok());
   for (const Atom& atom : sub->instance.atoms()) {
     if (!atom.IsGround()) continue;

@@ -50,7 +50,7 @@ TEST(EdgeCases, NullaryThroughChase) {
 TEST(EdgeCases, NullaryRecovery) {
   DependencySet sigma = S("Reb(x) -> FlagEb()");
   Result<InverseChaseResult> result =
-      InverseChase(sigma, I("{FlagEb()}"));
+      internal::InverseChase(sigma, I("{FlagEb()}"));
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), 1u);
   // One R-atom with a fresh null.
@@ -64,10 +64,10 @@ TEST(EdgeCases, ConstantsInTgdHead) {
   Instance chased = Chase(sigma, I("{Rec(a)}"), &FreshNulls());
   EXPECT_EQ(chased, I("{Sec(a, tagged)}"));
   // Backward: only matching targets are coverable.
-  Result<bool> valid = IsValidForRecovery(sigma, I("{Sec(a, tagged)}"));
+  Result<bool> valid = internal::IsValidForRecovery(sigma, I("{Sec(a, tagged)}"));
   ASSERT_TRUE(valid.ok());
   EXPECT_TRUE(*valid);
-  Result<bool> invalid = IsValidForRecovery(sigma, I("{Sec(a, other)}"));
+  Result<bool> invalid = internal::IsValidForRecovery(sigma, I("{Sec(a, other)}"));
   ASSERT_TRUE(invalid.ok());
   EXPECT_FALSE(*invalid);
 }
@@ -79,7 +79,7 @@ TEST(EdgeCases, ConstantsInTgdBody) {
       Chase(sigma, I("{Red(a, gold), Red(b, silver)}"), &FreshNulls());
   EXPECT_EQ(chased, I("{Sed(a)}"));
   // Recovery pins the constant column.
-  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sed(a)}"));
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, I("{Sed(a)}"));
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), 1u);
   EXPECT_EQ(result->recoveries[0], I("{Red(a, gold)}"));
@@ -89,7 +89,7 @@ TEST(EdgeCases, RepeatedHeadAtomsCollapse) {
   DependencySet sigma = S("Ree(x, y) -> See(x), See(x)");
   Instance chased = Chase(sigma, I("{Ree(a, b)}"), &FreshNulls());
   EXPECT_EQ(chased.size(), 1u);
-  Result<bool> valid = IsValidForRecovery(sigma, I("{See(a)}"));
+  Result<bool> valid = internal::IsValidForRecovery(sigma, I("{See(a)}"));
   ASSERT_TRUE(valid.ok());
   EXPECT_TRUE(*valid);
 }
@@ -101,7 +101,7 @@ TEST(EdgeCases, SelfJoinBodySameRelationTwice) {
   // (a,b)+(b,c) -> S(a,c); also (a,b) could pair with itself only if
   // b = a. No loops here.
   EXPECT_EQ(chased, I("{Sef(a, c)}"));
-  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sef(a, c)}"));
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, I("{Sef(a, c)}"));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->recoveries.empty());
   for (const Instance& rec : result->recoveries) {
@@ -124,13 +124,13 @@ TEST(EdgeCases, SelfJoinBodySameRelationTwice) {
 
 TEST(EdgeCases, VariableRepeatedAcrossHeadAtoms) {
   DependencySet sigma = S("Reg(x) -> Seg(x), Teg(x)");
-  Result<AnswerSet> cert = CertainAnswers(
+  Result<AnswerSet> cert = internal::CertainAnswers(
       U("Q(x) :- Reg(x)"), sigma, I("{Seg(a), Teg(a)}"));
   ASSERT_TRUE(cert.ok());
   EXPECT_EQ(*cert, (AnswerSet{{Term::Constant("a")}}));
   // S(a) with T(b) is not valid: no single x produces both.
   Result<bool> invalid =
-      IsValidForRecovery(sigma, I("{Seg(a), Teg(b)}"));
+      internal::IsValidForRecovery(sigma, I("{Seg(a), Teg(b)}"));
   ASSERT_TRUE(invalid.ok());
   EXPECT_FALSE(*invalid);
 }
@@ -139,7 +139,7 @@ TEST(EdgeCases, WideArityRelation) {
   DependencySet sigma =
       S("Reh(a1, a2, a3, a4, a5, a6) -> Seh(a6, a5, a4, a3, a2, a1)");
   Instance j = I("{Seh(f, e, d, c, b, a)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), 1u);
   EXPECT_EQ(result->recoveries[0], I("{Reh(a, b, c, d, e, f)}"));
@@ -147,10 +147,10 @@ TEST(EdgeCases, WideArityRelation) {
 
 TEST(EdgeCases, EmptyMappingHasNoRecoveries) {
   DependencySet sigma;
-  Result<bool> valid = IsValidForRecovery(sigma, I("{Sei(a)}"));
+  Result<bool> valid = internal::IsValidForRecovery(sigma, I("{Sei(a)}"));
   ASSERT_TRUE(valid.ok());
   EXPECT_FALSE(*valid);
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma);
   ASSERT_TRUE(mapping.ok());
   EXPECT_TRUE(mapping->empty());
 }
@@ -158,14 +158,14 @@ TEST(EdgeCases, EmptyMappingHasNoRecoveries) {
 TEST(EdgeCases, IsolatedBodyVariableEverywhere) {
   // y never reaches the head; every recovery carries a fresh null.
   DependencySet sigma = S("Rej(x, y) -> Sej(x)");
-  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sej(a)}"));
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, I("{Sej(a)}"));
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), 1u);
   const Atom& atom = result->recoveries[0].atoms()[0];
   EXPECT_TRUE(atom.arg(1).is_null());
   // And the same null never leaks into certain answers.
   Result<AnswerSet> cert =
-      CertainAnswers(U("Q(y) :- Rej(x, y)"), sigma, I("{Sej(a)}"));
+      internal::CertainAnswers(U("Q(y) :- Rej(x, y)"), sigma, I("{Sej(a)}"));
   ASSERT_TRUE(cert.ok());
   EXPECT_TRUE(cert->empty());
 }
@@ -173,10 +173,10 @@ TEST(EdgeCases, IsolatedBodyVariableEverywhere) {
 TEST(EdgeCases, TargetWithOnlyNulls) {
   DependencySet sigma = S("Rek(x) -> exists z: Sek(z)");
   Instance j = I("{Sek(_Z)}");
-  Result<bool> valid = IsValidForRecovery(sigma, j);
+  Result<bool> valid = internal::IsValidForRecovery(sigma, j);
   ASSERT_TRUE(valid.ok());
   EXPECT_TRUE(*valid);
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->recoveries.empty());
 }

@@ -142,7 +142,7 @@ TEST(ExtendedRecovery, IntroSoundnessAnomaly) {
   EXPECT_EQ(sound, 1u);
   EXPECT_EQ(unsound, 1u);
 
-  Result<InverseChaseResult> ours = InverseChase(sigma, j);
+  Result<InverseChaseResult> ours = internal::InverseChase(sigma, j);
   ASSERT_TRUE(ours.ok());
   ASSERT_EQ(ours->recoveries.size(), 1u);
   EXPECT_TRUE(AreIsomorphic(ours->recoveries[0], I("{Md(q)}")));
@@ -179,7 +179,7 @@ TEST(ExtendedRecovery, WorldsCoverInstanceRecoveries) {
   Instance j = I("{Set(a)}");
   Result<std::vector<Instance>> worlds = ExtendedRecoveryWorlds(sigma, j);
   ASSERT_TRUE(worlds.ok());
-  Result<InverseChaseResult> ours = InverseChase(sigma, j);
+  Result<InverseChaseResult> ours = internal::InverseChase(sigma, j);
   ASSERT_TRUE(ours.ok());
   for (const Instance& rec : ours->recoveries) {
     bool covered = false;

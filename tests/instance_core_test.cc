@@ -77,11 +77,11 @@ TEST(InstanceCore, CoreRecoveriesShrinkTheSet) {
   // into ground ones; with cores the emitted set collapses.
   DependencySet sigma = BlowupScenario::Sigma();
   Instance j = BlowupScenario::Target(2, 2);
-  Result<InverseChaseResult> plain = InverseChase(sigma, j);
+  Result<InverseChaseResult> plain = internal::InverseChase(sigma, j);
   ASSERT_TRUE(plain.ok());
   InverseChaseOptions options;
   options.core_recoveries = true;
-  Result<InverseChaseResult> cored = InverseChase(sigma, j, options);
+  Result<InverseChaseResult> cored = internal::InverseChase(sigma, j, options);
   ASSERT_TRUE(cored.ok());
   EXPECT_LE(cored->recoveries.size(), plain->recoveries.size());
   for (const Instance& rec : cored->recoveries) {
@@ -95,11 +95,11 @@ TEST(InstanceCore, CoreRecoveriesPreserveCertainAnswers) {
   Result<UnionQuery> q = ParseUnionQuery(
       "Q(x) :- Rt(x, x, y) | Q(p) :- Dt(k, p)");
   ASSERT_TRUE(q.ok());
-  Result<AnswerSet> plain = CertainAnswers(*q, sigma, j);
+  Result<AnswerSet> plain = internal::CertainAnswers(*q, sigma, j);
   ASSERT_TRUE(plain.ok());
   InverseChaseOptions options;
   options.core_recoveries = true;
-  Result<AnswerSet> cored = CertainAnswers(*q, sigma, j, options);
+  Result<AnswerSet> cored = internal::CertainAnswers(*q, sigma, j, options);
   ASSERT_TRUE(cored.ok());
   EXPECT_EQ(*plain, *cored);
 }
@@ -109,7 +109,7 @@ TEST(InstanceCore, CoredRecoveriesAreStillRecoveries) {
   Instance j = I("{Scg(a), Scg(b)}");
   InverseChaseOptions options;
   options.core_recoveries = true;
-  Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->recoveries.empty());
   // The engine verifies candidates *before* coring; re-verify after.

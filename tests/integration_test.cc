@@ -82,17 +82,17 @@ TEST(Integration, RecoverRepairAfterDeletion) {
   Instance damaged = I(
       "{Catalog(i1, moby), Location(i1, east), Location(i2, east),"
       " Borrowed(i1)}");
-  Result<bool> valid = IsValidForRecovery(sigma, damaged);
+  Result<bool> valid = internal::IsValidForRecovery(sigma, damaged);
   ASSERT_TRUE(valid.ok());
   EXPECT_FALSE(*valid);
 
-  Result<RepairResult> repair = RepairTarget(sigma, damaged);
+  Result<RepairResult> repair = internal::RepairTarget(sigma, damaged);
   ASSERT_TRUE(repair.ok()) << repair.status().ToString();
   ASSERT_FALSE(repair->maximal_valid_subsets.empty());
   const Instance& best = repair->maximal_valid_subsets[0];
   EXPECT_EQ(best, I("{Catalog(i1, moby), Location(i1, east),"
                     " Borrowed(i1)}"));
-  Result<bool> best_valid = IsValidForRecovery(sigma, best);
+  Result<bool> best_valid = internal::IsValidForRecovery(sigma, best);
   ASSERT_TRUE(best_valid.ok());
   EXPECT_TRUE(*best_valid);
 }

@@ -33,7 +33,7 @@ UnionQuery U(const char* text) {
 TEST(InverseChase, CopyMappingRoundTrip) {
   DependencySet sigma = S("Ria(x, y) -> Sia(x, y)");
   Instance j = I("{Sia(a, b), Sia(c, d)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), 1u);
   EXPECT_EQ(result->recoveries[0], I("{Ria(a, b), Ria(c, d)}"));
@@ -41,12 +41,12 @@ TEST(InverseChase, CopyMappingRoundTrip) {
 
 TEST(InverseChase, EmptyTargetHasEmptyRecovery) {
   DependencySet sigma = S("Rib(x) -> Sib(x)");
-  Result<InverseChaseResult> result = InverseChase(sigma, I("{}"));
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, I("{}"));
   ASSERT_TRUE(result.ok());
   // The empty source justifies the empty target.
   ASSERT_EQ(result->recoveries.size(), 1u);
   EXPECT_TRUE(result->recoveries[0].empty());
-  Result<bool> valid = IsValidForRecovery(sigma, I("{}"));
+  Result<bool> valid = internal::IsValidForRecovery(sigma, I("{}"));
   ASSERT_TRUE(valid.ok());
   EXPECT_TRUE(*valid);
 }
@@ -57,7 +57,7 @@ TEST(InverseChase, AlternativeSourcesEnumerated) {
   // {M(a)}, {R(a), M(a)}.
   DependencySet sigma = S("Ric(x) -> Sic(x); Mic(y) -> Sic(y)");
   Instance j = I("{Sic(a)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->recoveries.size(), 3u);
   auto contains = [&](const char* text) {
@@ -82,7 +82,7 @@ TEST(InverseChase, GCollapseCannotSmuggleUnsoundTriggers) {
   // create a P-pattern, so this is fine -- but the engine must also never
   // emit a source containing Pid(a, a) unless Tid(a) is in J.
   Instance j = I("{Sid(a, b)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->valid_for_recovery());
   for (const Instance& rec : result->recoveries) {
@@ -98,7 +98,7 @@ TEST(InverseChase, SharedFrontierForcesJoin) {
   // R(x,y) -> S(x), P(y) forces every recovery to pair a with each bi.
   DependencySet sigma = S("Rie(x, y) -> Sie(x), Pie(y)");
   Instance j = I("{Sie(a), Pie(b1), Pie(b2)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->valid_for_recovery());
   for (const Instance& rec : result->recoveries) {
@@ -109,7 +109,7 @@ TEST(InverseChase, SharedFrontierForcesJoin) {
   }
   // And S(a2) unmatched by any P: invalid.
   Result<bool> invalid =
-      IsValidForRecovery(sigma, I("{Sie(a), Sie(a2)}"));
+      internal::IsValidForRecovery(sigma, I("{Sie(a), Sie(a2)}"));
   ASSERT_TRUE(invalid.ok());
   // {S(a), S(a2)}: R-tuples would add P-atoms; no P in J -> invalid.
   EXPECT_FALSE(*invalid);
@@ -119,7 +119,7 @@ TEST(InverseChase, EveryEmittedInstanceIsARecovery) {
   DependencySet sigma =
       S("Rif(x, y) -> Sif(x), Tif(y); Mif(z) -> Tif(z)");
   Instance j = I("{Sif(a), Tif(b), Tif(c)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_TRUE(result->valid_for_recovery());
   for (const Instance& rec : result->recoveries) {
@@ -132,7 +132,7 @@ TEST(InverseChase, EveryEmittedInstanceIsARecovery) {
 TEST(InverseChase, StatsArepopulated) {
   DependencySet sigma = S("Rig(x) -> Sig(x); Mig(y) -> Sig(y)");
   Instance j = I("{Sig(a)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->stats.num_homs, 2u);
   EXPECT_EQ(result->stats.num_covers, 3u);
@@ -145,7 +145,7 @@ TEST(InverseChase, RecoveryBudgetEnforced) {
   Instance j = I("{Sih(a), Sih(b), Sih(c), Sih(d)}");
   InverseChaseOptions tight;
   tight.max_recoveries = 2;
-  Result<InverseChaseResult> result = InverseChase(sigma, j, tight);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j, tight);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
 }
@@ -153,7 +153,7 @@ TEST(InverseChase, RecoveryBudgetEnforced) {
 TEST(Certain, InvalidTargetIsFailedPrecondition) {
   DependencySet sigma = S("Rii(x) -> Sii(x), Tii(x)");
   Instance j = I("{Sii(a)}");  // T(a) missing: invalid
-  Result<AnswerSet> cert = CertainAnswers(U("Q(x) :- Rii(x)"), sigma, j);
+  Result<AnswerSet> cert = internal::CertainAnswers(U("Q(x) :- Rii(x)"), sigma, j);
   EXPECT_FALSE(cert.ok());
   EXPECT_EQ(cert.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -163,12 +163,12 @@ TEST(Certain, UnionQueriesAcrossRecoveries) {
   DependencySet sigma = S("Rij(x) -> Sij(x); Mij(y) -> Sij(y)");
   Instance j = I("{Sij(a)}");
   // Neither R(a) nor M(a) alone is certain...
-  Result<AnswerSet> r_only = CertainAnswers(U("Q(x) :- Rij(x)"), sigma, j);
+  Result<AnswerSet> r_only = internal::CertainAnswers(U("Q(x) :- Rij(x)"), sigma, j);
   ASSERT_TRUE(r_only.ok());
   EXPECT_TRUE(r_only->empty());
   // ...but their union is.
   Result<AnswerSet> either =
-      CertainAnswers(U("Q(x) :- Rij(x) | Q(x) :- Mij(x)"), sigma, j);
+      internal::CertainAnswers(U("Q(x) :- Rij(x) | Q(x) :- Mij(x)"), sigma, j);
   ASSERT_TRUE(either.ok());
   EXPECT_EQ(*either, (AnswerSet{{Term::Constant("a")}}));
 }
@@ -176,11 +176,11 @@ TEST(Certain, UnionQueriesAcrossRecoveries) {
 TEST(Certain, IsCertainDecision) {
   DependencySet sigma = S("Rik(x, y) -> Sik(x), Pik(y)");
   Instance j = I("{Sik(a), Pik(b)}");
-  Result<bool> yes = IsCertain({Term::Constant("a")},
+  Result<bool> yes = internal::IsCertain({Term::Constant("a")},
                                U("Q(x) :- Rik(x, y)"), sigma, j);
   ASSERT_TRUE(yes.ok());
   EXPECT_TRUE(*yes);
-  Result<bool> no = IsCertain({Term::Constant("b")},
+  Result<bool> no = internal::IsCertain({Term::Constant("b")},
                               U("Q(x) :- Rik(x, y)"), sigma, j);
   ASSERT_TRUE(no.ok());
   EXPECT_FALSE(*no);
@@ -190,12 +190,12 @@ TEST(InverseChase, ParallelMatchesSequential) {
   DependencySet sigma =
       S("Rim(x, y) -> Sim(x), Tim(y); Mim(z) -> Tim(z); Nim(w) -> Sim(w)");
   Instance j = I("{Sim(a), Sim(b), Tim(c), Tim(d)}");
-  Result<InverseChaseResult> sequential = InverseChase(sigma, j);
+  Result<InverseChaseResult> sequential = internal::InverseChase(sigma, j);
   ASSERT_TRUE(sequential.ok());
   InverseChaseOptions parallel_options;
   parallel_options.num_threads = 4;
   Result<InverseChaseResult> parallel =
-      InverseChase(sigma, j, parallel_options);
+      internal::InverseChase(sigma, j, parallel_options);
   ASSERT_TRUE(parallel.ok());
   // Same stats and the same recovery set up to null relabeling.
   EXPECT_EQ(parallel->stats.num_covers, sequential->stats.num_covers);
@@ -222,13 +222,13 @@ TEST(InverseChase, StatsCountersDeterministicAcrossThreadCounts) {
   InverseChaseOptions sequential_options;
   sequential_options.num_threads = 1;
   Result<InverseChaseResult> sequential =
-      InverseChase(sigma, j, sequential_options);
+      internal::InverseChase(sigma, j, sequential_options);
   ASSERT_TRUE(sequential.ok());
 
   InverseChaseOptions parallel_options;
   parallel_options.num_threads = 4;
   Result<InverseChaseResult> parallel =
-      InverseChase(sigma, j, parallel_options);
+      internal::InverseChase(sigma, j, parallel_options);
   ASSERT_TRUE(parallel.ok());
   obs::SetEnabled(was_enabled);
 
@@ -250,12 +250,12 @@ TEST(InverseChase, ParallelCertainAnswersMatch) {
   DependencySet sigma = S("Rin(x, y) -> Sin(x), Pin(y)");
   Instance j = I("{Sin(a), Pin(b1), Pin(b2), Pin(b3)}");
   UnionQuery q = U("Q(x, y) :- Rin(x, y)");
-  Result<AnswerSet> sequential = CertainAnswers(q, sigma, j);
+  Result<AnswerSet> sequential = internal::CertainAnswers(q, sigma, j);
   ASSERT_TRUE(sequential.ok());
   InverseChaseOptions parallel_options;
   parallel_options.num_threads = 3;
   Result<AnswerSet> parallel =
-      CertainAnswers(q, sigma, j, parallel_options);
+      internal::CertainAnswers(q, sigma, j, parallel_options);
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(*sequential, *parallel);
 }
@@ -264,7 +264,7 @@ TEST(Certain, BooleanQueryCertainty) {
   DependencySet sigma = S("Ril(x, y) -> Sil(x), Pil(y)");
   Instance j = I("{Sil(a), Pil(b)}");
   Result<AnswerSet> cert =
-      CertainAnswers(U(":- Ril(x, y)"), sigma, j);
+      internal::CertainAnswers(U(":- Ril(x, y)"), sigma, j);
   ASSERT_TRUE(cert.ok());
   // Boolean certain-true is the singleton empty tuple.
   EXPECT_EQ(cert->size(), 1u);

@@ -103,7 +103,7 @@ TEST(Explain, ProvenanceCoversEveryAtom) {
   Instance j = I("{Sex1(a), Pex1(b)}");
   InverseChaseOptions options;
   options.explain = true;
-  Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), result->explanations.size());
   ASSERT_FALSE(result->recoveries.empty());
@@ -134,7 +134,7 @@ TEST(Explain, ProvenanceCoversEveryAtom) {
 
 TEST(Explain, DisabledByDefault) {
   DependencySet sigma = S("Rex2(x) -> Sex2(x)");
-  Result<InverseChaseResult> result = InverseChase(sigma, I("{Sex2(a)}"));
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, I("{Sex2(a)}"));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->explanations.empty());
 }

@@ -25,7 +25,7 @@ DependencySet S(const char* text) {
 
 DependencySet Mapping(const char* text) {
   DependencySet sigma = S(text);
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma);
   EXPECT_TRUE(mapping.ok()) << mapping.status().ToString();
   return std::move(*mapping);
 }
@@ -91,7 +91,7 @@ TEST(MaxRecovery, TwoProducersWithSharedBodyShapeKept) {
 TEST(MaxRecovery, ChaseProducesSourceOverSourceSchema) {
   DependencySet sigma = S("Rmg(x, y) -> Smg(x), Pmg(y)");
   Instance j = I("{Smg(a), Pmg(b)}");
-  Result<Instance> source = MaxRecoveryChase(sigma, j);
+  Result<Instance> source = internal::MaxRecoveryChase(sigma, j);
   ASSERT_TRUE(source.ok());
   for (const Atom& atom : source->atoms()) {
     EXPECT_EQ(atom.relation(), InternRelation("Rmg"));
@@ -106,7 +106,7 @@ TEST(MaxRecovery, SubsetCapLimitsCandidates) {
   DependencySet sigma = S("Rmh(x, y) -> Smh(x), Tmh(y), Umh(x, y)");
   MaxRecoveryOptions options;
   options.max_subset_size = 1;
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma, options);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma, options);
   ASSERT_TRUE(mapping.ok());
   for (const Tgd& tgd : mapping->tgds()) {
     EXPECT_EQ(tgd.body().size(), 1u);
@@ -117,7 +117,7 @@ TEST(MaxRecovery, BudgetEnforced) {
   DependencySet sigma = S("Rmi(x) -> Smi(x); Mmi(y) -> Smi(y)");
   MaxRecoveryOptions tight;
   tight.max_nodes = 1;
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma, tight);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma, tight);
   EXPECT_FALSE(mapping.ok());
   EXPECT_EQ(mapping.status().code(), StatusCode::kResourceExhausted);
 }
@@ -127,7 +127,7 @@ TEST(MaxRecovery, ChaseBaselineNeverInventsGroundFacts) {
   // particular ground atoms it derives must be derivable from J alone.
   DependencySet sigma = S("Rmj(x, y) -> Smj(x), Pmj(y)");
   Instance j = I("{Smj(a), Pmj(b1), Pmj(b2)}");
-  Result<Instance> source = MaxRecoveryChase(sigma, j);
+  Result<Instance> source = internal::MaxRecoveryChase(sigma, j);
   ASSERT_TRUE(source.ok());
   for (const Atom& atom : source->atoms()) {
     EXPECT_FALSE(atom.IsGround()) << atom.ToString();

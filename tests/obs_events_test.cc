@@ -191,7 +191,7 @@ TEST(ObsEvents, PipelineBudgetFailureCarriesStructuredPayload) {
 
   InverseChaseOptions options;
   options.cover.max_nodes = 2;
-  Result<InverseChaseResult> result = InverseChase(*sigma, *j, options);
+  Result<InverseChaseResult> result = internal::InverseChase(*sigma, *j, options);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
   ASSERT_NE(result.status().budget_info(), nullptr);
@@ -206,7 +206,7 @@ TEST(ObsEvents, InverseChaseEmitsDecisionEvents) {
   ASSERT_TRUE(sigma.ok());
   Result<Instance> j = ParseInstance("{Se(a), Pe(b1), Pe(b2)}");
   ASSERT_TRUE(j.ok());
-  Result<InverseChaseResult> result = InverseChase(*sigma, *j);
+  Result<InverseChaseResult> result = internal::InverseChase(*sigma, *j);
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->recoveries.empty());
 
@@ -234,7 +234,7 @@ TEST(ObsEvents, EventCountsDeterministicAcrossThreadCounts) {
     ScopedEvents events;
     InverseChaseOptions options;
     options.num_threads = num_threads;
-    Result<InverseChaseResult> result = InverseChase(*sigma, *j, options);
+    Result<InverseChaseResult> result = internal::InverseChase(*sigma, *j, options);
     ASSERT_TRUE(result.ok());
     (num_threads == 1 ? counts_1 : counts_4) =
         CountByType(obs::EventSink::Global().Snapshot());

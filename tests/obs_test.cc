@@ -482,7 +482,7 @@ TEST(ObsPipeline, InverseChaseEmitsStepSpans) {
   ASSERT_TRUE(sigma.ok());
   Result<Instance> j = ParseInstance("{Sot(a)}");
   ASSERT_TRUE(j.ok());
-  Result<InverseChaseResult> result = InverseChase(*sigma, *j);
+  Result<InverseChaseResult> result = internal::InverseChase(*sigma, *j);
   ASSERT_TRUE(result.ok());
   std::vector<obs::TraceEvent> events = obs::Tracer::Global().Snapshot();
 

@@ -72,7 +72,7 @@ TEST(PaperExamples, Example1MinimalSolutions) {
   EXPECT_FALSE(IsMinimalSolution(sigma, i2, j2));
   EXPECT_FALSE(IsMinimalSolution(sigma, i1, j2));
   // And it is not valid for recovery at all.
-  Result<bool> valid = IsValidForRecovery(sigma, j2);
+  Result<bool> valid = internal::IsValidForRecovery(sigma, j2);
   ASSERT_TRUE(valid.ok());
   EXPECT_FALSE(*valid);
 }
@@ -164,7 +164,7 @@ TEST(PaperExamples, Example7InverseChaseMinimalCovers) {
   Instance j = TriangleScenario::Target(1, 2);
   InverseChaseOptions options;
   options.minimal_covers_only = true;
-  Result<InverseChaseResult> result = InverseChase(sigma, j, options);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->valid_for_recovery());
 
@@ -194,11 +194,11 @@ TEST(PaperExamples, Example7InverseChaseMinimalCovers) {
 TEST(PaperExamples, Example7FullCoverSetIsSuperset) {
   DependencySet sigma = TriangleScenario::Sigma();
   Instance j = TriangleScenario::Target(1, 2);
-  Result<InverseChaseResult> full = InverseChase(sigma, j);
+  Result<InverseChaseResult> full = internal::InverseChase(sigma, j);
   ASSERT_TRUE(full.ok());
   InverseChaseOptions min_options;
   min_options.minimal_covers_only = true;
-  Result<InverseChaseResult> minimal = InverseChase(sigma, j, min_options);
+  Result<InverseChaseResult> minimal = internal::InverseChase(sigma, j, min_options);
   ASSERT_TRUE(minimal.ok());
   for (const Instance& rec : minimal->recoveries) {
     EXPECT_TRUE(ContainsIso(full->recoveries, rec));
@@ -214,7 +214,7 @@ TEST(PaperExamples, Example7FullCoverSetIsSuperset) {
 TEST(PaperExamples, BlowupCountsAtLargerScale) {
   DependencySet sigma = BlowupScenario::Sigma();
   Result<InverseChaseResult> result =
-      InverseChase(sigma, BlowupScenario::Target(2, 3));
+      internal::InverseChase(sigma, BlowupScenario::Target(2, 3));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->recoveries.size(), 24u);
 }
@@ -227,16 +227,16 @@ TEST(PaperExamples, IntroProjectionAnomaly) {
   Instance j = ProjectionScenario::Target(3);  // S(a), P(b1..b3)
   UnionQuery q = ProjectionScenario::ProbeQuery();
 
-  Result<AnswerSet> cert = CertainAnswers(q, sigma, j);
+  Result<AnswerSet> cert = internal::CertainAnswers(q, sigma, j);
   ASSERT_TRUE(cert.ok()) << cert.status().ToString();
   EXPECT_EQ(*cert, (AnswerSet{T1("a")}));
 
   // The maximum-recovery mapping reconstruction matches eq. (3).
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma);
   ASSERT_TRUE(mapping.ok());
   EXPECT_EQ(mapping->size(), 2u);
   // And its chase misses the certain answer.
-  Result<Instance> baseline = MaxRecoveryChase(sigma, j);
+  Result<Instance> baseline = internal::MaxRecoveryChase(sigma, j);
   ASSERT_TRUE(baseline.ok());
   EXPECT_TRUE(EvaluateNullFree(q, *baseline).empty());
 }
@@ -247,7 +247,7 @@ TEST(PaperExamples, IntroDiamondMaxRecovery) {
   DependencySet sigma = DiamondScenario::Sigma();
   // The tgd-expressible part of the maximum recovery is {T(x) -> R(x)}:
   // S(x) -> R(x) or M(x) is a disjunction, beyond tgds.
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma);
   ASSERT_TRUE(mapping.ok());
   ASSERT_EQ(mapping->size(), 1u);
   EXPECT_EQ(mapping->at(0).body()[0].relation(), InternRelation("Td"));
@@ -258,15 +258,15 @@ TEST(PaperExamples, IntroDiamondValidity) {
   DependencySet sigma = DiamondScenario::Sigma();
   // J = {T(a)} is not valid: T(a) forces R(a) which forces S(a).
   Instance j_invalid = I("{Td(a)}");
-  Result<bool> invalid = IsValidForRecovery(sigma, j_invalid);
+  Result<bool> invalid = internal::IsValidForRecovery(sigma, j_invalid);
   ASSERT_TRUE(invalid.ok());
   EXPECT_FALSE(*invalid);
 
   // J = {S(a)} is valid (M(a) recovers it); so is {T(a), S(a)}.
-  Result<bool> valid_s = IsValidForRecovery(sigma, I("{Sd(a)}"));
+  Result<bool> valid_s = internal::IsValidForRecovery(sigma, I("{Sd(a)}"));
   ASSERT_TRUE(valid_s.ok());
   EXPECT_TRUE(*valid_s);
-  Result<bool> valid_ts = IsValidForRecovery(sigma, I("{Td(a), Sd(a)}"));
+  Result<bool> valid_ts = internal::IsValidForRecovery(sigma, I("{Td(a), Sd(a)}"));
   ASSERT_TRUE(valid_ts.ok());
   EXPECT_TRUE(*valid_ts);
 }
@@ -278,7 +278,7 @@ TEST(PaperExamples, IntroDiamondValidity) {
 TEST(PaperExamples, IntroDiamondSoundRecoveries) {
   DependencySet sigma = DiamondScenario::Sigma();
   Instance j = I("{Sd(a)}");
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->recoveries.size(), 1u);
   EXPECT_TRUE(AreIsomorphic(result->recoveries[0], I("{Md(a)}")));
@@ -290,7 +290,7 @@ TEST(PaperExamples, IntroDiamondSoundRecoveries) {
 TEST(PaperExamples, IntroSelfJoinSpecialization) {
   DependencySet sigma = SelfJoinScenario::Sigma();
   Instance j = SelfJoinScenario::Target(1, 1);  // {T(a0), S(b0)}
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->valid_for_recovery());
   // The paper's I1 = {R(a,a,b)} is a recovery; Chase^{-1} does not emit it
@@ -311,7 +311,7 @@ TEST(PaperExamples, IntroSelfJoinSpecialization) {
                           I("{Rj(a0, a0, b0), Rj(_Y, _Z, b0)}")));
   // Every recovery contains R(a0, a0, b0): it is a certain atom.
   Result<AnswerSet> cert =
-      CertainAnswers(U("Q(x, z) :- Rj(x, x, z)"), sigma, j);
+      internal::CertainAnswers(U("Q(x, z) :- Rj(x, x, z)"), sigma, j);
   ASSERT_TRUE(cert.ok());
   EXPECT_EQ(*cert,
             (AnswerSet{{Term::Constant("a0"), Term::Constant("b0")}}));
@@ -329,14 +329,14 @@ TEST(PaperExamples, Example8CompleteUcqRecovery) {
       " EmpBnf(bill, medical), EmpBnf(bill, profit), "
       " EmpBnf(sue, medical), EmpBnf(sue, pension)}");
 
-  Result<TractabilityReport> report = AnalyzeTractability(sigma, j);
+  Result<TractabilityReport> report = internal::AnalyzeTractability(sigma, j);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->all_coverable);
   EXPECT_TRUE(report->unique_cover);
   EXPECT_TRUE(report->quasi_guarded_safe);
   EXPECT_TRUE(report->complete_ucq_recovery_exists());
 
-  Result<Instance> recovery = CompleteUcqRecovery(sigma, j);
+  Result<Instance> recovery = internal::CompleteUcqRecovery(sigma, j);
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
   Instance expected = I(
       "{Emp(joe, hr), Emp(bill, sales), Emp(sue, hr), "
@@ -351,7 +351,7 @@ TEST(PaperExamples, Example8CompleteUcqRecovery) {
   AnswerSet answers = EvaluateNullFree(q, *recovery);
   EXPECT_EQ(answers, (AnswerSet{T1("medical"), T1("pension")}));
 
-  Result<Instance> baseline = MaxRecoveryChase(sigma, j);
+  Result<Instance> baseline = internal::MaxRecoveryChase(sigma, j);
   ASSERT_TRUE(baseline.ok());
   EXPECT_TRUE(EvaluateNullFree(q, *baseline).empty());
 }
@@ -374,7 +374,7 @@ TEST(PaperExamples, Example8Subsumption) {
 // Example 8's stated maximum-recovery mapping (two tgds).
 TEST(PaperExamples, Example8MaxRecoveryMapping) {
   DependencySet sigma = EmployeeScenario::Sigma();
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma);
   ASSERT_TRUE(mapping.ok());
   EXPECT_EQ(mapping->size(), 2u);
 }
@@ -386,7 +386,7 @@ TEST(PaperExamples, Example8MaxRecoveryMapping) {
 TEST(PaperExamples, SingleProjectionCompleteRecovery) {
   DependencySet sigma = S("Rs(x, y) -> Ss(x)");
   Instance j = I("{Ss(a), Ss(b), Ss(c)}");
-  Result<Instance> recovery = CompleteUcqRecovery(sigma, j);
+  Result<Instance> recovery = internal::CompleteUcqRecovery(sigma, j);
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
   EXPECT_TRUE(AreIsomorphic(
       *recovery, I("{Rs(a, _X1), Rs(b, _X2), Rs(c, _X3)}")));
@@ -403,12 +403,12 @@ TEST(PaperExamples, BlowupOneCoverSevenRecoveries) {
   ASSERT_TRUE(covers.ok());
   EXPECT_EQ(covers->size(), 1u);
 
-  Result<InverseChaseResult> result = InverseChase(sigma, j);
+  Result<InverseChaseResult> result = internal::InverseChase(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->recoveries.size(), 7u);
   // Sigma is not quasi-guarded safe, so Thm. 5 must not claim a complete
   // UCQ recovery here.
-  Result<TractabilityReport> report = AnalyzeTractability(sigma, j);
+  Result<TractabilityReport> report = internal::AnalyzeTractability(sigma, j);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->unique_cover);
   EXPECT_FALSE(report->quasi_guarded_safe);
@@ -423,7 +423,7 @@ TEST(PaperExamples, Example9MaximalSubset) {
   EXPECT_EQ(result.j_prime, I("{Te(c0), Te(c1)}"));
   EXPECT_TRUE(AreIsomorphic(result.source, I("{De(c0), De(c1)}")));
 
-  AnswerSet answers = SoundUcqAnswers(U("Q(x) :- De(x)"), sigma, j);
+  AnswerSet answers = internal::SoundUcqAnswers(U("Q(x) :- De(x)"), sigma, j);
   EXPECT_EQ(answers, (AnswerSet{T1("c0"), T1("c1")}));
 }
 
@@ -452,7 +452,7 @@ TEST(PaperExamples, Example10PerHomCovers) {
 TEST(PaperExamples, Example11GeneralizedInstance) {
   DependencySet sigma = FanScenario::Sigma();
   Instance j = FanScenario::Target(3);
-  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(result.ok());
   // The equivalence-class reduction collapses {h_1}, {h_2}, {h_3} into
   // one representative per pivot hom, so I_{Sigma,J} must contain R(a,X)
@@ -469,7 +469,7 @@ TEST(PaperExamples, Example11GeneralizedInstance) {
 TEST(PaperExamples, Example12SubUniversal) {
   DependencySet sigma = OverlapScenario::Sigma();
   Instance j = OverlapScenario::Target(1, 1);  // {T(a0), S(a0), S(b0)}
-  Result<SubUniversalResult> result = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> result = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(result.ok());
   // I_{Sigma,J} = {R(a,Y1), U(b), R(a,Y2)} (Y1, Y2 distinct nulls); up to
   // the set-dedup of isomorphic atoms this is {R(a,Y), U(b)} with one or
@@ -492,7 +492,7 @@ TEST(PaperExamples, Example12SubUniversal) {
   ASSERT_TRUE(witness_is_recovery.ok());
   EXPECT_TRUE(*witness_is_recovery);
   Result<AnswerSet> cert =
-      CertainAnswers(U("Q(x) :- Ro(x, x)"), sigma, j);
+      internal::CertainAnswers(U("Q(x) :- Ro(x, x)"), sigma, j);
   ASSERT_TRUE(cert.ok());
   EXPECT_TRUE(cert->empty());
 }
@@ -504,19 +504,19 @@ TEST(PaperExamples, Example13BaselineComparison) {
   Instance j = OverlapScenario::Target(1, 1);
 
   // The stated CQ-maximum recovery mapping: {T(x) -> exists z R(x, z)}.
-  Result<DependencySet> mapping = CqMaximumRecoveryMapping(sigma);
+  Result<DependencySet> mapping = internal::CqMaximumRecoveryMapping(sigma);
   ASSERT_TRUE(mapping.ok());
   ASSERT_EQ(mapping->size(), 1u) << mapping->ToString();
   EXPECT_EQ(mapping->at(0).body()[0].relation(), InternRelation("To"));
 
-  Result<Instance> baseline = MaxRecoveryChase(sigma, j);
+  Result<Instance> baseline = internal::MaxRecoveryChase(sigma, j);
   ASSERT_TRUE(baseline.ok());
   EXPECT_TRUE(AreIsomorphic(*baseline, I("{Ro(a0, _Z)}")));
 
   // Q3(x) :- U(x): baseline empty, I_{Sigma,J} answers {b0}.
   UnionQuery q3 = OverlapScenario::ProbeQuery();
   EXPECT_TRUE(EvaluateNullFree(q3, *baseline).empty());
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(sigma, j);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(sigma, j);
   ASSERT_TRUE(sub.ok());
   EXPECT_EQ(EvaluateNullFree(q3, sub->instance), (AnswerSet{T1("b0")}));
 }
@@ -535,9 +535,9 @@ TEST(PaperExamples, Theorem10Dominance) {
       {ProjectionScenario::Sigma(), ProjectionScenario::Target(3)});
   cases.push_back({FanScenario::Sigma(), FanScenario::Target(3)});
   for (auto& c : cases) {
-    Result<Instance> baseline = MaxRecoveryChase(c.sigma, c.j);
+    Result<Instance> baseline = internal::MaxRecoveryChase(c.sigma, c.j);
     ASSERT_TRUE(baseline.ok());
-    Result<SubUniversalResult> sub = ComputeCqSubUniversal(c.sigma, c.j);
+    Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(c.sigma, c.j);
     ASSERT_TRUE(sub.ok());
     EXPECT_TRUE(HasInstanceHomomorphism(*baseline, sub->instance))
         << "baseline " << baseline->ToString() << " does not map into "

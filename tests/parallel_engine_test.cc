@@ -232,23 +232,5 @@ TEST(ParallelEngine, PoolLifecycle) {
   }
 }
 
-// The legacy options shape still works through the converting ctor.
-TEST(ParallelEngine, LegacyOptionsStillDrive) {
-  LegacyEngineOptions legacy;
-  legacy.inverse.num_threads = 2;
-  legacy.inverse.cover.max_covers = 4096;
-  EngineOptions layered = legacy.ToEngineOptions();
-  EXPECT_EQ(layered.parallel.threads, 2u);
-  EXPECT_EQ(layered.budgets.max_covers, 4096u);
-
-  Engine engine(WarehouseSigma(), legacy);
-  ASSERT_NE(engine.pool(), nullptr);
-  Result<Instance> j = ParseInstance("{Ledger(ann, o1), Shipment(o1, t)}");
-  ASSERT_TRUE(j.ok());
-  Result<InverseChaseResult> result = engine.Recover(*j);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->valid_for_recovery());
-}
-
 }  // namespace
 }  // namespace dxrec

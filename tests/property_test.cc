@@ -93,7 +93,7 @@ class RecoveryProperties : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(RecoveryProperties, ChasedTargetIsValid) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP() << "workload too large for exact engine";
-  Result<bool> valid = IsValidForRecovery(w.sigma, w.target, TightOptions());
+  Result<bool> valid = internal::IsValidForRecovery(w.sigma, w.target, TightOptions());
   if (!valid.ok()) GTEST_SKIP() << valid.status().ToString();
   EXPECT_TRUE(*valid) << "sigma:\n"
                       << w.sigma.ToString() << "source: "
@@ -105,7 +105,7 @@ TEST_P(RecoveryProperties, EmittedInstancesAreRecoveries) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP();
   Result<InverseChaseResult> result =
-      InverseChase(w.sigma, w.target, TightOptions());
+      internal::InverseChase(w.sigma, w.target, TightOptions());
   if (!result.ok()) GTEST_SKIP() << result.status().ToString();
   for (const Instance& rec : result->recoveries) {
     // Independent check via the brute-force Def. 2 search.
@@ -123,10 +123,10 @@ TEST_P(RecoveryProperties, EmittedInstancesAreRecoveries) {
 TEST_P(RecoveryProperties, SubUniversalMapsIntoAllRecoveries) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP();
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(w.sigma, w.target);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(w.sigma, w.target);
   if (!sub.ok()) GTEST_SKIP() << sub.status().ToString();
   Result<InverseChaseResult> result =
-      InverseChase(w.sigma, w.target, TightOptions());
+      internal::InverseChase(w.sigma, w.target, TightOptions());
   if (!result.ok()) GTEST_SKIP();
   for (const Instance& rec : result->recoveries) {
     EXPECT_TRUE(HasInstanceHomomorphism(sub->instance, rec))
@@ -145,9 +145,9 @@ TEST_P(RecoveryProperties, SubUniversalMapsIntoAllRecoveries) {
 TEST_P(RecoveryProperties, BaselineChaseMapsIntoSubUniversal) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP();
-  Result<Instance> baseline = MaxRecoveryChase(w.sigma, w.target);
+  Result<Instance> baseline = internal::MaxRecoveryChase(w.sigma, w.target);
   if (!baseline.ok()) GTEST_SKIP() << baseline.status().ToString();
-  Result<SubUniversalResult> sub = ComputeCqSubUniversal(w.sigma, w.target);
+  Result<SubUniversalResult> sub = internal::ComputeCqSubUniversal(w.sigma, w.target);
   if (!sub.ok()) GTEST_SKIP();
   EXPECT_TRUE(HasInstanceHomomorphism(*baseline, sub->instance))
       << "sigma:\n"
@@ -159,11 +159,11 @@ TEST_P(RecoveryProperties, SoundAnswersAreCertain) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP();
   UnionQuery q = ProbeQuery(w.sigma);
-  Result<AnswerSet> cert = CertainAnswers(q, w.sigma, w.target, TightOptions());
+  Result<AnswerSet> cert = internal::CertainAnswers(q, w.sigma, w.target, TightOptions());
   if (!cert.ok()) GTEST_SKIP() << cert.status().ToString();
 
   // Thm. 7's sound UCQ answers.
-  AnswerSet thm7 = SoundUcqAnswers(q, w.sigma, w.target);
+  AnswerSet thm7 = internal::SoundUcqAnswers(q, w.sigma, w.target);
   for (const AnswerTuple& t : thm7) {
     EXPECT_TRUE(cert->count(t) > 0)
         << "unsound Thm.7 answer on sigma:\n"
@@ -172,9 +172,9 @@ TEST_P(RecoveryProperties, SoundAnswersAreCertain) {
 
   // Sec. 6.2's sound CQ answers, per disjunct.
   for (const ConjunctiveQuery& cq : q.disjuncts()) {
-    Result<AnswerSet> sound = SoundCqAnswers(cq, w.sigma, w.target);
+    Result<AnswerSet> sound = internal::SoundCqAnswers(cq, w.sigma, w.target);
     if (!sound.ok()) continue;
-    Result<AnswerSet> cq_cert = CertainAnswers(UnionQuery::Of(cq), w.sigma,
+    Result<AnswerSet> cq_cert = internal::CertainAnswers(UnionQuery::Of(cq), w.sigma,
                                                w.target, TightOptions());
     if (!cq_cert.ok()) continue;
     for (const AnswerTuple& t : *sound) {
@@ -201,11 +201,11 @@ TEST_P(RecoveryProperties, MinimalCoverModeOverApproximates) {
   if (!w.usable) GTEST_SKIP();
   UnionQuery q = ProbeQuery(w.sigma);
   Result<AnswerSet> exact =
-      CertainAnswers(q, w.sigma, w.target, TightOptions());
+      internal::CertainAnswers(q, w.sigma, w.target, TightOptions());
   if (!exact.ok()) GTEST_SKIP();
   InverseChaseOptions approx = TightOptions();
   approx.minimal_covers_only = true;
-  Result<AnswerSet> upper = CertainAnswers(q, w.sigma, w.target, approx);
+  Result<AnswerSet> upper = internal::CertainAnswers(q, w.sigma, w.target, approx);
   if (!upper.ok()) GTEST_SKIP();
   for (const AnswerTuple& t : *exact) {
     EXPECT_TRUE(upper->count(t) > 0);
@@ -248,13 +248,13 @@ TEST_P(RecoveryProperties, CoresPreserveCertainAnswers) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP();
   UnionQuery q = ProbeQuery(w.sigma);
-  Result<AnswerSet> plain = CertainAnswers(q, w.sigma, w.target,
+  Result<AnswerSet> plain = internal::CertainAnswers(q, w.sigma, w.target,
                                            TightOptions());
   if (!plain.ok()) GTEST_SKIP();
   InverseChaseOptions cored = TightOptions();
   cored.core_recoveries = true;
   Result<AnswerSet> with_cores =
-      CertainAnswers(q, w.sigma, w.target, cored);
+      internal::CertainAnswers(q, w.sigma, w.target, cored);
   if (!with_cores.ok()) GTEST_SKIP();
   EXPECT_EQ(*plain, *with_cores) << "sigma:\n" << w.sigma.ToString();
 }
@@ -263,12 +263,12 @@ TEST_P(RecoveryProperties, ParallelMatchesSequential) {
   Workload w = MakeWorkload(GetParam());
   if (!w.usable) GTEST_SKIP();
   Result<InverseChaseResult> sequential =
-      InverseChase(w.sigma, w.target, TightOptions());
+      internal::InverseChase(w.sigma, w.target, TightOptions());
   if (!sequential.ok()) GTEST_SKIP();
   InverseChaseOptions parallel_options = TightOptions();
   parallel_options.num_threads = 4;
   Result<InverseChaseResult> parallel =
-      InverseChase(w.sigma, w.target, parallel_options);
+      internal::InverseChase(w.sigma, w.target, parallel_options);
   ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
   ASSERT_EQ(parallel->recoveries.size(), sequential->recoveries.size());
   for (size_t i = 0; i < parallel->recoveries.size(); ++i) {

@@ -25,7 +25,7 @@ DependencySet S(const char* text) {
 TEST(Repair, ValidTargetIsItsOwnRepair) {
   DependencySet sigma = S("Rwa(x) -> Swa(x)");
   Instance j = I("{Swa(a), Swa(b)}");
-  Result<RepairResult> result = RepairTarget(sigma, j);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
   EXPECT_EQ(result->maximal_valid_subsets[0], j);
@@ -35,7 +35,7 @@ TEST(Repair, ValidTargetIsItsOwnRepair) {
 TEST(Repair, UncoverableTuplesPruned) {
   DependencySet sigma = S("Rwb(x) -> Swb(x)");
   Instance j = I("{Swb(a), Xwb(q)}");  // nothing produces Xwb
-  Result<RepairResult> result = RepairTarget(sigma, j);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->uncoverable, I("{Xwb(q)}"));
   ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
@@ -47,7 +47,7 @@ TEST(Repair, DiamondDropsOrphanTAtom) {
   // unrecoverable; the repair removes T(a).
   DependencySet sigma = DiamondScenario::Sigma();
   Instance j = I("{Td(a), Sd(b)}");
-  Result<RepairResult> result = RepairTarget(sigma, j);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
   EXPECT_EQ(result->maximal_valid_subsets[0], I("{Sd(b)}"));
@@ -56,7 +56,7 @@ TEST(Repair, DiamondDropsOrphanTAtom) {
 TEST(Repair, KeepsConsistentPairTogether) {
   DependencySet sigma = DiamondScenario::Sigma();
   Instance j = I("{Td(a), Sd(a), Td(b)}");  // T(b) lacks its S(b)
-  Result<RepairResult> result = RepairTarget(sigma, j);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
   EXPECT_EQ(result->maximal_valid_subsets[0], I("{Td(a), Sd(a)}"));
@@ -70,7 +70,7 @@ TEST(Repair, MultipleIncomparableRepairs) {
   // single maximal repair.
   DependencySet sigma = S("Rwc(x, y) -> Swc(x), Pwc(y)");
   Instance j = I("{Swc(a), Swc(b), Pwc(c)}");
-  Result<RepairResult> result = RepairTarget(sigma, j);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
   EXPECT_EQ(result->maximal_valid_subsets[0], j);
@@ -78,7 +78,7 @@ TEST(Repair, MultipleIncomparableRepairs) {
   // Now make the pair side empty: {S(a), S(b)} alone is invalid and the
   // only valid subset is empty.
   Instance j2 = I("{Swc(a), Swc(b)}");
-  Result<RepairResult> result2 = RepairTarget(sigma, j2);
+  Result<RepairResult> result2 = internal::RepairTarget(sigma, j2);
   ASSERT_TRUE(result2.ok());
   ASSERT_EQ(result2->maximal_valid_subsets.size(), 1u);
   EXPECT_TRUE(result2->maximal_valid_subsets[0].empty());
@@ -95,7 +95,7 @@ TEST(Repair, AntichainOfRepairs) {
       "Nwd(z) -> Uwd(z)");
   // {T(a), U(b)}: valid via M(a), N(b). Full set valid -> one repair.
   Instance j = I("{Twd(a), Uwd(b)}");
-  Result<RepairResult> result = RepairTarget(sigma, j);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->maximal_valid_subsets.size(), 1u);
 }
@@ -103,9 +103,9 @@ TEST(Repair, AntichainOfRepairs) {
 TEST(Repair, GreedyRepairReturnsValidSubset) {
   DependencySet sigma = DiamondScenario::Sigma();
   Instance j = I("{Td(a), Sd(a), Td(b), Td(c), Sd(d)}");
-  Result<Instance> repaired = GreedyRepair(sigma, j);
+  Result<Instance> repaired = internal::GreedyRepair(sigma, j);
   ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
-  Result<bool> valid = IsValidForRecovery(sigma, *repaired);
+  Result<bool> valid = internal::IsValidForRecovery(sigma, *repaired);
   ASSERT_TRUE(valid.ok());
   EXPECT_TRUE(*valid);
   // T(a), S(a) and S(d) survive; orphan T(b), T(c) go.
@@ -117,7 +117,7 @@ TEST(Repair, BudgetEnforced) {
   Instance j = I("{Td(a), Td(b), Td(c), Td(d), Td(e)}");
   RepairOptions tight;
   tight.max_validity_checks = 2;
-  Result<RepairResult> result = RepairTarget(sigma, j, tight);
+  Result<RepairResult> result = internal::RepairTarget(sigma, j, tight);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
 }
@@ -127,7 +127,7 @@ TEST(Repair, RepairCertainAnswersOnValidTargetMatchCert) {
   Instance j = I("{Swe(a), Pwe(b)}");
   Result<UnionQuery> q = ParseUnionQuery("Q(x, y) :- Rwe(x, y)");
   ASSERT_TRUE(q.ok());
-  Result<AnswerSet> plain = CertainAnswers(*q, sigma, j);
+  Result<AnswerSet> plain = internal::CertainAnswers(*q, sigma, j);
   ASSERT_TRUE(plain.ok());
   Result<AnswerSet> via_repair = RepairCertainAnswers(*q, sigma, j);
   ASSERT_TRUE(via_repair.ok());
@@ -160,7 +160,7 @@ TEST(Repair, RepairCertainAnswersNoRepairIsError) {
 
 TEST(Repair, EmptyTargetTrivially) {
   DependencySet sigma = DiamondScenario::Sigma();
-  Result<RepairResult> result = RepairTarget(sigma, I("{}"));
+  Result<RepairResult> result = internal::RepairTarget(sigma, I("{}"));
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->maximal_valid_subsets.size(), 1u);
   EXPECT_TRUE(result->maximal_valid_subsets[0].empty());

@@ -176,7 +176,7 @@ TEST_F(ResilienceTest, ExpiredDeadlineDegradesCertToSoundAnswers) {
             "resilience.deadline");
 
   // The degraded set matches the direct ladder computation...
-  AnswerSet expected = dxrec::SoundUcqAnswers(q, engine.sigma(), j);
+  AnswerSet expected = dxrec::internal::SoundUcqAnswers(q, engine.sigma(), j);
   if (degraded->info.rung == "sound_ucq") {
     EXPECT_EQ(degraded->value, expected);
   } else {
@@ -212,7 +212,7 @@ void CheckLadder(DependencySet sigma, const Instance& j,
   ASSERT_NE(degraded->info.cause.budget_info(), nullptr);
   EXPECT_EQ(degraded->info.cause.budget_info()->budget, "cover.nodes");
 
-  AnswerSet sound_ucq = dxrec::SoundUcqAnswers(q, sigma, j);
+  AnswerSet sound_ucq = dxrec::internal::SoundUcqAnswers(q, sigma, j);
   for (const AnswerTuple& t : sound_ucq) {
     EXPECT_TRUE(degraded->value.count(t) > 0)
         << "rung-2 answer missing from degraded set";

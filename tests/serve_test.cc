@@ -1,0 +1,427 @@
+// dxrecd server unit tests: wire format, protocol taxonomy, admission
+// queue, and a full server driven over the in-memory transport
+// (docs/SERVING.md). The concurrent multi-client stress lives in
+// serve_stress_test.cc.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "resilience/fault_injection.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
+
+namespace dxrec {
+namespace serve {
+namespace {
+
+// --- wire.h -----------------------------------------------------------
+
+TEST(Wire, ParseSerializeRoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",true,null],"b":{"c":"q\"uote","d":-7}})";
+  Result<JsonValue> parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), text);
+}
+
+TEST(Wire, UnicodeEscapesDecodeToUtf8) {
+  Result<JsonValue> parsed = ParseJson(R"({"s":"éA"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->AsString(), "\xc3\xa9"  "A");
+}
+
+TEST(Wire, ErrorsCarryByteOffsets) {
+  Result<JsonValue> parsed = ParseJson(R"({"a": })");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("at byte"), std::string::npos);
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseJson(R"({"a":1} x)").ok());
+}
+
+TEST(Wire, DepthCapRejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(Wire, FindOnNonObjectIsNull) {
+  Result<JsonValue> parsed = ParseJson("[1]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("a"), nullptr);
+}
+
+// --- protocol.h -------------------------------------------------------
+
+TEST(Protocol, ParseRequestFillsFields) {
+  std::string id;
+  Result<Request> request = ParseRequest(
+      R"js({"id":"r1","op":"certain","session":"s","query":"Q(x) :- T(x)","deadline_ms":250})js",
+      &id);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(id, "r1");
+  EXPECT_EQ(request->op, Op::kCertain);
+  EXPECT_EQ(request->session, "s");
+  EXPECT_EQ(request->query, "Q(x) :- T(x)");
+  EXPECT_EQ(request->deadline_ms, 250);
+}
+
+TEST(Protocol, MissingIdIsBadRequest) {
+  std::string id;
+  Result<Request> request = ParseRequest(R"({"op":"ping"})", &id);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(WireErrorFromRequestParse(request.status()).kind,
+            ErrorKind::kBadRequest);
+}
+
+TEST(Protocol, UnknownOpMapsToUnknownOp) {
+  std::string id;
+  Result<Request> request =
+      ParseRequest(R"({"id":"r","op":"frobnicate"})", &id);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(id, "r");  // recoverable: the error response can echo it
+  EXPECT_EQ(WireErrorFromRequestParse(request.status()).kind,
+            ErrorKind::kUnknownOp);
+}
+
+TEST(Protocol, StatusMappingSplitsResourceExhaustedByBudget) {
+  BudgetInfo deadline;
+  deadline.budget = "resilience.deadline";
+  EXPECT_EQ(WireErrorFromStatus(Status::ResourceExhausted(deadline)).kind,
+            ErrorKind::kDeadline);
+
+  BudgetInfo cancelled;
+  cancelled.budget = "resilience.cancelled";
+  EXPECT_EQ(WireErrorFromStatus(Status::ResourceExhausted(cancelled)).kind,
+            ErrorKind::kCancelled);
+
+  BudgetInfo nodes;
+  nodes.budget = "cover.nodes";
+  nodes.limit = 64;
+  WireError budget = WireErrorFromStatus(Status::ResourceExhausted(nodes));
+  EXPECT_EQ(budget.kind, ErrorKind::kBudgetExhausted);
+  ASSERT_TRUE(budget.has_budget);
+  EXPECT_EQ(budget.budget.limit, 64u);
+
+  EXPECT_EQ(WireErrorFromStatus(Status::ResourceExhausted("bare")).kind,
+            ErrorKind::kBudgetExhausted);
+  EXPECT_EQ(WireErrorFromStatus(Status::NotFound("s")).kind,
+            ErrorKind::kUnknownSession);
+  EXPECT_EQ(
+      WireErrorFromStatus(Status::InvalidArgument("x"), true).kind,
+      ErrorKind::kParseError);
+  EXPECT_EQ(
+      WireErrorFromStatus(Status::InvalidArgument("x"), false).kind,
+      ErrorKind::kBadRequest);
+}
+
+TEST(Protocol, ErrorResponseCarriesTaxonomyAndBudget) {
+  BudgetInfo info;
+  info.budget = "cover.nodes";
+  info.limit = 10;
+  info.consumed = 10;
+  info.phase = "cover_enum";
+  WireError error = WireErrorFromStatus(Status::ResourceExhausted(info));
+  Result<JsonValue> parsed = ParseJson(ErrorResponse("r9", error));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("id")->AsString(), "r9");
+  EXPECT_FALSE(parsed->Find("ok")->AsBool());
+  const JsonValue* e = parsed->Find("error");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->Find("kind")->AsString(), "budget_exhausted");
+  ASSERT_NE(e->Find("budget"), nullptr);
+  EXPECT_EQ(e->Find("budget")->Find("name")->AsString(), "cover.nodes");
+  EXPECT_EQ(e->Find("budget")->Find("limit")->AsInt(), 10);
+}
+
+// --- admission.h ------------------------------------------------------
+
+TEST(Admission, VerdictLadder) {
+  AdmissionQueue<int> queue(/*capacity=*/4, /*soft_limit=*/2);
+  EXPECT_EQ(queue.Offer(1), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(queue.Offer(2), AdmissionVerdict::kAdmit);
+  EXPECT_EQ(queue.Offer(3), AdmissionVerdict::kAdmitDegraded);
+  EXPECT_EQ(queue.Offer(4), AdmissionVerdict::kAdmitDegraded);
+  EXPECT_EQ(queue.Offer(5), AdmissionVerdict::kShed);
+  EXPECT_EQ(queue.depth(), 4u);
+}
+
+TEST(Admission, CloseShedsNewAndDrainsQueued) {
+  AdmissionQueue<int> queue(4);
+  ASSERT_EQ(queue.Offer(1), AdmissionVerdict::kAdmit);
+  queue.Close();
+  EXPECT_EQ(queue.Offer(2), AdmissionVerdict::kShed);
+  std::optional<int> first = queue.Take();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1);
+  EXPECT_FALSE(queue.Take().has_value());
+}
+
+TEST(Admission, SoftLimitDefaultsToHalfCapacity) {
+  AdmissionQueue<int> queue(8);
+  EXPECT_EQ(queue.soft_limit(), 4u);
+  AdmissionQueue<int> tiny(1);
+  EXPECT_EQ(tiny.soft_limit(), 1u);
+}
+
+// --- full server over the in-memory transport -------------------------
+
+constexpr char kSigma[] = "S1(x) -> exists y: T1(x, y)";
+constexpr char kTarget[] = "{T1(a, b), T1(b, c)}";
+// Queries run over the recovered *source* instances, so they name the
+// source relation S1; a target-relation query has empty certain answers.
+constexpr char kQuery[] = "Q(x) :- S1(x)";
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = ServerOptions()) {
+    auto listener = std::make_unique<LocalListener>();
+    local_ = listener.get();
+    server_ = std::make_unique<Server>(std::move(options));
+    ASSERT_TRUE(server_->Start(std::move(listener)).ok());
+  }
+
+  std::unique_ptr<Connection> Connect() {
+    Result<std::unique_ptr<Connection>> conn = local_->Connect();
+    EXPECT_TRUE(conn.ok());
+    return std::move(*conn);
+  }
+
+  // One closed-loop round trip, response parsed.
+  JsonValue Call(Connection& conn, const std::string& line) {
+    EXPECT_TRUE(conn.WriteLine(line).ok());
+    Result<std::string> reply = conn.ReadLine();
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    Result<JsonValue> parsed = ParseJson(reply.ok() ? *reply : "{}");
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return parsed.ok() ? std::move(*parsed) : JsonValue();
+  }
+
+  void TearDown() override {
+    testing::FaultInjector::Global().Reset();
+    if (server_ != nullptr) server_->Drain();
+  }
+
+  LocalListener* local_ = nullptr;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, PingPongs) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+  JsonValue reply = Call(*conn, R"({"id":"1","op":"ping"})");
+  EXPECT_TRUE(reply.Find("ok")->AsBool());
+  EXPECT_EQ(reply.Find("id")->AsString(), "1");
+}
+
+TEST_F(ServeTest, SessionLifecycleAndCertainMatchesEngine) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+
+  JsonObject open;
+  open["id"] = JsonValue("o");
+  open["op"] = JsonValue("open_session");
+  open["session"] = JsonValue("s1");
+  open["sigma"] = JsonValue(kSigma);
+  open["target"] = JsonValue(kTarget);
+  JsonValue opened = Call(*conn, JsonValue(std::move(open)).Serialize());
+  ASSERT_TRUE(opened.Find("ok")->AsBool()) << opened.Serialize();
+  EXPECT_EQ(opened.Find("sigma_tgds")->AsInt(), 1);
+  EXPECT_EQ(opened.Find("target_atoms")->AsInt(), 2);
+
+  JsonObject certain;
+  certain["id"] = JsonValue("c");
+  certain["op"] = JsonValue("certain");
+  certain["session"] = JsonValue("s1");
+  certain["query"] = JsonValue(kQuery);
+  JsonValue answered = Call(*conn, JsonValue(std::move(certain)).Serialize());
+  ASSERT_TRUE(answered.Find("ok")->AsBool()) << answered.Serialize();
+  EXPECT_EQ(answered.Find("rung")->AsString(), "exact");
+  EXPECT_EQ(answered.Find("completeness")->AsString(), "exact");
+
+  // The served answers must be byte-identical to a direct engine run.
+  Engine engine(*ParseTgdSet(kSigma), EngineOptions());
+  Result<AnswerSet> expected =
+      engine.CertainAnswers(*ParseUnionQuery(kQuery), *ParseInstance(kTarget));
+  ASSERT_TRUE(expected.ok());
+  std::vector<std::string> expected_strings;
+  for (const AnswerTuple& tuple : *expected) {
+    expected_strings.push_back(ToString(tuple));
+  }
+  const JsonArray& got = answered.Find("answers")->AsArray();
+  ASSERT_EQ(got.size(), expected_strings.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].AsString(), expected_strings[i]);
+  }
+
+  JsonValue closed =
+      Call(*conn, R"({"id":"x","op":"close_session","session":"s1"})");
+  EXPECT_TRUE(closed.Find("ok")->AsBool());
+  JsonValue gone = Call(
+      *conn,
+      R"js({"id":"y","op":"certain","session":"s1","query":"Q(x) :- T1(x, y)"})js");
+  EXPECT_FALSE(gone.Find("ok")->AsBool());
+  EXPECT_EQ(gone.Find("error")->Find("kind")->AsString(), "unknown_session");
+}
+
+TEST_F(ServeTest, InlineOneShotCertain) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+  JsonObject request;
+  request["id"] = JsonValue("1");
+  request["op"] = JsonValue("certain");
+  request["sigma"] = JsonValue(kSigma);
+  request["target"] = JsonValue(kTarget);
+  request["query"] = JsonValue(kQuery);
+  JsonValue reply = Call(*conn, JsonValue(std::move(request)).Serialize());
+  ASSERT_TRUE(reply.Find("ok")->AsBool()) << reply.Serialize();
+  EXPECT_EQ(reply.Find("answers")->AsArray().size(), 2u);
+}
+
+TEST_F(ServeTest, RecoverReturnsSerializedInstances) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+  JsonObject request;
+  request["id"] = JsonValue("1");
+  request["op"] = JsonValue("recover");
+  request["sigma"] = JsonValue(kSigma);
+  request["target"] = JsonValue(kTarget);
+  JsonValue reply = Call(*conn, JsonValue(std::move(request)).Serialize());
+  ASSERT_TRUE(reply.Find("ok")->AsBool()) << reply.Serialize();
+  EXPECT_TRUE(reply.Find("valid_for_recovery")->AsBool());
+  EXPECT_GE(reply.Find("recoveries")->AsArray().size(), 1u);
+}
+
+TEST_F(ServeTest, ErrorTaxonomyOnTheWire) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+
+  EXPECT_EQ(Call(*conn, "{not json").Find("error")->Find("kind")->AsString(),
+            "bad_request");
+  EXPECT_EQ(Call(*conn, R"({"id":"1","op":"warp"})")
+                .Find("error")->Find("kind")->AsString(),
+            "unknown_op");
+  EXPECT_EQ(
+      Call(*conn,
+           R"js({"id":"2","op":"certain","session":"nope","query":"Q(x) :- T1(x, y)"})js")
+          .Find("error")->Find("kind")->AsString(),
+      "unknown_session");
+  EXPECT_EQ(
+      Call(*conn,
+           R"js({"id":"3","op":"certain","sigma":"<<","target":"{}","query":"Q(x) :- T1(x, y)"})js")
+          .Find("error")->Find("kind")->AsString(),
+      "parse_error");
+
+  JsonObject open;
+  open["id"] = JsonValue("4");
+  open["op"] = JsonValue("open_session");
+  open["session"] = JsonValue("dup");
+  open["sigma"] = JsonValue(kSigma);
+  open["target"] = JsonValue(kTarget);
+  const std::string line = JsonValue(std::move(open)).Serialize();
+  EXPECT_TRUE(Call(*conn, line).Find("ok")->AsBool());
+  EXPECT_EQ(Call(*conn, line).Find("error")->Find("kind")->AsString(),
+            "session_exists");
+}
+
+TEST_F(ServeTest, StatsReportsQueueAndSessions) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+  JsonValue stats = Call(*conn, R"({"id":"1","op":"stats"})");
+  ASSERT_TRUE(stats.Find("ok")->AsBool());
+  EXPECT_EQ(stats.Find("sessions")->AsInt(), 0);
+  EXPECT_EQ(stats.Find("queue_capacity")->AsInt(), 64);
+  EXPECT_FALSE(stats.Find("draining")->AsBool());
+}
+
+TEST_F(ServeTest, DeadlineTripDegradesToSoundRung) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+
+  // Fire a deadline inside the engine: with degradation on, the server
+  // must answer ok with a sound sub-exact rung, not an error.
+  testing::FaultPlan plan;
+  plan.site = "inverse_chase.cover";
+  plan.kind = testing::FaultKind::kDeadline;
+  plan.seed = 0;
+  testing::FaultInjector::Global().Arm(plan);
+
+  JsonObject request;
+  request["id"] = JsonValue("1");
+  request["op"] = JsonValue("certain");
+  request["sigma"] = JsonValue(kSigma);
+  request["target"] = JsonValue(kTarget);
+  request["query"] = JsonValue(kQuery);
+  JsonValue reply = Call(*conn, JsonValue(std::move(request)).Serialize());
+  ASSERT_TRUE(reply.Find("ok")->AsBool()) << reply.Serialize();
+  EXPECT_NE(reply.Find("rung")->AsString(), "exact");
+  ASSERT_NE(reply.Find("degraded_cause"), nullptr);
+  EXPECT_TRUE(testing::FaultInjector::Global().fired());
+}
+
+TEST_F(ServeTest, SessionFaultSurfacesStructuredErrorAndServerSurvives) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+
+  testing::FaultPlan plan;
+  plan.site = "serve.session";
+  plan.kind = testing::FaultKind::kStatus;
+  plan.code = StatusCode::kInternal;
+  plan.message = "injected session fault";
+  testing::FaultInjector::Global().Arm(plan);
+
+  JsonObject open;
+  open["id"] = JsonValue("1");
+  open["op"] = JsonValue("open_session");
+  open["session"] = JsonValue("s");
+  open["sigma"] = JsonValue(kSigma);
+  open["target"] = JsonValue(kTarget);
+  JsonValue reply = Call(*conn, JsonValue(open).Serialize());
+  ASSERT_FALSE(reply.Find("ok")->AsBool());
+  EXPECT_EQ(reply.Find("error")->Find("kind")->AsString(), "internal");
+
+  // The injector fires once; the same open must now succeed.
+  open["id"] = JsonValue("2");
+  EXPECT_TRUE(Call(*conn, JsonValue(std::move(open)).Serialize())
+                  .Find("ok")->AsBool());
+}
+
+TEST_F(ServeTest, DrainRejectsNewWorkAndStops) {
+  StartServer();
+  std::unique_ptr<Connection> conn = Connect();
+  ASSERT_TRUE(Call(*conn, R"({"id":"1","op":"ping"})").Find("ok")->AsBool());
+
+  server_->Drain();
+  EXPECT_TRUE(server_->draining());
+  // The drained server closed the connection; writes may still land in
+  // the pipe, but no response comes back.
+  conn->WriteLine(R"({"id":"2","op":"ping"})");
+  Result<std::string> reply = conn->ReadLine();
+  EXPECT_FALSE(reply.ok());
+
+  server_->Drain();  // idempotent
+}
+
+TEST_F(ServeTest, DrainWithoutStartDoesNotHang) {
+  ServerOptions options;
+  options.drain_timeout_seconds = 0.05;
+  Server server(options);
+  server.Drain();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dxrec

@@ -33,13 +33,13 @@ TEST(Tractable, UniqueCoverDetection) {
   // Thm. 6: unique cover iff every hom covers a private tuple.
   DependencySet sigma = S("Rta(x) -> Sta(x); Mta(y) -> Tta(y)");
   Result<TractabilityReport> unique =
-      AnalyzeTractability(sigma, I("{Sta(a), Tta(b)}"));
+      internal::AnalyzeTractability(sigma, I("{Sta(a), Tta(b)}"));
   ASSERT_TRUE(unique.ok());
   EXPECT_TRUE(unique->unique_cover);
 
   DependencySet overlap = S("Rtb(x) -> Stb(x); Mtb(y) -> Stb(y)");
   Result<TractabilityReport> multi =
-      AnalyzeTractability(overlap, I("{Stb(a)}"));
+      internal::AnalyzeTractability(overlap, I("{Stb(a)}"));
   ASSERT_TRUE(multi.ok());
   EXPECT_FALSE(multi->unique_cover);
 }
@@ -47,7 +47,7 @@ TEST(Tractable, UniqueCoverDetection) {
 TEST(Tractable, UncoverableReported) {
   DependencySet sigma = S("Rtc(x) -> Stc(x)");
   Result<TractabilityReport> report =
-      AnalyzeTractability(sigma, I("{Stc(a), Xtc(b)}"));
+      internal::AnalyzeTractability(sigma, I("{Stc(a), Xtc(b)}"));
   ASSERT_TRUE(report.ok());
   EXPECT_FALSE(report->all_coverable);
   EXPECT_FALSE(report->complete_ucq_recovery_exists());
@@ -55,12 +55,12 @@ TEST(Tractable, UncoverableReported) {
 
 TEST(Tractable, QuasiGuardedSafety) {
   // Full quasi-guarded tgds: safe.
-  Result<TractabilityReport> safe = AnalyzeTractability(
+  Result<TractabilityReport> safe = internal::AnalyzeTractability(
       EmployeeScenario::Sigma(), EmployeeScenario::Target(1, 1, 1));
   ASSERT_TRUE(safe.ok());
   EXPECT_TRUE(safe->quasi_guarded_safe);
   // The blowup mapping's SUB involves non-quasi-guarded tgds: unsafe.
-  Result<TractabilityReport> unsafe = AnalyzeTractability(
+  Result<TractabilityReport> unsafe = internal::AnalyzeTractability(
       BlowupScenario::Sigma(), BlowupScenario::Target(1, 1));
   ASSERT_TRUE(unsafe.ok());
   EXPECT_FALSE(unsafe->quasi_guarded_safe);
@@ -69,7 +69,7 @@ TEST(Tractable, QuasiGuardedSafety) {
 TEST(Tractable, CompleteRecoveryFailsWithoutConditions) {
   DependencySet sigma = BlowupScenario::Sigma();
   Result<Instance> recovery =
-      CompleteUcqRecovery(sigma, BlowupScenario::Target(1, 1));
+      internal::CompleteUcqRecovery(sigma, BlowupScenario::Target(1, 1));
   EXPECT_FALSE(recovery.ok());
   EXPECT_EQ(recovery.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -78,11 +78,11 @@ TEST(Tractable, CompleteRecoveryMatchesCertainAnswers) {
   // Where Thm. 5 applies, Q(I) on the complete recovery equals CERT.
   DependencySet sigma = EmployeeScenario::Sigma();
   Instance j = EmployeeScenario::Target(2, 2, 2);
-  Result<Instance> recovery = CompleteUcqRecovery(sigma, j);
+  Result<Instance> recovery = internal::CompleteUcqRecovery(sigma, j);
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
   UnionQuery q = U("Q(n, d) :- Emp(n, d)");
   AnswerSet via_recovery = EvaluateNullFree(q, *recovery);
-  Result<AnswerSet> via_cert = CertainAnswers(q, sigma, j);
+  Result<AnswerSet> via_cert = internal::CertainAnswers(q, sigma, j);
   ASSERT_TRUE(via_cert.ok());
   EXPECT_EQ(via_recovery, *via_cert);
 }
@@ -107,7 +107,7 @@ TEST(Tractable, KBoundedCertainAnswersMatchExact) {
   ASSERT_TRUE(recoveries.ok());
   UnionQuery q = U("Q(x) :- Rte(x) | Q(x) :- Mte(x)");
   AnswerSet via_k = CertainAnswersOver(q, *recoveries);
-  Result<AnswerSet> exact = CertainAnswers(q, sigma, j);
+  Result<AnswerSet> exact = internal::CertainAnswers(q, sigma, j);
   ASSERT_TRUE(exact.ok());
   EXPECT_EQ(via_k, *exact);
 }
@@ -136,8 +136,8 @@ TEST(Tractable, SoundUcqAnswersAreSound) {
   DependencySet sigma = PairScenario::Sigma();
   Instance j = PairScenario::Target(2, 2);
   UnionQuery q = U("Q(x) :- De(x)");
-  AnswerSet sound = SoundUcqAnswers(q, sigma, j);
-  Result<AnswerSet> cert = CertainAnswers(q, sigma, j);
+  AnswerSet sound = internal::SoundUcqAnswers(q, sigma, j);
+  Result<AnswerSet> cert = internal::CertainAnswers(q, sigma, j);
   ASSERT_TRUE(cert.ok());
   for (const AnswerTuple& t : sound) {
     EXPECT_TRUE(cert->count(t) > 0);
